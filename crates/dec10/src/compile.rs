@@ -1,0 +1,770 @@
+//! The WAM compiler: lowered clauses → instruction vector with
+//! first-argument indexing.
+
+use crate::instr::{Builtin, ConstKey, FunctorId, Instr, Reg, YSlot};
+use kl0::{FlatClause, FlatGoal, LoweredProgram, PredicateKey, Program, Term};
+use psi_core::{PsiError, Result, SymbolTable};
+use std::collections::HashMap;
+
+/// A predicate table entry.
+#[derive(Debug, Clone)]
+pub struct PredEntry {
+    /// Predicate name.
+    pub name: String,
+    /// Arity.
+    pub arity: u8,
+    /// Entry address in the code vector, or `None` if called but
+    /// never defined.
+    pub entry: Option<usize>,
+}
+
+/// A compiled query: entry predicate plus variable names.
+#[derive(Debug, Clone)]
+pub struct DecQuery {
+    /// Predicate-table index of the generated entry point.
+    pub pred: u32,
+    /// Query variable names in argument order.
+    pub vars: Vec<String>,
+}
+
+/// The compiled program: flat code vector plus predicate and symbol
+/// tables.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The instruction vector.
+    pub code: Vec<Instr>,
+    preds: Vec<PredEntry>,
+    index: HashMap<PredicateKey, u32>,
+    symbols: SymbolTable,
+    query_counter: u32,
+}
+
+/// Compiles a lowered program.
+///
+/// # Errors
+///
+/// Returns [`PsiError::Compile`] for clauses that redefine built-ins
+/// or exceed encoding limits.
+pub fn compile(lowered: &LoweredProgram) -> Result<CompiledProgram> {
+    let mut cp = CompiledProgram::new();
+    cp.add_program(lowered)?;
+    Ok(cp)
+}
+
+impl CompiledProgram {
+    /// Creates an empty program.
+    pub fn new() -> CompiledProgram {
+        CompiledProgram {
+            code: Vec::new(),
+            preds: Vec::new(),
+            index: HashMap::new(),
+            symbols: SymbolTable::new(),
+            query_counter: 0,
+        }
+    }
+
+    /// The predicate table.
+    pub fn predicates(&self) -> &[PredEntry] {
+        &self.preds
+    }
+
+    /// Looks up a predicate index.
+    pub fn lookup(&self, key: &PredicateKey) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// The predicate at `idx`.
+    pub fn predicate(&self, idx: u32) -> &PredEntry {
+        &self.preds[idx as usize]
+    }
+
+    /// The symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable symbol table access (for the emulator's arithmetic
+    /// functor resolution).
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    /// Adds all predicates of a lowered program.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile`].
+    pub fn add_program(&mut self, lowered: &LoweredProgram) -> Result<()> {
+        for key in lowered.predicates() {
+            if Builtin::lookup(&key.0, key.1).is_some() {
+                return Err(PsiError::Compile {
+                    detail: format!("cannot redefine built-in {}/{}", key.0, key.1),
+                });
+            }
+            self.pred_index(key)?;
+        }
+        for key in lowered.predicates() {
+            let clauses = lowered.clauses_for(key).to_vec();
+            let entry = self.compile_predicate(&clauses)?;
+            let idx = self.pred_index(key)?;
+            self.preds[idx as usize].entry = Some(entry);
+        }
+        Ok(())
+    }
+
+    /// Compiles `goal` as a query entry point.
+    ///
+    /// # Errors
+    ///
+    /// See [`compile`].
+    pub fn compile_query(&mut self, goal: &Term) -> Result<DecQuery> {
+        self.query_counter += 1;
+        let name = format!("$query{}", self.query_counter);
+        let vars: Vec<String> =
+            goal.variables().into_iter().map(str::to_owned).collect();
+        if vars.len() > 255 {
+            return Err(PsiError::Compile {
+                detail: "query has more than 255 variables".into(),
+            });
+        }
+        let head = Term::compound(&name, vars.iter().map(|v| Term::var(v)).collect());
+        let mut program = Program::new();
+        program.add_clause(kl0::Clause {
+            head,
+            body: Some(goal.clone()),
+        })?;
+        let lowered = LoweredProgram::lower(&program)?;
+        self.add_program(&lowered)?;
+        let pred = self.lookup(&(name, vars.len())).expect("just compiled");
+        Ok(DecQuery { pred, vars })
+    }
+
+    fn pred_index(&mut self, key: &PredicateKey) -> Result<u32> {
+        if let Some(&idx) = self.index.get(key) {
+            return Ok(idx);
+        }
+        if key.1 > 255 {
+            return Err(PsiError::Compile {
+                detail: format!("predicate {}/{} exceeds 255 arguments", key.0, key.1),
+            });
+        }
+        let idx = self.preds.len() as u32;
+        self.preds.push(PredEntry {
+            name: key.0.clone(),
+            arity: key.1 as u8,
+            entry: None,
+        });
+        self.index.insert(key.clone(), idx);
+        Ok(idx)
+    }
+
+    // ------------------------------------------------------- indexing
+
+    /// Compiles all clauses of a predicate with first-argument
+    /// indexing and returns the entry address.
+    fn compile_predicate(&mut self, clauses: &[FlatClause]) -> Result<usize> {
+        let addrs: Vec<usize> = clauses
+            .iter()
+            .map(|c| self.compile_clause(c))
+            .collect::<Result<_>>()?;
+        if addrs.is_empty() {
+            let entry = self.code.len();
+            self.code.push(Instr::Fail);
+            return Ok(entry);
+        }
+        if addrs.len() == 1 {
+            return Ok(addrs[0]);
+        }
+        let arity = clauses[0]
+            .head
+            .functor()
+            .map(|(_, a)| a)
+            .unwrap_or(0);
+        if arity == 0 {
+            // Nothing to index on.
+            return Ok(self.emit_chain(&addrs));
+        }
+
+        // Bucket clauses by the shape of their first head argument.
+        let first_arg = |c: &FlatClause| match &c.head {
+            Term::Struct(_, args) => Some(args[0].clone()),
+            _ => None,
+        };
+        let mut var_bucket = Vec::new(); // everything (var entry)
+        let mut const_bucket = Vec::new();
+        let mut nil_bucket = Vec::new();
+        let mut list_bucket = Vec::new();
+        let mut struct_bucket = Vec::new();
+        for (i, c) in clauses.iter().enumerate() {
+            let a = addrs[i];
+            var_bucket.push(a);
+            match first_arg(c) {
+                Some(Term::Var(_)) | None => {
+                    const_bucket.push(a);
+                    nil_bucket.push(a);
+                    list_bucket.push(a);
+                    struct_bucket.push(a);
+                }
+                Some(Term::Atom(ref at)) if at == "[]" => nil_bucket.push(a),
+                Some(Term::Atom(_)) | Some(Term::Int(_)) => const_bucket.push(a),
+                Some(Term::Struct(ref f, ref args)) if f == "." && args.len() == 2 => {
+                    list_bucket.push(a)
+                }
+                Some(Term::Struct(..)) => struct_bucket.push(a),
+            }
+        }
+
+        let fail_at = self.code.len();
+        self.code.push(Instr::Fail);
+        let target = |cp: &mut CompiledProgram, bucket: &[usize]| -> usize {
+            match bucket.len() {
+                0 => fail_at,
+                1 => bucket[0],
+                _ => cp.emit_chain(bucket),
+            }
+        };
+        let var = target(self, &var_bucket);
+        // Second-level dispatch by constant value when the bucket has
+        // no variable-headed clauses (the common fact-table case).
+        let const_keys: Vec<Option<ConstKey>> = clauses
+            .iter()
+            .map(|c| match first_arg(c) {
+                Some(Term::Atom(ref a)) if a == "[]" => Some(ConstKey::Nil),
+                Some(Term::Atom(ref a)) => {
+                    Some(ConstKey::Atom(self.symbols.intern(a).get()))
+                }
+                Some(Term::Int(i)) => Some(ConstKey::Int(i)),
+                _ => None,
+            })
+            .collect();
+        let all_consts = clauses.iter().zip(&const_keys).all(|(c, k)| {
+            k.is_some() || !matches!(first_arg(c), Some(Term::Var(_)) | None)
+        });
+        let constant = if all_consts && const_bucket.len() > 1 {
+            // Group clause addresses by constant value, in order.
+            let mut groups: Vec<(ConstKey, Vec<usize>)> = Vec::new();
+            for (i, key) in const_keys.iter().enumerate() {
+                if let Some(k) = key {
+                    match groups.iter_mut().find(|(g, _)| g == k) {
+                        Some((_, v)) => v.push(addrs[i]),
+                        None => groups.push((*k, vec![addrs[i]])),
+                    }
+                }
+            }
+            let pairs: Vec<(ConstKey, usize)> = groups
+                .into_iter()
+                .map(|(k, bucket)| (k, target(self, &bucket)))
+                .collect();
+            let at = self.code.len();
+            self.code.push(Instr::SwitchOnConstant(pairs));
+            at
+        } else {
+            target(self, &const_bucket)
+        };
+        let nil = target(self, &nil_bucket);
+        let list = target(self, &list_bucket);
+        let structure = target(self, &struct_bucket);
+        let entry = self.code.len();
+        self.code.push(Instr::SwitchOnTerm {
+            var,
+            constant,
+            nil,
+            list,
+            structure,
+        });
+        Ok(entry)
+    }
+
+    /// Emits a try/retry/trust chain over clause addresses.
+    fn emit_chain(&mut self, addrs: &[usize]) -> usize {
+        debug_assert!(addrs.len() >= 2);
+        // Layout: [try_me_else B2; jump C1] [B2: retry_me_else B3;
+        // jump C2] ... [Bn: trust_me; jump Cn], where the clause
+        // bodies Ci were already emitted elsewhere.
+        let mut entry = 0usize;
+        let mut blocks = Vec::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            let at = self.code.len();
+            if i == 0 {
+                entry = at;
+                self.code.push(Instr::TryMeElse(usize::MAX)); // patched
+            } else if i + 1 == addrs.len() {
+                self.code.push(Instr::TrustMe);
+            } else {
+                self.code.push(Instr::RetryMeElse(usize::MAX)); // patched
+            }
+            self.code.push(Instr::Jump(addr));
+            blocks.push(at);
+        }
+        // Patch alternatives to point at the following block.
+        for i in 0..blocks.len() - 1 {
+            let next = blocks[i + 1];
+            match &mut self.code[blocks[i]] {
+                Instr::TryMeElse(alt) | Instr::RetryMeElse(alt) => *alt = next,
+                Instr::TrustMe => {}
+                other => unreachable!("chain block head {other:?}"),
+            }
+        }
+        entry
+    }
+
+    // ---------------------------------------------------- clause body
+
+    fn compile_clause(&mut self, clause: &FlatClause) -> Result<usize> {
+        let addr = self.code.len();
+        let mut ctx = ClauseCtx::new(clause);
+        let arity = clause.head.functor().map(|(_, a)| a).unwrap_or(0) as Reg;
+
+        let allocate_at = if ctx.needs_env {
+            self.code.push(Instr::Allocate(0)); // slot count patched below
+            Some(self.code.len() - 1)
+        } else {
+            None
+        };
+
+        // Head.
+        if let Term::Struct(_, args) = &clause.head {
+            let mut queue: Vec<(Reg, Term)> = Vec::new();
+            for (i, arg) in args.iter().enumerate() {
+                self.compile_head_arg(arg, i as Reg, &mut ctx, &mut queue)?;
+            }
+            while !queue.is_empty() {
+                let (reg, term) = queue.remove(0);
+                self.compile_head_compound(&term, reg, &mut ctx, &mut queue)?;
+            }
+        }
+
+        // Body.
+        let ngoals = clause.goals.len();
+        for (gi, goal) in clause.goals.iter().enumerate() {
+            let last = gi + 1 == ngoals;
+            match goal {
+                FlatGoal::Cut => self.code.push(Instr::Cut),
+                FlatGoal::Call(term) => {
+                    let (name, nargs) = term.functor().ok_or_else(|| {
+                        PsiError::Compile {
+                            detail: format!("goal is not callable: {term}"),
+                        }
+                    })?;
+                    let args: &[Term] = match term {
+                        Term::Struct(_, a) => a,
+                        _ => &[],
+                    };
+                    for (j, a) in args.iter().enumerate() {
+                        self.compile_put(a, j as Reg, &mut ctx)?;
+                    }
+                    if let Some(b) = Builtin::lookup(name, nargs) {
+                        self.code.push(Instr::CallBuiltin(b, nargs as u8));
+                    } else {
+                        let idx = self.pred_index(&(name.to_owned(), nargs))?;
+                        if last && ctx.needs_env {
+                            self.code.push(Instr::Deallocate);
+                            self.code.push(Instr::Execute(idx));
+                            if let Some(at) = allocate_at {
+                                self.code[at] = Instr::Allocate(ctx.nslots);
+                            }
+                            return Ok(addr);
+                        }
+                        self.code.push(Instr::Call(idx, nargs as u8));
+                    }
+                }
+            }
+        }
+        // Fall-through return (facts, or bodies ending in builtins or
+        // cut).
+        if ctx.needs_env {
+            self.code.push(Instr::Deallocate);
+        }
+        self.code.push(Instr::Proceed);
+        if let Some(at) = allocate_at {
+            self.code[at] = Instr::Allocate(ctx.nslots);
+        }
+        let _ = arity;
+        Ok(addr)
+    }
+
+    fn compile_head_arg(
+        &mut self,
+        arg: &Term,
+        ai: Reg,
+        ctx: &mut ClauseCtx,
+        queue: &mut Vec<(Reg, Term)>,
+    ) -> Result<()> {
+        match arg {
+            Term::Var(v) => {
+                if ctx.is_singleton(v) {
+                    return Ok(()); // nothing to do: argument ignored
+                }
+                match ctx.var_ref(v) {
+                    (VarLoc::Y(y), true) => self.code.push(Instr::GetVariableY(y, ai)),
+                    (VarLoc::Y(y), false) => self.code.push(Instr::GetValueY(y, ai)),
+                    (VarLoc::X(x), true) => self.code.push(Instr::GetVariableX(x, ai)),
+                    (VarLoc::X(x), false) => self.code.push(Instr::GetValueX(x, ai)),
+                }
+            }
+            Term::Atom(a) if a == "[]" => self.code.push(Instr::GetNil(ai)),
+            Term::Atom(a) => {
+                let id = self.symbols.intern(a).get();
+                self.code.push(Instr::GetConstant(id, ai));
+            }
+            Term::Int(i) => self.code.push(Instr::GetInteger(*i, ai)),
+            Term::Struct(..) => {
+                self.compile_head_compound(arg, ai, ctx, queue)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits get_list/get_structure plus its unify sequence; nested
+    /// compounds go through fresh temporaries and the work queue.
+    fn compile_head_compound(
+        &mut self,
+        term: &Term,
+        reg: Reg,
+        ctx: &mut ClauseCtx,
+        queue: &mut Vec<(Reg, Term)>,
+    ) -> Result<()> {
+        let (name, args) = match term {
+            Term::Struct(f, a) => (f.as_str(), a),
+            _ => unreachable!("compound head arg"),
+        };
+        if name == "." && args.len() == 2 {
+            self.code.push(Instr::GetList(reg));
+        } else {
+            let atom = self.symbols.intern(name).get();
+            self.code.push(Instr::GetStructure(
+                FunctorId {
+                    atom,
+                    arity: args.len() as u8,
+                },
+                reg,
+            ));
+        }
+        for sub in args {
+            self.compile_unify_item(sub, ctx, queue)?;
+        }
+        Ok(())
+    }
+
+    fn compile_unify_item(
+        &mut self,
+        sub: &Term,
+        ctx: &mut ClauseCtx,
+        queue: &mut Vec<(Reg, Term)>,
+    ) -> Result<()> {
+        match sub {
+            Term::Var(v) => {
+                if ctx.is_singleton(v) {
+                    self.code.push(Instr::UnifyVoid(1));
+                    return Ok(());
+                }
+                match ctx.var_ref(v) {
+                    (VarLoc::Y(y), true) => self.code.push(Instr::UnifyVariableY(y)),
+                    (VarLoc::Y(y), false) => self.code.push(Instr::UnifyValueY(y)),
+                    (VarLoc::X(x), true) => self.code.push(Instr::UnifyVariableX(x)),
+                    (VarLoc::X(x), false) => self.code.push(Instr::UnifyValueX(x)),
+                }
+            }
+            Term::Atom(a) if a == "[]" => self.code.push(Instr::UnifyNil),
+            Term::Atom(a) => {
+                let id = self.symbols.intern(a).get();
+                self.code.push(Instr::UnifyConstant(id));
+            }
+            Term::Int(i) => self.code.push(Instr::UnifyInteger(*i)),
+            Term::Struct(..) => {
+                let tmp = ctx.fresh_temp();
+                self.code.push(Instr::UnifyVariableX(tmp));
+                queue.push((tmp, sub.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- puts
+
+    fn compile_put(&mut self, arg: &Term, ai: Reg, ctx: &mut ClauseCtx) -> Result<()> {
+        match arg {
+            Term::Var(v) => {
+                if ctx.is_singleton(v) {
+                    let tmp = ctx.fresh_temp();
+                    self.code.push(Instr::PutVariableX(tmp, ai));
+                    return Ok(());
+                }
+                match ctx.var_ref(v) {
+                    (VarLoc::Y(y), true) => self.code.push(Instr::PutVariableY(y, ai)),
+                    (VarLoc::Y(y), false) => self.code.push(Instr::PutValueY(y, ai)),
+                    (VarLoc::X(x), true) => self.code.push(Instr::PutVariableX(x, ai)),
+                    (VarLoc::X(x), false) => self.code.push(Instr::PutValueX(x, ai)),
+                }
+            }
+            Term::Atom(a) if a == "[]" => self.code.push(Instr::PutNil(ai)),
+            Term::Atom(a) => {
+                let id = self.symbols.intern(a).get();
+                self.code.push(Instr::PutConstant(id, ai));
+            }
+            Term::Int(i) => self.code.push(Instr::PutInteger(*i, ai)),
+            Term::Struct(..) => {
+                self.compile_put_compound(arg, ai, ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a compound bottom-up: nested compounds land in
+    /// temporaries first, then the outer cell references them.
+    fn compile_put_compound(&mut self, term: &Term, reg: Reg, ctx: &mut ClauseCtx) -> Result<()> {
+        let (name, args) = match term {
+            Term::Struct(f, a) => (f.as_str(), a),
+            _ => unreachable!("compound put arg"),
+        };
+        // Children first.
+        let mut child_regs: Vec<Option<Reg>> = Vec::with_capacity(args.len());
+        for sub in args {
+            if matches!(sub, Term::Struct(..)) {
+                let tmp = ctx.fresh_temp();
+                self.compile_put_compound(sub, tmp, ctx)?;
+                child_regs.push(Some(tmp));
+            } else {
+                child_regs.push(None);
+            }
+        }
+        if name == "." && args.len() == 2 {
+            self.code.push(Instr::PutList(reg));
+        } else {
+            let atom = self.symbols.intern(name).get();
+            self.code.push(Instr::PutStructure(
+                FunctorId {
+                    atom,
+                    arity: args.len() as u8,
+                },
+                reg,
+            ));
+        }
+        for (sub, child) in args.iter().zip(child_regs) {
+            if let Some(tmp) = child {
+                self.code.push(Instr::UnifyValueX(tmp));
+                continue;
+            }
+            match sub {
+                Term::Var(v) => {
+                    if ctx.is_singleton(v) {
+                        self.code.push(Instr::UnifyVoid(1));
+                        continue;
+                    }
+                    match ctx.var_ref(v) {
+                        (VarLoc::Y(y), true) => self.code.push(Instr::UnifyVariableY(y)),
+                        (VarLoc::Y(y), false) => self.code.push(Instr::UnifyValueY(y)),
+                        (VarLoc::X(x), true) => self.code.push(Instr::UnifyVariableX(x)),
+                        (VarLoc::X(x), false) => self.code.push(Instr::UnifyValueX(x)),
+                    }
+                }
+                Term::Atom(a) if a == "[]" => self.code.push(Instr::UnifyNil),
+                Term::Atom(a) => {
+                    let id = self.symbols.intern(a).get();
+                    self.code.push(Instr::UnifyConstant(id));
+                }
+                Term::Int(i) => self.code.push(Instr::UnifyInteger(*i)),
+                Term::Struct(..) => unreachable!("handled via child_regs"),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CompiledProgram {
+    fn default() -> CompiledProgram {
+        CompiledProgram::new()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum VarLoc {
+    X(Reg),
+    Y(YSlot),
+}
+
+/// Per-clause variable allocation.
+struct ClauseCtx {
+    needs_env: bool,
+    slots: HashMap<String, VarLoc>,
+    seen: HashMap<String, bool>,
+    occurrences: HashMap<String, u32>,
+    nslots: u16,
+    next_x: Reg,
+}
+
+impl ClauseCtx {
+    fn new(clause: &FlatClause) -> ClauseCtx {
+        let mut occurrences: HashMap<String, u32> = HashMap::new();
+        fn walk(t: &Term, counts: &mut HashMap<String, u32>) {
+            match t {
+                Term::Var(v) => *counts.entry(v.clone()).or_default() += 1,
+                Term::Struct(_, args) => {
+                    for a in args {
+                        walk(a, counts);
+                    }
+                }
+                _ => {}
+            }
+        }
+        walk(&clause.head, &mut occurrences);
+        let mut max_goal_arity = 0usize;
+        for g in &clause.goals {
+            if let FlatGoal::Call(t) = g {
+                walk(t, &mut occurrences);
+                if let Some((_, a)) = t.functor() {
+                    max_goal_arity = max_goal_arity.max(a);
+                }
+            }
+        }
+        let arity = clause.head.functor().map(|(_, a)| a).unwrap_or(0);
+        let needs_env = !clause.goals.is_empty();
+        ClauseCtx {
+            needs_env,
+            slots: HashMap::new(),
+            seen: HashMap::new(),
+            occurrences,
+            nslots: 0,
+            next_x: arity.max(max_goal_arity) as Reg,
+        }
+    }
+
+    fn is_singleton(&self, v: &str) -> bool {
+        self.occurrences.get(v).copied().unwrap_or(0) <= 1
+    }
+
+    fn fresh_temp(&mut self) -> Reg {
+        let r = self.next_x;
+        self.next_x += 1;
+        r
+    }
+
+    /// Returns the variable's location and whether this is its first
+    /// occurrence.
+    fn var_ref(&mut self, v: &str) -> (VarLoc, bool) {
+        if let Some(&loc) = self.slots.get(v) {
+            let first = !self.seen.get(v).copied().unwrap_or(false);
+            self.seen.insert(v.to_owned(), true);
+            return (loc, first);
+        }
+        let loc = if self.needs_env {
+            let y = self.nslots;
+            self.nslots += 1;
+            VarLoc::Y(y)
+        } else {
+            VarLoc::X(self.fresh_temp())
+        };
+        self.slots.insert(v.to_owned(), loc);
+        self.seen.insert(v.to_owned(), true);
+        (loc, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compiled(src: &str) -> CompiledProgram {
+        let p = Program::parse(src).unwrap();
+        let lp = LoweredProgram::lower(&p).unwrap();
+        compile(&lp).unwrap()
+    }
+
+    #[test]
+    fn fact_compiles_to_gets_and_proceed() {
+        let cp = compiled("p(a, 42, []).");
+        let entry = cp.predicate(cp.lookup(&("p".into(), 3)).unwrap()).entry.unwrap();
+        assert!(matches!(cp.code[entry], Instr::GetConstant(..)));
+        assert!(matches!(cp.code[entry + 1], Instr::GetInteger(42, 1)));
+        assert!(matches!(cp.code[entry + 2], Instr::GetNil(2)));
+        assert!(matches!(cp.code[entry + 3], Instr::Proceed));
+    }
+
+    #[test]
+    fn two_clause_list_predicate_gets_switch() {
+        let cp = compiled("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
+        let entry = cp.predicate(cp.lookup(&("app".into(), 3)).unwrap()).entry.unwrap();
+        match cp.code[entry] {
+            Instr::SwitchOnTerm {
+                nil,
+                list,
+                var,
+                ..
+            } => {
+                // Nil and list buckets are singletons: straight to the
+                // clause, no choice point.
+                assert!(matches!(cp.code[nil], Instr::GetNil(_) | Instr::GetVariableY(..)),
+                    "nil target: {:?}", cp.code[nil]);
+                assert!(matches!(cp.code[list], Instr::Allocate(_)), "list target: {:?}", cp.code[list]);
+                // Var bucket tries both.
+                assert!(matches!(cp.code[var], Instr::TryMeElse(_)));
+            }
+            ref other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn last_call_is_execute() {
+        let cp = compiled("p(X) :- q(X), r(X). q(1). r(1).");
+        let entry = cp.predicate(cp.lookup(&("p".into(), 1)).unwrap()).entry.unwrap();
+        let mut saw_call = false;
+        let mut saw_execute_after_deallocate = false;
+        let mut prev_dealloc = false;
+        for i in entry..cp.code.len() {
+            match &cp.code[i] {
+                Instr::Call(..) => saw_call = true,
+                Instr::Deallocate => prev_dealloc = true,
+                Instr::Execute(_) if prev_dealloc => {
+                    saw_execute_after_deallocate = true;
+                    break;
+                }
+                _ => prev_dealloc = false,
+            }
+        }
+        assert!(saw_call);
+        assert!(saw_execute_after_deallocate);
+    }
+
+    #[test]
+    fn nested_structures_flatten() {
+        let cp = compiled("p(f(g(X), X)).");
+        let entry = cp.predicate(cp.lookup(&("p".into(), 1)).unwrap()).entry.unwrap();
+        assert!(matches!(cp.code[entry], Instr::GetStructure(..)));
+        // f's unify sequence has a temp for g(X), then the queue emits
+        // get_structure for g.
+        let has_second_get = cp.code[entry..]
+            .iter()
+            .filter(|i| matches!(i, Instr::GetStructure(..)))
+            .count();
+        assert_eq!(has_second_get, 2);
+    }
+
+    #[test]
+    fn singleton_head_vars_cost_nothing() {
+        let cp = compiled("p(X, Y) :- q(X). q(1).");
+        let entry = cp.predicate(cp.lookup(&("p".into(), 2)).unwrap()).entry.unwrap();
+        // Y is a singleton: no get instruction for A2.
+        let gets = cp.code[entry..]
+            .iter()
+            .take_while(|i| !matches!(i, Instr::Proceed | Instr::Execute(_)))
+            .filter(|i| matches!(i, Instr::GetVariableY(..) | Instr::GetValueY(..)))
+            .count();
+        assert_eq!(gets, 1);
+    }
+
+    #[test]
+    fn builtins_compile_to_call_builtin() {
+        let cp = compiled("p(X, Y) :- Y is X + 1.");
+        let entry = cp.predicate(cp.lookup(&("p".into(), 2)).unwrap()).entry.unwrap();
+        assert!(cp.code[entry..]
+            .iter()
+            .any(|i| matches!(i, Instr::CallBuiltin(Builtin::Is, 2))));
+    }
+
+    #[test]
+    fn redefining_builtin_fails() {
+        let p = Program::parse("is(X, X).").unwrap();
+        let lp = LoweredProgram::lower(&p).unwrap();
+        assert!(compile(&lp).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The DEC-2060 cost model.
+//!
+//! Table 1's DEC column is wall-clock time of compiled DEC-10 Prolog
+//! on a DEC-2060. We model it as instruction counts × per-class cycle
+//! weights × one scalar (`unit_ns`). The weights encode the *relative*
+//! cost structure of Warren's compiled code (cheap deterministic
+//! get/put sequences, expensive choice-point creation); `unit_ns` is
+//! the single absolute calibration constant, fitted once so that the
+//! overall DEC/PSI scale of Table 1 is in range (see EXPERIMENTS.md),
+//! and never tuned per benchmark.
+
+use crate::instr::Instr;
+
+/// Per-instruction-class cycle weights.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Simple register/constant get and put instructions.
+    pub get_put: u64,
+    /// get_list / get_structure / put_list / put_structure.
+    pub get_compound: u64,
+    /// unify_* instructions (either mode).
+    pub unify_instr: u64,
+    /// Extra cycles per node pair visited by general unification
+    /// (get_value, `=`/2).
+    pub unify_node: u64,
+    /// call.
+    pub call: u64,
+    /// execute.
+    pub execute: u64,
+    /// proceed.
+    pub proceed: u64,
+    /// allocate base cost.
+    pub allocate: u64,
+    /// extra allocate cost per permanent slot.
+    pub allocate_per_slot: u64,
+    /// deallocate.
+    pub deallocate: u64,
+    /// try_me_else (choice-point creation).
+    pub try_me: u64,
+    /// extra try cost per saved argument register.
+    pub try_per_arg: u64,
+    /// retry_me_else.
+    pub retry_me: u64,
+    /// trust_me.
+    pub trust_me: u64,
+    /// switch_on_term dispatch.
+    pub switch: u64,
+    /// cut base cost.
+    pub cut: u64,
+    /// jump / fail glue.
+    pub glue: u64,
+    /// built-in base cost.
+    pub builtin: u64,
+    /// extra cost per arithmetic node evaluated.
+    pub arith_node: u64,
+    /// trail unwind cost per entry on backtracking.
+    pub unwind_per_entry: u64,
+}
+
+impl CostModel {
+    /// The DEC-10 Prolog compiled-code weights.
+    pub fn dec10() -> CostModel {
+        CostModel {
+            get_put: 2,
+            get_compound: 3,
+            unify_instr: 2,
+            unify_node: 16,
+            call: 6,
+            execute: 3,
+            proceed: 3,
+            allocate: 4,
+            allocate_per_slot: 1,
+            deallocate: 3,
+            try_me: 14,
+            try_per_arg: 2,
+            retry_me: 12,
+            trust_me: 10,
+            switch: 3,
+            cut: 4,
+            glue: 1,
+            builtin: 6,
+            arith_node: 2,
+            unwind_per_entry: 5,
+        }
+    }
+
+    /// Static cycles of one instruction (dynamic extras like unify
+    /// node visits are charged separately by the emulator).
+    pub fn cycles(&self, instr: &Instr) -> u64 {
+        match instr {
+            Instr::GetVariableX(..)
+            | Instr::GetVariableY(..)
+            | Instr::GetConstant(..)
+            | Instr::GetInteger(..)
+            | Instr::GetNil(..)
+            | Instr::PutVariableX(..)
+            | Instr::PutVariableY(..)
+            | Instr::PutValueX(..)
+            | Instr::PutValueY(..)
+            | Instr::PutConstant(..)
+            | Instr::PutInteger(..)
+            | Instr::PutNil(..) => self.get_put,
+            Instr::GetValueX(..) | Instr::GetValueY(..) => self.get_put,
+            Instr::GetList(..)
+            | Instr::GetStructure(..)
+            | Instr::PutList(..)
+            | Instr::PutStructure(..) => self.get_compound,
+            Instr::UnifyVariableX(..)
+            | Instr::UnifyVariableY(..)
+            | Instr::UnifyValueX(..)
+            | Instr::UnifyValueY(..)
+            | Instr::UnifyConstant(..)
+            | Instr::UnifyInteger(..)
+            | Instr::UnifyNil
+            | Instr::UnifyVoid(..) => self.unify_instr,
+            Instr::Call(..) => self.call,
+            Instr::Execute(..) => self.execute,
+            Instr::Proceed => self.proceed,
+            Instr::Allocate(n) => self.allocate + *n as u64 * self.allocate_per_slot,
+            Instr::Deallocate => self.deallocate,
+            Instr::TryMeElse(..) => self.try_me,
+            Instr::RetryMeElse(..) => self.retry_me,
+            Instr::TrustMe => self.trust_me,
+            Instr::SwitchOnTerm { .. } | Instr::SwitchOnConstant(_) => self.switch,
+            Instr::Cut => self.cut,
+            Instr::CallBuiltin(..) => self.builtin,
+            Instr::Jump(..) | Instr::Fail | Instr::HaltSuccess => self.glue,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::dec10()
+    }
+}
+
+/// Configuration of the DEC-10 baseline machine.
+#[derive(Debug, Clone)]
+pub struct DecConfig {
+    /// Cost weights.
+    pub costs: CostModel,
+    /// Nanoseconds per cycle unit — the single absolute calibration
+    /// constant (see EXPERIMENTS.md).
+    pub unit_ns: f64,
+    /// Abort execution after this many instructions.
+    pub instruction_budget: u64,
+}
+
+impl DecConfig {
+    /// The calibrated DEC-2060 configuration.
+    pub fn dec2060() -> DecConfig {
+        DecConfig {
+            costs: CostModel::dec10(),
+            unit_ns: 460.0,
+            instruction_budget: 4_000_000_000,
+        }
+    }
+}
+
+impl Default for DecConfig {
+    fn default() -> DecConfig {
+        DecConfig::dec2060()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_points_cost_more_than_gets() {
+        let c = CostModel::dec10();
+        assert!(c.cycles(&Instr::TryMeElse(0)) > 4 * c.cycles(&Instr::GetNil(0)));
+    }
+
+    #[test]
+    fn allocate_scales_with_slots() {
+        let c = CostModel::dec10();
+        assert!(c.cycles(&Instr::Allocate(10)) > c.cycles(&Instr::Allocate(1)));
+    }
+}

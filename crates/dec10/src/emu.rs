@@ -1,0 +1,1186 @@
+//! The WAM emulator and its cost accounting.
+
+use crate::compile::{CompiledProgram, DecQuery};
+use crate::cost::DecConfig;
+use crate::instr::{Builtin, CompareOp, ConstKey, FunctorId, Instr};
+use kl0::{LoweredProgram, Program, Term};
+use psi_core::{PsiError, Result, SymbolId};
+use std::fmt;
+
+/// A heap cell of the WAM store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Cell {
+    /// Reference; a self-reference is an unbound variable.
+    Ref(u32),
+    /// Structure pointer (to a `Fun` cell).
+    Str(u32),
+    /// List pointer (to two consecutive cells).
+    Lis(u32),
+    /// Functor cell heading a structure.
+    Fun(FunctorId),
+    /// An atom.
+    Atom(u32),
+    /// An integer.
+    Int(i32),
+    /// The empty list.
+    Nil,
+}
+
+#[derive(Debug, Clone)]
+struct Env {
+    ce: Option<usize>,
+    cp_code: usize,
+    b0: usize,
+    ybase: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Cp {
+    args: Vec<Cell>,
+    e: Option<usize>,
+    cp_code: usize,
+    b0: usize,
+    heap_top: u32,
+    trail_top: usize,
+    envs_len: usize,
+    alt: usize,
+}
+
+/// Execution statistics of the baseline machine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecStats {
+    /// WAM instructions executed.
+    pub instructions: u64,
+    /// Cost-model cycles consumed.
+    pub cycles: u64,
+    /// User predicate calls (logical inferences).
+    pub calls: u64,
+    /// Choice points created.
+    pub choice_points: u64,
+    /// Node pairs visited by general unification.
+    pub unify_nodes: u64,
+    /// Built-in invocations.
+    pub builtin_calls: u64,
+}
+
+impl DecStats {
+    /// Simulated time in nanoseconds under `unit_ns`.
+    pub fn time_ns(&self, unit_ns: f64) -> u64 {
+        (self.cycles as f64 * unit_ns) as u64
+    }
+
+    /// Logical inferences per second.
+    pub fn lips(&self, unit_ns: f64) -> f64 {
+        let t = self.time_ns(unit_ns);
+        if t == 0 {
+            return 0.0;
+        }
+        self.calls as f64 / (t as f64 / 1e9)
+    }
+}
+
+/// One solution: variable bindings in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecSolution {
+    bindings: Vec<(String, Term)>,
+}
+
+impl DecSolution {
+    /// The binding of `name`, if present.
+    pub fn binding(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// All bindings.
+    pub fn bindings(&self) -> &[(String, Term)] {
+        &self.bindings
+    }
+}
+
+impl fmt::Display for DecSolution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, (name, term)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{name} = {term}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Interned arithmetic functor ids.
+#[derive(Debug, Clone, Copy)]
+struct ArithSyms {
+    plus: u32,
+    minus: u32,
+    star: u32,
+    int_div: u32,
+    modulo: u32,
+    abs: u32,
+    min: u32,
+    max: u32,
+}
+
+/// The DEC-10 Prolog baseline machine.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct DecMachine {
+    config: DecConfig,
+    program: CompiledProgram,
+    halt_addr: usize,
+    heap: Vec<Cell>,
+    x: Vec<Cell>,
+    envs: Vec<Env>,
+    cps: Vec<Cp>,
+    trail: Vec<u32>,
+    pc: usize,
+    cont: usize,
+    cur_env: Option<usize>,
+    b0: usize,
+    num_args: u8,
+    mode_write: bool,
+    s: u32,
+    stats: DecStats,
+    output: String,
+    arith: ArithSyms,
+    query: Option<(Vec<u32>, Vec<String>)>,
+}
+
+impl DecMachine {
+    /// Compiles and loads `program`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering/compilation errors.
+    pub fn load(program: &Program, config: DecConfig) -> Result<DecMachine> {
+        let lowered = LoweredProgram::lower(program)?;
+        let mut compiled = crate::compile::compile(&lowered)?;
+        let halt_addr = compiled.code.len();
+        compiled.code.push(Instr::HaltSuccess);
+        let arith = ArithSyms {
+            plus: compiled.symbols_mut().intern("+").get(),
+            minus: compiled.symbols_mut().intern("-").get(),
+            star: compiled.symbols_mut().intern("*").get(),
+            int_div: compiled.symbols_mut().intern("//").get(),
+            modulo: compiled.symbols_mut().intern("mod").get(),
+            abs: compiled.symbols_mut().intern("abs").get(),
+            min: compiled.symbols_mut().intern("min").get(),
+            max: compiled.symbols_mut().intern("max").get(),
+        };
+        Ok(DecMachine {
+            config,
+            program: compiled,
+            halt_addr,
+            heap: Vec::new(),
+            x: vec![Cell::Nil; 64],
+            envs: Vec::new(),
+            cps: Vec::new(),
+            trail: Vec::new(),
+            pc: 0,
+            cont: 0,
+            cur_env: None,
+            b0: 0,
+            num_args: 0,
+            mode_write: false,
+            s: 0,
+            stats: DecStats::default(),
+            output: String::new(),
+            arith,
+            query: None,
+        })
+    }
+
+    /// Solves `goal_src`, returning up to `max_solutions` solutions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syntax, undefined-predicate and budget errors.
+    pub fn solve(&mut self, goal_src: &str, max_solutions: usize) -> Result<Vec<DecSolution>> {
+        let goal = kl0::parser::parse_term(goal_src)?;
+        self.solve_term(&goal, max_solutions)
+    }
+
+    /// Like [`DecMachine::solve`] but takes a parsed term.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecMachine::solve`].
+    pub fn solve_term(&mut self, goal: &Term, max_solutions: usize) -> Result<Vec<DecSolution>> {
+        let q = self.program.compile_query(goal)?;
+        self.start(&q)?;
+        self.run(max_solutions)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DecStats {
+        self.stats
+    }
+
+    /// Simulated execution time in nanoseconds.
+    pub fn time_ns(&self) -> u64 {
+        self.stats.time_ns(self.config.unit_ns)
+    }
+
+    /// Text written by `write/1` and friends.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &DecConfig {
+        &self.config
+    }
+
+    /// Resets statistics (not loaded code).
+    pub fn reset_measurement(&mut self) {
+        self.stats = DecStats::default();
+        self.output.clear();
+    }
+
+    fn start(&mut self, q: &DecQuery) -> Result<()> {
+        self.heap.clear();
+        self.envs.clear();
+        self.cps.clear();
+        self.trail.clear();
+        self.cur_env = None;
+        self.b0 = 0;
+        self.cont = self.halt_addr;
+        let mut cells = Vec::new();
+        for (i, _) in q.vars.iter().enumerate() {
+            let a = self.push_fresh();
+            self.ensure_x(i);
+            self.x[i] = Cell::Ref(a);
+            cells.push(a);
+        }
+        self.query = Some((cells, q.vars.clone()));
+        self.num_args = q.vars.len() as u8;
+        let entry = self.entry_of(q.pred)?;
+        self.pc = entry;
+        Ok(())
+    }
+
+    fn entry_of(&self, pred: u32) -> Result<usize> {
+        let p = self.program.predicate(pred);
+        p.entry.ok_or_else(|| PsiError::UndefinedPredicate {
+            name: format!("{}/{}", p.name, p.arity),
+        })
+    }
+
+    fn push_fresh(&mut self) -> u32 {
+        let a = self.heap.len() as u32;
+        self.heap.push(Cell::Ref(a));
+        a
+    }
+
+    fn ensure_x(&mut self, i: usize) {
+        if i >= self.x.len() {
+            self.x.resize(i + 1, Cell::Nil);
+        }
+    }
+
+    // ------------------------------------------------------- main loop
+
+    fn run(&mut self, max_solutions: usize) -> Result<Vec<DecSolution>> {
+        let mut out = Vec::new();
+        if max_solutions == 0 {
+            return Ok(out);
+        }
+        loop {
+            if self.stats.instructions > self.config.instruction_budget {
+                return Err(PsiError::StepBudgetExceeded {
+                    budget: self.config.instruction_budget,
+                });
+            }
+            self.stats.instructions += 1;
+            let instr = self.program.code[self.pc].clone();
+            self.stats.cycles += self.config.costs.cycles(&instr);
+            self.pc += 1;
+            let ok = self.step(&instr)?;
+            match ok {
+                Step::Ok => {}
+                Step::Fail => {
+                    if !self.backtrack() {
+                        return Ok(out);
+                    }
+                }
+                Step::Solution => {
+                    out.push(self.capture()?);
+                    if out.len() >= max_solutions || !self.backtrack() {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, instr: &Instr) -> Result<Step> {
+        use Instr::*;
+        Ok(match *instr {
+            GetVariableX(n, i) => {
+                self.ensure_x(n as usize);
+                self.x[n as usize] = self.x[i as usize];
+                Step::Ok
+            }
+            GetVariableY(y, i) => {
+                let a = self.yaddr(y);
+                let v = self.x[i as usize];
+                self.heap[a as usize] = v;
+                Step::Ok
+            }
+            GetValueX(n, i) => {
+                let a = self.x[n as usize];
+                let b = self.x[i as usize];
+                let ok = self.unify(a, b);
+                self.ok_if(ok)
+            }
+            GetValueY(y, i) => {
+                let a = self.yaddr(y);
+                let v = self.x[i as usize];
+                let ok = self.unify(Cell::Ref(a), v);
+                self.ok_if(ok)
+            }
+            GetConstant(c, i) => self.get_const(Cell::Atom(c), i),
+            GetInteger(v, i) => self.get_const(Cell::Int(v), i),
+            GetNil(i) => self.get_const(Cell::Nil, i),
+            GetList(i) => {
+                let d = self.deref(self.x[i as usize]);
+                match d {
+                    Cell::Ref(a) => {
+                        let top = self.heap.len() as u32;
+                        self.bind(a, Cell::Lis(top));
+                        self.mode_write = true;
+                        Step::Ok
+                    }
+                    Cell::Lis(p) => {
+                        self.s = p;
+                        self.mode_write = false;
+                        Step::Ok
+                    }
+                    _ => Step::Fail,
+                }
+            }
+            GetStructure(f, i) => {
+                let d = self.deref(self.x[i as usize]);
+                match d {
+                    Cell::Ref(a) => {
+                        let fun_at = self.heap.len() as u32;
+                        self.heap.push(Cell::Fun(f));
+                        self.bind(a, Cell::Str(fun_at));
+                        self.mode_write = true;
+                        Step::Ok
+                    }
+                    Cell::Str(p) => {
+                        if self.heap[p as usize] == Cell::Fun(f) {
+                            self.s = p + 1;
+                            self.mode_write = false;
+                            Step::Ok
+                        } else {
+                            Step::Fail
+                        }
+                    }
+                    _ => Step::Fail,
+                }
+            }
+            UnifyVariableX(n) => {
+                self.ensure_x(n as usize);
+                if self.mode_write {
+                    let a = self.push_fresh();
+                    self.x[n as usize] = Cell::Ref(a);
+                } else {
+                    self.x[n as usize] = Cell::Ref(self.s);
+                    self.s += 1;
+                }
+                Step::Ok
+            }
+            UnifyVariableY(y) => {
+                let a = self.yaddr(y);
+                if self.mode_write {
+                    let c = self.push_fresh();
+                    self.heap[a as usize] = Cell::Ref(c);
+                } else {
+                    self.heap[a as usize] = Cell::Ref(self.s);
+                    self.s += 1;
+                }
+                Step::Ok
+            }
+            UnifyValueX(n) => {
+                if self.mode_write {
+                    let v = self.x[n as usize];
+                    self.heap.push(v);
+                    Step::Ok
+                } else {
+                    let s = self.s;
+                    self.s += 1;
+                    let v = self.x[n as usize];
+                    let ok = self.unify(v, Cell::Ref(s));
+                    self.ok_if(ok)
+                }
+            }
+            UnifyValueY(y) => {
+                let a = self.yaddr(y);
+                if self.mode_write {
+                    self.heap.push(Cell::Ref(a));
+                    Step::Ok
+                } else {
+                    let s = self.s;
+                    self.s += 1;
+                    let ok = self.unify(Cell::Ref(a), Cell::Ref(s));
+                    self.ok_if(ok)
+                }
+            }
+            UnifyConstant(c) => self.unify_const(Cell::Atom(c)),
+            UnifyInteger(v) => self.unify_const(Cell::Int(v)),
+            UnifyNil => self.unify_const(Cell::Nil),
+            UnifyVoid(n) => {
+                if self.mode_write {
+                    for _ in 0..n {
+                        self.push_fresh();
+                    }
+                } else {
+                    self.s += n as u32;
+                }
+                Step::Ok
+            }
+            PutVariableX(n, i) => {
+                self.ensure_x(n.max(i) as usize);
+                let a = self.push_fresh();
+                self.x[n as usize] = Cell::Ref(a);
+                self.x[i as usize] = Cell::Ref(a);
+                Step::Ok
+            }
+            PutVariableY(y, i) => {
+                let a = self.yaddr(y);
+                self.ensure_x(i as usize);
+                self.x[i as usize] = Cell::Ref(a);
+                Step::Ok
+            }
+            PutValueX(n, i) => {
+                self.ensure_x(n.max(i) as usize);
+                self.x[i as usize] = self.x[n as usize];
+                Step::Ok
+            }
+            PutValueY(y, i) => {
+                let a = self.yaddr(y);
+                self.ensure_x(i as usize);
+                self.x[i as usize] = Cell::Ref(a);
+                Step::Ok
+            }
+            PutConstant(c, i) => {
+                self.ensure_x(i as usize);
+                self.x[i as usize] = Cell::Atom(c);
+                Step::Ok
+            }
+            PutInteger(v, i) => {
+                self.ensure_x(i as usize);
+                self.x[i as usize] = Cell::Int(v);
+                Step::Ok
+            }
+            PutNil(i) => {
+                self.ensure_x(i as usize);
+                self.x[i as usize] = Cell::Nil;
+                Step::Ok
+            }
+            PutList(i) => {
+                self.ensure_x(i as usize);
+                let top = self.heap.len() as u32;
+                self.x[i as usize] = Cell::Lis(top);
+                self.mode_write = true;
+                Step::Ok
+            }
+            PutStructure(f, i) => {
+                self.ensure_x(i as usize);
+                let fun_at = self.heap.len() as u32;
+                self.heap.push(Cell::Fun(f));
+                self.x[i as usize] = Cell::Str(fun_at);
+                self.mode_write = true;
+                Step::Ok
+            }
+            Call(p, n) => {
+                self.stats.calls += 1;
+                self.cont = self.pc;
+                self.num_args = n;
+                self.b0 = self.cps.len();
+                self.pc = self.entry_of(p)?;
+                Step::Ok
+            }
+            Execute(p) => {
+                self.stats.calls += 1;
+                self.num_args = self.program.predicate(p).arity;
+                self.b0 = self.cps.len();
+                self.pc = self.entry_of(p)?;
+                Step::Ok
+            }
+            Proceed => {
+                self.pc = self.cont;
+                Step::Ok
+            }
+            Allocate(n) => {
+                let ybase = self.heap.len() as u32;
+                for _ in 0..n {
+                    self.push_fresh();
+                }
+                self.envs.push(Env {
+                    ce: self.cur_env,
+                    cp_code: self.cont,
+                    b0: self.b0,
+                    ybase,
+                });
+                self.cur_env = Some(self.envs.len() - 1);
+                Step::Ok
+            }
+            Deallocate => {
+                let idx = self.cur_env.expect("deallocate without environment");
+                let env = self.envs[idx].clone();
+                self.cont = env.cp_code;
+                self.cur_env = env.ce;
+                // Reclaim the arena slot when nothing can reach it.
+                let protected = self
+                    .cps
+                    .last()
+                    .map(|cp| cp.envs_len > idx)
+                    .unwrap_or(false);
+                if idx + 1 == self.envs.len() && !protected {
+                    self.envs.pop();
+                }
+                Step::Ok
+            }
+            TryMeElse(alt) => {
+                self.stats.choice_points += 1;
+                self.stats.cycles +=
+                    self.num_args as u64 * self.config.costs.try_per_arg;
+                let cp = Cp {
+                    args: self.x[..self.num_args as usize].to_vec(),
+                    e: self.cur_env,
+                    cp_code: self.cont,
+                    b0: self.b0,
+                    heap_top: self.heap.len() as u32,
+                    trail_top: self.trail.len(),
+                    envs_len: self.envs.len(),
+                    alt,
+                };
+                self.cps.push(cp);
+                Step::Ok
+            }
+            RetryMeElse(alt) => {
+                let cp = self.cps.last_mut().expect("retry without choice point");
+                cp.alt = alt;
+                Step::Ok
+            }
+            TrustMe => {
+                self.cps.pop().expect("trust without choice point");
+                Step::Ok
+            }
+            SwitchOnTerm {
+                var,
+                constant,
+                nil,
+                list,
+                structure,
+            } => {
+                let d = self.deref(self.x[0]);
+                self.pc = match d {
+                    Cell::Ref(_) => var,
+                    Cell::Atom(_) | Cell::Int(_) => constant,
+                    Cell::Nil => nil,
+                    Cell::Lis(_) => list,
+                    Cell::Str(_) | Cell::Fun(_) => structure,
+                };
+                Step::Ok
+            }
+            SwitchOnConstant(ref pairs) => {
+                let d = self.deref(self.x[0]);
+                let key = match d {
+                    Cell::Atom(a) => ConstKey::Atom(a),
+                    Cell::Int(v) => ConstKey::Int(v),
+                    Cell::Nil => ConstKey::Nil,
+                    _ => return Ok(Step::Fail),
+                };
+                match pairs.iter().find(|(k, _)| *k == key) {
+                    Some((_, at)) => {
+                        self.pc = *at;
+                        Step::Ok
+                    }
+                    None => Step::Fail,
+                }
+            }
+            Cut => {
+                let b0 = match self.cur_env {
+                    Some(e) => self.envs[e].b0,
+                    None => self.b0,
+                };
+                self.stats.cycles +=
+                    self.cps.len().saturating_sub(b0) as u64;
+                self.cps.truncate(b0);
+                Step::Ok
+            }
+            CallBuiltin(b, n) => {
+                self.stats.builtin_calls += 1;
+                self.exec_builtin(b, n)?
+            }
+            Jump(a) => {
+                self.pc = a;
+                Step::Ok
+            }
+            Fail => Step::Fail,
+            HaltSuccess => Step::Solution,
+        })
+    }
+
+    fn yaddr(&self, y: u16) -> u32 {
+        let e = self.cur_env.expect("Y access without environment");
+        self.envs[e].ybase + y as u32
+    }
+
+    fn ok_if(&self, ok: bool) -> Step {
+        if ok {
+            Step::Ok
+        } else {
+            Step::Fail
+        }
+    }
+
+    fn get_const(&mut self, c: Cell, i: u16) -> Step {
+        let d = self.deref(self.x[i as usize]);
+        match d {
+            Cell::Ref(a) => {
+                self.bind(a, c);
+                Step::Ok
+            }
+            other => self.ok_if(other == c),
+        }
+    }
+
+    fn unify_const(&mut self, c: Cell) -> Step {
+        if self.mode_write {
+            self.heap.push(c);
+            return Step::Ok;
+        }
+        let s = self.s;
+        self.s += 1;
+        let d = self.deref(Cell::Ref(s));
+        match d {
+            Cell::Ref(a) => {
+                self.bind(a, c);
+                Step::Ok
+            }
+            other => self.ok_if(other == c),
+        }
+    }
+
+    // ---------------------------------------------------- unification
+
+    fn deref(&self, mut c: Cell) -> Cell {
+        loop {
+            match c {
+                Cell::Ref(a) => {
+                    let h = self.heap[a as usize];
+                    if h == Cell::Ref(a) {
+                        return c;
+                    }
+                    c = h;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn bind(&mut self, addr: u32, cell: Cell) {
+        let hb = self.cps.last().map(|cp| cp.heap_top).unwrap_or(0);
+        if addr < hb {
+            self.trail.push(addr);
+        }
+        self.heap[addr as usize] = cell;
+    }
+
+    /// General unification with binding and trailing.
+    fn unify(&mut self, a: Cell, b: Cell) -> bool {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            self.stats.unify_nodes += 1;
+            self.stats.cycles += self.config.costs.unify_node;
+            let da = self.deref(a);
+            let db = self.deref(b);
+            match (da, db) {
+                (Cell::Ref(x), Cell::Ref(y)) => {
+                    if x != y {
+                        if x < y {
+                            self.bind(y, Cell::Ref(x));
+                        } else {
+                            self.bind(x, Cell::Ref(y));
+                        }
+                    }
+                }
+                (Cell::Ref(x), other) => self.bind(x, other),
+                (other, Cell::Ref(y)) => self.bind(y, other),
+                (Cell::Atom(p), Cell::Atom(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Cell::Int(p), Cell::Int(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Cell::Nil, Cell::Nil) => {}
+                (Cell::Lis(p), Cell::Lis(q)) => {
+                    if p != q {
+                        work.push((
+                            self.heap[p as usize + 1],
+                            self.heap[q as usize + 1],
+                        ));
+                        work.push((self.heap[p as usize], self.heap[q as usize]));
+                    }
+                }
+                (Cell::Str(p), Cell::Str(q)) => {
+                    if p != q {
+                        let (Cell::Fun(fp), Cell::Fun(fq)) =
+                            (self.heap[p as usize], self.heap[q as usize])
+                        else {
+                            return false;
+                        };
+                        if fp != fq {
+                            return false;
+                        }
+                        for i in (1..=fp.arity as u32).rev() {
+                            work.push((
+                                self.heap[(p + i) as usize],
+                                self.heap[(q + i) as usize],
+                            ));
+                        }
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------ backtrack
+
+    fn backtrack(&mut self) -> bool {
+        let Some(cp) = self.cps.last() else {
+            return false;
+        };
+        let cp = cp.clone();
+        while self.trail.len() > cp.trail_top {
+            let a = self.trail.pop().expect("nonempty");
+            self.heap[a as usize] = Cell::Ref(a);
+            self.stats.cycles += self.config.costs.unwind_per_entry;
+        }
+        self.heap.truncate(cp.heap_top as usize);
+        for (i, c) in cp.args.iter().enumerate() {
+            self.ensure_x(i);
+            self.x[i] = *c;
+        }
+        self.num_args = cp.args.len() as u8;
+        self.cont = cp.cp_code;
+        self.cur_env = cp.e;
+        self.b0 = cp.b0;
+        self.envs.truncate(cp.envs_len);
+        self.pc = cp.alt;
+        true
+    }
+
+    // -------------------------------------------------------- builtins
+
+    fn exec_builtin(&mut self, b: Builtin, _n: u8) -> Result<Step> {
+        let ok = match b {
+            Builtin::True => true,
+            Builtin::Fail => false,
+            Builtin::Unify => {
+                let (a, b2) = (self.x[0], self.x[1]);
+                self.unify(a, b2)
+            }
+            Builtin::NotUnify => {
+                // Trial unification under a sentinel choice point so
+                // every binding is trailed, then undo.
+                let sentinel = Cp {
+                    args: Vec::new(),
+                    e: self.cur_env,
+                    cp_code: self.cont,
+                    b0: self.b0,
+                    heap_top: 0, // trail everything
+                    trail_top: self.trail.len(),
+                    envs_len: self.envs.len(),
+                    alt: self.pc,
+                };
+                let mark = self.trail.len();
+                let heap_mark = self.heap.len();
+                self.cps.push(sentinel);
+                let (a, b2) = (self.x[0], self.x[1]);
+                let unified = self.unify(a, b2);
+                self.cps.pop();
+                while self.trail.len() > mark {
+                    let a = self.trail.pop().expect("nonempty");
+                    self.heap[a as usize] = Cell::Ref(a);
+                }
+                self.heap.truncate(heap_mark);
+                !unified
+            }
+            Builtin::Is => {
+                let v = self.eval(self.x[1])?;
+                let a = self.x[0];
+                self.unify(a, Cell::Int(v))
+            }
+            Builtin::Compare(op) => {
+                let a = self.eval(self.x[0])?;
+                let b2 = self.eval(self.x[1])?;
+                match op {
+                    CompareOp::Lt => a < b2,
+                    CompareOp::Gt => a > b2,
+                    CompareOp::Le => a <= b2,
+                    CompareOp::Ge => a >= b2,
+                    CompareOp::Eq => a == b2,
+                    CompareOp::Ne => a != b2,
+                }
+            }
+            Builtin::TermEq => self.identical(self.x[0], self.x[1]),
+            Builtin::TermNe => !self.identical(self.x[0], self.x[1]),
+            Builtin::Var => matches!(self.deref(self.x[0]), Cell::Ref(_)),
+            Builtin::Nonvar => !matches!(self.deref(self.x[0]), Cell::Ref(_)),
+            Builtin::Atom => {
+                matches!(self.deref(self.x[0]), Cell::Atom(_) | Cell::Nil)
+            }
+            Builtin::Atomic => matches!(
+                self.deref(self.x[0]),
+                Cell::Atom(_) | Cell::Int(_) | Cell::Nil
+            ),
+            Builtin::Integer => matches!(self.deref(self.x[0]), Cell::Int(_)),
+            Builtin::Functor => return self.builtin_functor(),
+            Builtin::Arg => return self.builtin_arg(),
+            Builtin::Write => {
+                let t = self.decode(self.x[0], 0)?;
+                self.output.push_str(&t.to_string());
+                true
+            }
+            Builtin::Nl => {
+                self.output.push('\n');
+                true
+            }
+            Builtin::Tab => {
+                let n = self.eval(self.x[0])?;
+                for _ in 0..n.clamp(0, 80) {
+                    self.output.push(' ');
+                }
+                true
+            }
+        };
+        Ok(if ok { Step::Ok } else { Step::Fail })
+    }
+
+    fn builtin_functor(&mut self) -> Result<Step> {
+        let d = self.deref(self.x[0]);
+        match d {
+            Cell::Ref(_) => {
+                let name = self.deref(self.x[1]);
+                let arity = self.eval(self.x[2])?;
+                if !(0..=255).contains(&arity) {
+                    return Err(PsiError::TypeError {
+                        builtin: "functor/3".into(),
+                        expected: "arity in 0..=255",
+                    });
+                }
+                if arity == 0 {
+                    let t = self.x[0];
+                    return Ok(self.ok_if_mut(t, name));
+                }
+                let Cell::Atom(atom) = name else {
+                    return Err(PsiError::TypeError {
+                        builtin: "functor/3".into(),
+                        expected: "atom name",
+                    });
+                };
+                let fun_at = self.heap.len() as u32;
+                self.heap.push(Cell::Fun(FunctorId {
+                    atom,
+                    arity: arity as u8,
+                }));
+                for _ in 0..arity {
+                    self.push_fresh();
+                }
+                let t = self.x[0];
+                Ok(self.ok_if_mut(t, Cell::Str(fun_at)))
+            }
+            Cell::Atom(_) | Cell::Int(_) | Cell::Nil => {
+                let a1 = self.x[1];
+                let a2 = self.x[2];
+                let ok = self.unify(a1, d) && self.unify(a2, Cell::Int(0));
+                Ok(self.ok_if(ok))
+            }
+            Cell::Lis(_) => {
+                let dot = self.program.symbols_mut().intern(".").get();
+                let a1 = self.x[1];
+                let a2 = self.x[2];
+                let ok =
+                    self.unify(a1, Cell::Atom(dot)) && self.unify(a2, Cell::Int(2));
+                Ok(self.ok_if(ok))
+            }
+            Cell::Str(p) => {
+                let Cell::Fun(f) = self.heap[p as usize] else {
+                    return Err(PsiError::EvalError {
+                        detail: "corrupt structure".into(),
+                    });
+                };
+                let a1 = self.x[1];
+                let a2 = self.x[2];
+                let ok = self.unify(a1, Cell::Atom(f.atom))
+                    && self.unify(a2, Cell::Int(f.arity as i32));
+                Ok(self.ok_if(ok))
+            }
+            Cell::Fun(_) => Err(PsiError::EvalError {
+                detail: "corrupt term".into(),
+            }),
+        }
+    }
+
+    fn ok_if_mut(&mut self, a: Cell, b: Cell) -> Step {
+        if self.unify(a, b) {
+            Step::Ok
+        } else {
+            Step::Fail
+        }
+    }
+
+    fn builtin_arg(&mut self) -> Result<Step> {
+        let n = self.eval(self.x[0])?;
+        let d = self.deref(self.x[1]);
+        match d {
+            Cell::Str(p) => {
+                let Cell::Fun(f) = self.heap[p as usize] else {
+                    return Err(PsiError::EvalError {
+                        detail: "corrupt structure".into(),
+                    });
+                };
+                if n < 1 || n > f.arity as i32 {
+                    return Ok(Step::Fail);
+                }
+                let v = self.heap[(p + n as u32) as usize];
+                let a2 = self.x[2];
+                Ok(self.ok_if_mut(a2, v))
+            }
+            Cell::Lis(p) => {
+                if !(1..=2).contains(&n) {
+                    return Ok(Step::Fail);
+                }
+                let v = self.heap[(p + n as u32 - 1) as usize];
+                let a2 = self.x[2];
+                Ok(self.ok_if_mut(a2, v))
+            }
+            _ => Ok(Step::Fail),
+        }
+    }
+
+    fn identical(&mut self, a: Cell, b: Cell) -> bool {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            let da = self.deref(a);
+            let db = self.deref(b);
+            match (da, db) {
+                (Cell::Ref(x), Cell::Ref(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Cell::Lis(p), Cell::Lis(q)) => {
+                    if p != q {
+                        work.push((
+                            self.heap[p as usize + 1],
+                            self.heap[q as usize + 1],
+                        ));
+                        work.push((self.heap[p as usize], self.heap[q as usize]));
+                    }
+                }
+                (Cell::Str(p), Cell::Str(q)) => {
+                    if p != q {
+                        let (Cell::Fun(fp), Cell::Fun(fq)) =
+                            (self.heap[p as usize], self.heap[q as usize])
+                        else {
+                            return false;
+                        };
+                        if fp != fq {
+                            return false;
+                        }
+                        for i in (1..=fp.arity as u32).rev() {
+                            work.push((
+                                self.heap[(p + i) as usize],
+                                self.heap[(q + i) as usize],
+                            ));
+                        }
+                    }
+                }
+                (x, y) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn eval(&mut self, c: Cell) -> Result<i32> {
+        self.stats.cycles += self.config.costs.arith_node;
+        let d = self.deref(c);
+        match d {
+            Cell::Int(v) => Ok(v),
+            Cell::Str(p) => {
+                let Cell::Fun(f) = self.heap[p as usize] else {
+                    return Err(PsiError::EvalError {
+                        detail: "corrupt arithmetic term".into(),
+                    });
+                };
+                let x = self.eval(self.heap[p as usize + 1])?;
+                if f.arity == 1 {
+                    if f.atom == self.arith.minus {
+                        return Ok(x.wrapping_neg());
+                    }
+                    if f.atom == self.arith.abs {
+                        return Ok(x.wrapping_abs());
+                    }
+                    return Err(PsiError::EvalError {
+                        detail: "unknown arithmetic functor".into(),
+                    });
+                }
+                if f.arity != 2 {
+                    return Err(PsiError::EvalError {
+                        detail: "unknown arithmetic functor".into(),
+                    });
+                }
+                let y = self.eval(self.heap[p as usize + 2])?;
+                let a = f.atom;
+                if a == self.arith.plus {
+                    Ok(x.wrapping_add(y))
+                } else if a == self.arith.minus {
+                    Ok(x.wrapping_sub(y))
+                } else if a == self.arith.star {
+                    Ok(x.wrapping_mul(y))
+                } else if a == self.arith.int_div {
+                    if y == 0 {
+                        Err(PsiError::EvalError {
+                            detail: "division by zero".into(),
+                        })
+                    } else {
+                        Ok(x.wrapping_div(y))
+                    }
+                } else if a == self.arith.modulo {
+                    if y == 0 {
+                        Err(PsiError::EvalError {
+                            detail: "division by zero".into(),
+                        })
+                    } else {
+                        Ok(x.rem_euclid(y))
+                    }
+                } else if a == self.arith.min {
+                    Ok(x.min(y))
+                } else if a == self.arith.max {
+                    Ok(x.max(y))
+                } else {
+                    Err(PsiError::EvalError {
+                        detail: "unknown arithmetic functor".into(),
+                    })
+                }
+            }
+            Cell::Ref(_) => Err(PsiError::EvalError {
+                detail: "unbound variable in arithmetic".into(),
+            }),
+            _ => Err(PsiError::EvalError {
+                detail: "non-arithmetic term".into(),
+            }),
+        }
+    }
+
+    // --------------------------------------------------------- decode
+
+    fn capture(&mut self) -> Result<DecSolution> {
+        let (cells, vars) = self.query.clone().expect("query in progress");
+        let mut bindings = Vec::new();
+        for (name, cell) in vars.iter().zip(&cells) {
+            if name.starts_with('_') {
+                continue;
+            }
+            let term = self.decode(Cell::Ref(*cell), 0)?;
+            bindings.push((name.clone(), term));
+        }
+        Ok(DecSolution { bindings })
+    }
+
+    fn decode(&self, c: Cell, depth: u32) -> Result<Term> {
+        if depth > 100_000 {
+            return Err(PsiError::EvalError {
+                detail: "term too deep to decode".into(),
+            });
+        }
+        let d = self.deref(c);
+        Ok(match d {
+            Cell::Ref(a) => Term::Var(format!("_G{a}")),
+            Cell::Int(v) => Term::Int(v),
+            Cell::Nil => Term::nil(),
+            Cell::Atom(a) => {
+                Term::atom(self.program.symbols().name(SymbolId::from_raw(a)))
+            }
+            Cell::Lis(_) => {
+                let mut elems = Vec::new();
+                let mut cur = d;
+                loop {
+                    match cur {
+                        Cell::Lis(p) => {
+                            elems.push(self.decode(self.heap[p as usize], depth + 1)?);
+                            cur = self.deref(self.heap[p as usize + 1]);
+                        }
+                        Cell::Nil => return Ok(Term::list(elems)),
+                        other => {
+                            let tail = self.decode(other, depth + 1)?;
+                            return Ok(elems
+                                .into_iter()
+                                .rev()
+                                .fold(tail, |t, h| Term::cons(h, t)));
+                        }
+                    }
+                    if elems.len() > 100_000 {
+                        return Err(PsiError::EvalError {
+                            detail: "list too long to decode".into(),
+                        });
+                    }
+                }
+            }
+            Cell::Str(p) => {
+                let Cell::Fun(f) = self.heap[p as usize] else {
+                    return Err(PsiError::EvalError {
+                        detail: "corrupt structure".into(),
+                    });
+                };
+                let name = self
+                    .program
+                    .symbols()
+                    .name(SymbolId::from_raw(f.atom))
+                    .to_owned();
+                let mut args = Vec::with_capacity(f.arity as usize);
+                for i in 1..=f.arity as u32 {
+                    args.push(self.decode(self.heap[(p + i) as usize], depth + 1)?);
+                }
+                Term::compound(&name, args)
+            }
+            Cell::Fun(_) => {
+                return Err(PsiError::EvalError {
+                    detail: "cannot decode a bare functor cell".into(),
+                })
+            }
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Ok,
+    Fail,
+    Solution,
+}

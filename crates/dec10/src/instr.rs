@@ -1,0 +1,271 @@
+//! The WAM-style instruction set of the DEC-10 Prolog baseline.
+
+use std::fmt;
+
+/// A register index. `A`/`X` registers are one flat array; argument
+/// `i` of a call is register `i` (0-based).
+pub type Reg = u16;
+
+/// A permanent (environment) variable slot.
+pub type YSlot = u16;
+
+/// An interned constant (atom symbol id).
+pub type AtomId = u32;
+
+/// A functor: atom id and arity packed by the compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FunctorId {
+    /// Interned name.
+    pub atom: AtomId,
+    /// Number of arguments.
+    pub arity: u8,
+}
+
+/// Built-in predicates of the baseline system (the same KL0 subset the
+/// PSI implements, minus the PSI-only heap vectors and process
+/// switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `true/0`.
+    True,
+    /// `fail/0`.
+    Fail,
+    /// `=/2`.
+    Unify,
+    /// `\=/2`.
+    NotUnify,
+    /// `is/2`.
+    Is,
+    /// `</2`, `>/2`, `=</2`, `>=/2`, `=:=/2`, `=\=/2` with a
+    /// comparison code.
+    Compare(CompareOp),
+    /// `==/2`.
+    TermEq,
+    /// `\==/2`.
+    TermNe,
+    /// `var/1`.
+    Var,
+    /// `nonvar/1`.
+    Nonvar,
+    /// `atom/1`.
+    Atom,
+    /// `atomic/1`.
+    Atomic,
+    /// `integer/1`.
+    Integer,
+    /// `functor/3`.
+    Functor,
+    /// `arg/3`.
+    Arg,
+    /// `write/1`.
+    Write,
+    /// `nl/0`.
+    Nl,
+    /// `tab/1`.
+    Tab,
+}
+
+/// A constant key for second-level indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstKey {
+    /// An atom (interned id).
+    Atom(AtomId),
+    /// An integer value.
+    Int(i32),
+    /// The empty list.
+    Nil,
+}
+
+/// Arithmetic comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=<`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=:=`
+    Eq,
+    /// `=\=`
+    Ne,
+}
+
+impl Builtin {
+    /// Resolves a `name/arity` pair.
+    pub fn lookup(name: &str, arity: usize) -> Option<Builtin> {
+        Some(match (name, arity) {
+            ("true", 0) => Builtin::True,
+            ("fail", 0) | ("false", 0) => Builtin::Fail,
+            ("=", 2) => Builtin::Unify,
+            ("\\=", 2) => Builtin::NotUnify,
+            ("is", 2) => Builtin::Is,
+            ("<", 2) => Builtin::Compare(CompareOp::Lt),
+            (">", 2) => Builtin::Compare(CompareOp::Gt),
+            ("=<", 2) => Builtin::Compare(CompareOp::Le),
+            (">=", 2) => Builtin::Compare(CompareOp::Ge),
+            ("=:=", 2) => Builtin::Compare(CompareOp::Eq),
+            ("=\\=", 2) => Builtin::Compare(CompareOp::Ne),
+            ("==", 2) => Builtin::TermEq,
+            ("\\==", 2) => Builtin::TermNe,
+            ("var", 1) => Builtin::Var,
+            ("nonvar", 1) => Builtin::Nonvar,
+            ("atom", 1) => Builtin::Atom,
+            ("atomic", 1) => Builtin::Atomic,
+            ("integer", 1) => Builtin::Integer,
+            ("functor", 3) => Builtin::Functor,
+            ("arg", 3) => Builtin::Arg,
+            ("write", 1) => Builtin::Write,
+            ("nl", 0) => Builtin::Nl,
+            ("tab", 1) => Builtin::Tab,
+            _ => return None,
+        })
+    }
+}
+
+/// One WAM instruction. Code addresses are indices into the flat
+/// instruction vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    // ------------------------------------------------------------- get
+    /// Bind head argument `Ai` into a fresh register/slot.
+    GetVariableX(Reg, Reg),
+    /// Bind head argument `Ai` into environment slot `Yn`.
+    GetVariableY(YSlot, Reg),
+    /// Unify head argument `Ai` with register `Xn`.
+    GetValueX(Reg, Reg),
+    /// Unify head argument `Ai` with environment slot `Yn`.
+    GetValueY(YSlot, Reg),
+    /// Unify head argument `Ai` with an atom.
+    GetConstant(AtomId, Reg),
+    /// Unify head argument `Ai` with an integer.
+    GetInteger(i32, Reg),
+    /// Unify head argument `Ai` with `[]`.
+    GetNil(Reg),
+    /// Unify head argument `Ai` with a list cell; enters read or write
+    /// mode.
+    GetList(Reg),
+    /// Unify head argument `Ai` with a structure; enters read or write
+    /// mode.
+    GetStructure(FunctorId, Reg),
+
+    // ----------------------------------------------------------- unify
+    /// Unify the next subterm into register `Xn`.
+    UnifyVariableX(Reg),
+    /// Unify the next subterm into slot `Yn`.
+    UnifyVariableY(YSlot),
+    /// Unify the next subterm with register `Xn`.
+    UnifyValueX(Reg),
+    /// Unify the next subterm with slot `Yn`.
+    UnifyValueY(YSlot),
+    /// Unify the next subterm with an atom.
+    UnifyConstant(AtomId),
+    /// Unify the next subterm with an integer.
+    UnifyInteger(i32),
+    /// Unify the next subterm with `[]`.
+    UnifyNil,
+    /// Skip `n` anonymous subterms.
+    UnifyVoid(u16),
+
+    // ------------------------------------------------------------- put
+    /// Fresh variable into `Xn` and `Ai`.
+    PutVariableX(Reg, Reg),
+    /// Fresh (or existing) slot `Yn` into `Ai`.
+    PutVariableY(YSlot, Reg),
+    /// Copy register `Xn` to `Ai`.
+    PutValueX(Reg, Reg),
+    /// Copy slot `Yn` to `Ai`.
+    PutValueY(YSlot, Reg),
+    /// Atom into `Ai`.
+    PutConstant(AtomId, Reg),
+    /// Integer into `Ai`.
+    PutInteger(i32, Reg),
+    /// `[]` into `Ai`.
+    PutNil(Reg),
+    /// New list cell into `Ai` (write mode for the next two unify
+    /// instructions).
+    PutList(Reg),
+    /// New structure into `Ai` (write mode for the next `arity` unify
+    /// instructions).
+    PutStructure(FunctorId, Reg),
+
+    // --------------------------------------------------------- control
+    /// Call a user predicate with `nargs` arguments.
+    Call(u32, u8),
+    /// Last-call transfer to a user predicate.
+    Execute(u32),
+    /// Return from a fact or a clause without an environment.
+    Proceed,
+    /// Push an environment with `n` permanent slots.
+    Allocate(u16),
+    /// Pop the current environment (before `Execute`).
+    Deallocate,
+
+    // -------------------------------------------------------- indexing
+    /// First-arg dispatch: targets for variable, constant, `[]`, list
+    /// and structure. `usize::MAX` means fail.
+    SwitchOnTerm {
+        /// Target when the first argument is unbound.
+        var: usize,
+        /// Target when it is an atom or integer.
+        constant: usize,
+        /// Target when it is `[]`.
+        nil: usize,
+        /// Target when it is a list cell.
+        list: usize,
+        /// Target when it is a structure.
+        structure: usize,
+    },
+    /// Second-level dispatch on the first argument's constant value
+    /// (atom id or integer); pairs are searched in order, no match
+    /// fails. This is the "close indexing" the paper credits for
+    /// DEC's nreverse win.
+    SwitchOnConstant(Vec<(ConstKey, usize)>),
+    /// Create a choice point; on failure resume at `alt`.
+    TryMeElse(usize),
+    /// Update the choice point; on failure resume at `alt`.
+    RetryMeElse(usize),
+    /// Discard the choice point.
+    TrustMe,
+
+    // ------------------------------------------------------------ misc
+    /// Cut back to the choice-point count captured at clause entry.
+    Cut,
+    /// Invoke a built-in with arguments in `A1..An`.
+    CallBuiltin(Builtin, u8),
+    /// Unconditional jump (chain trampolines).
+    Jump(usize),
+    /// Unconditional failure (empty indexing bucket).
+    Fail,
+    /// End of a query: report success.
+    HaltSuccess,
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_lookup() {
+        assert_eq!(Builtin::lookup("is", 2), Some(Builtin::Is));
+        assert_eq!(
+            Builtin::lookup("=<", 2),
+            Some(Builtin::Compare(CompareOp::Le))
+        );
+        assert_eq!(Builtin::lookup("vget", 3), None, "heap vectors are PSI-only");
+        assert_eq!(Builtin::lookup("yield", 0), None, "processes are PSI-only");
+    }
+
+    #[test]
+    fn instr_display_is_nonempty() {
+        assert!(!Instr::Proceed.to_string().is_empty());
+    }
+}

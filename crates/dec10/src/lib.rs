@@ -1,0 +1,49 @@
+//! DEC-10 Prolog baseline.
+//!
+//! Table 1 of the paper compares the PSI against "DEC-10 Prolog
+//! compiled code on the DEC-2060" — D.H.D. Warren's compiler, the
+//! direct ancestor of the WAM. This crate provides that baseline: a
+//! WAM-style compiler ([`compile`]) and emulator ([`DecMachine`]) with
+//! the two properties the paper credits for DEC's wins on simple
+//! programs (§3.1):
+//!
+//! * **clause indexing** — `switch_on_term` on the first argument
+//!   removes nondeterminacy ("the close indexing method"), so
+//!   deterministic list code never creates choice points, and
+//! * **compiled unification** — head unification is specialized
+//!   get/unify instruction sequences instead of a general
+//!   interpretive routine.
+//!
+//! Execution time comes from a per-instruction-class cycle cost model
+//! scaled by a single calibration constant (see `EXPERIMENTS.md`);
+//! relative behaviour — who wins on which workload — is determined by
+//! instruction counts, not by tuning.
+//!
+//! # Example
+//!
+//! ```
+//! use kl0::Program;
+//! use dec10::{DecConfig, DecMachine};
+//!
+//! let program = Program::parse(
+//!     "app([], L, L).\n\
+//!      app([H|T], L, [H|R]) :- app(T, L, R).",
+//! )?;
+//! let mut machine = DecMachine::load(&program, DecConfig::dec2060())?;
+//! let solutions = machine.solve("app([1,2], [3], X)", 1)?;
+//! assert_eq!(solutions[0].binding("X").unwrap().to_string(), "[1,2,3]");
+//! # Ok::<(), psi_core::PsiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod cost;
+mod emu;
+mod instr;
+
+pub use compile::{compile, CompiledProgram};
+pub use cost::{CostModel, DecConfig};
+pub use emu::{DecMachine, DecSolution, DecStats};
+pub use instr::{Builtin, Instr};

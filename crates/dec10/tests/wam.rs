@@ -1,0 +1,276 @@
+//! End-to-end tests of the DEC-10 baseline: Prolog semantics and the
+//! properties the paper attributes to compiled code (indexing removes
+//! nondeterminacy).
+
+use dec10::{DecConfig, DecMachine};
+use kl0::Program;
+use psi_core::PsiError;
+
+fn machine(src: &str) -> DecMachine {
+    let program = Program::parse(src).expect("parse");
+    DecMachine::load(&program, DecConfig::dec2060()).expect("load")
+}
+
+fn first(src: &str, goal: &str) -> Option<String> {
+    let mut m = machine(src);
+    let sols = m.solve(goal, 1).expect("solve");
+    sols.first().map(|s| s.to_string())
+}
+
+fn all(src: &str, goal: &str, max: usize) -> Vec<String> {
+    let mut m = machine(src);
+    m.solve(goal, max)
+        .expect("solve")
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+const APPEND: &str = "
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+";
+
+#[test]
+fn facts_and_unification() {
+    assert_eq!(first("p(1).", "p(X)"), Some("X = 1".into()));
+    assert_eq!(first("p(1).", "p(2)"), None);
+    assert_eq!(first("p(f(g(1), h)).", "p(f(X, h))"), Some("X = g(1)".into()));
+}
+
+#[test]
+fn append_both_directions() {
+    assert_eq!(
+        first(APPEND, "app([1,2], [3,4], X)"),
+        Some("X = [1,2,3,4]".into())
+    );
+    assert_eq!(
+        first(APPEND, "app(X, [3], [1,2,3])"),
+        Some("X = [1,2]".into())
+    );
+    let splits = all(APPEND, "app(X, Y, [1,2])", 10);
+    assert_eq!(
+        splits,
+        vec![
+            "X = [], Y = [1,2]",
+            "X = [1], Y = [2]",
+            "X = [1,2], Y = []",
+        ]
+    );
+}
+
+#[test]
+fn indexing_removes_choice_points_on_bound_lists() {
+    // The paper (§3.1): DEC wins on nreverse because "the compiler can
+    // remove the nondeterminacy applying the close indexing method".
+    let mut m = machine(APPEND);
+    m.solve("app([1,2,3,4,5,6,7,8], [9], X)", 1).unwrap();
+    assert_eq!(
+        m.stats().choice_points,
+        0,
+        "first-argument indexing must make bound-list append deterministic"
+    );
+    // Unbound first argument does need choice points.
+    let mut m2 = machine(APPEND);
+    m2.solve("app(X, Y, [1,2])", 3).unwrap();
+    assert!(m2.stats().choice_points > 0);
+}
+
+#[test]
+fn naive_reverse() {
+    let src = "
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+";
+    assert_eq!(
+        first(src, "nrev([1,2,3,4,5], X)"),
+        Some("X = [5,4,3,2,1]".into())
+    );
+}
+
+#[test]
+fn arithmetic() {
+    assert_eq!(first("", "X is 3 + 4 * 2"), Some("X = 11".into()));
+    assert_eq!(first("", "X is 10 // 3"), Some("X = 3".into()));
+    assert_eq!(first("", "X is 10 mod 3"), Some("X = 1".into()));
+    assert_eq!(first("", "3 < 4"), Some("true".into()));
+    assert_eq!(first("", "4 < 3"), None);
+    assert_eq!(first("", "2 + 2 =:= 4"), Some("true".into()));
+}
+
+#[test]
+fn fib_recursion() {
+    let src = "
+fib(0, 0).
+fib(1, 1).
+fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2, fib(N1, F1), fib(N2, F2),
+             F is F1 + F2.
+";
+    assert_eq!(first(src, "fib(12, X)"), Some("X = 144".into()));
+}
+
+#[test]
+fn cut_semantics() {
+    let src = "
+max(X, Y, X) :- X >= Y, !.
+max(_, Y, Y).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+once(X) :- member(X, [1,2,3]), !.
+";
+    assert_eq!(first(src, "max(3, 5, M)"), Some("M = 5".into()));
+    assert_eq!(first(src, "max(5, 3, M)"), Some("M = 5".into()));
+    assert_eq!(all(src, "once(X)", 10), vec!["X = 1"]);
+}
+
+#[test]
+fn member_enumeration() {
+    let src = "
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+";
+    assert_eq!(
+        all(src, "member(X, [a,b,c])", 10),
+        vec!["X = a", "X = b", "X = c"]
+    );
+}
+
+#[test]
+fn control_constructs() {
+    let src = "
+classify(X, neg) :- (X < 0 -> true ; fail).
+classify(X, pos) :- \\+ X < 0.
+color(X) :- (X = red ; X = blue).
+";
+    assert_eq!(first(src, "classify(-3, C)"), Some("C = neg".into()));
+    assert_eq!(first(src, "classify(3, C)"), Some("C = pos".into()));
+    assert_eq!(all(src, "color(C)", 10), vec!["C = red", "C = blue"]);
+}
+
+#[test]
+fn structure_building_and_matching() {
+    let src = "
+mk(0, leaf).
+mk(N, node(L, N, R)) :- N > 0, N1 is N - 1, mk(N1, L), mk(N1, R).
+sum(leaf, 0).
+sum(node(L, V, R), S) :- sum(L, SL), sum(R, SR), S is SL + V + SR.
+";
+    assert_eq!(
+        first(src, "mk(2, T), sum(T, S)"),
+        Some("T = node(node(leaf,1,leaf),2,node(leaf,1,leaf)), S = 4".into())
+    );
+}
+
+#[test]
+fn builtins() {
+    assert_eq!(first("", "functor(f(a,b,c), N, A)"), Some("N = f, A = 3".into()));
+    assert_eq!(first("", "arg(2, f(a,b), X)"), Some("X = b".into()));
+    assert_eq!(first("", "f(a) \\== f(b)"), Some("true".into()));
+    assert_eq!(first("", "f(a) \\= f(b)"), Some("true".into()));
+    assert_eq!(first("", "X \\= X"), None);
+    assert_eq!(first("", "atom(foo), integer(3), atomic([])"), Some("true".into()));
+}
+
+#[test]
+fn write_output() {
+    let mut m = machine("greet :- write(hello), nl, write([1,2]).");
+    m.solve("greet", 1).unwrap();
+    assert_eq!(m.output(), "hello\n[1,2]");
+}
+
+#[test]
+fn undefined_predicate() {
+    let mut m = machine("p :- q.");
+    assert!(matches!(
+        m.solve("p", 1),
+        Err(PsiError::UndefinedPredicate { .. })
+    ));
+}
+
+#[test]
+fn instruction_budget() {
+    let program = Program::parse("loop :- loop.").unwrap();
+    let mut config = DecConfig::dec2060();
+    config.instruction_budget = 10_000;
+    let mut m = DecMachine::load(&program, config).unwrap();
+    assert!(matches!(
+        m.solve("loop", 1),
+        Err(PsiError::StepBudgetExceeded { .. })
+    ));
+}
+
+#[test]
+fn queens_six() {
+    let src = "
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+range(H, H, [H]).
+place([], Qs, Qs).
+place(Un, Placed, Qs) :-
+    select(Q, Un, Rest), safe(Q, 1, Placed), place(Rest, [Q|Placed], Qs).
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+safe(_, _, []).
+safe(Q, D, [P|Ps]) :-
+    Q =\\= P + D, Q =\\= P - D, D1 is D + 1, safe(Q, D1, Ps).
+";
+    let sols = all(src, "queens(6, Qs)", 1);
+    assert_eq!(sols.len(), 1);
+}
+
+#[test]
+fn stats_accumulate() {
+    let mut m = machine(APPEND);
+    m.solve("app([1,2,3], [4], X)", 1).unwrap();
+    let s = m.stats();
+    assert!(s.instructions > 10);
+    assert!(s.cycles > s.instructions, "weights are > 1");
+    assert_eq!(s.calls, 4, "one inference per list element plus the base case");
+    assert!(m.time_ns() > 0);
+}
+
+#[test]
+fn trail_restores_on_backtracking() {
+    let src = "
+p(X, Y) :- q(X), r(X, Y).
+q(1).
+q(2).
+r(2, found).
+";
+    assert_eq!(first(src, "p(X, Y)"), Some("X = 2, Y = found".into()));
+}
+
+#[test]
+fn deep_structures_roundtrip() {
+    let src = "wrap(0, base). wrap(N, w(I)) :- N > 0, N1 is N - 1, wrap(N1, I).";
+    assert_eq!(
+        first(src, "wrap(4, T)"),
+        Some("T = w(w(w(w(base))))".into())
+    );
+}
+
+#[test]
+fn multiple_queries() {
+    let mut m = machine(APPEND);
+    assert_eq!(m.solve("app([1], [2], X)", 1).unwrap()[0].to_string(), "X = [1,2]");
+    assert_eq!(m.solve("app([9], [8], Y)", 1).unwrap()[0].to_string(), "Y = [9,8]");
+}
+
+#[test]
+fn constant_indexing_dispatches() {
+    // Distinct constants in the first argument: indexing narrows the
+    // candidate set (only the const bucket is chained, but the head
+    // unification filters; a fully bound call must not leave a wrong
+    // answer).
+    let src = "
+value(a, 1).
+value(b, 2).
+value(c, 3).
+";
+    assert_eq!(first(src, "value(b, X)"), Some("X = 2".into()));
+    assert_eq!(first(src, "value(z, X)"), None);
+    let sols = all(src, "value(K, V)", 10);
+    assert_eq!(sols.len(), 3);
+}

@@ -1,0 +1,413 @@
+//! Tokenizer for KL0 source text.
+
+use psi_core::{PsiError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An atom: unquoted lowercase identifier, quoted atom, symbolic
+    /// atom, or the solo atoms `!` and `;`.
+    Atom(String),
+    /// A variable name (uppercase or `_` start). Anonymous `_`
+    /// variables are renamed apart by the parser, not the lexer.
+    Var(String),
+    /// An integer literal.
+    Int(i32),
+    /// `(` immediately following an atom (functor application).
+    FunctorOpen,
+    /// A free-standing `(`.
+    Open,
+    /// `)`.
+    Close,
+    /// `[`.
+    OpenList,
+    /// `]`.
+    CloseList,
+    /// `,` (both argument separator and conjunction operator).
+    Comma,
+    /// `|` in list tails.
+    Bar,
+    /// The clause-terminating `.`.
+    End,
+}
+
+/// A token plus its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Line number, 1-based.
+    pub line: u32,
+    /// Column number, 1-based.
+    pub column: u32,
+}
+
+const SYMBOLIC: &str = "+-*/\\^<>=~:.?@#&$";
+
+/// Tokenizes a complete source text.
+///
+/// # Errors
+///
+/// Returns [`PsiError::Syntax`] for unterminated quotes, stray
+/// characters, or integer overflow.
+pub fn tokenize(src: &str) -> Result<Vec<Spanned>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    column: u32,
+    out: Vec<Spanned>,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            out: Vec::new(),
+            src,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, detail: impl Into<String>) -> PsiError {
+        PsiError::Syntax {
+            line: self.line,
+            column: self.column,
+            detail: detail.into(),
+        }
+    }
+
+    fn push(&mut self, token: Token, line: u32, column: u32) {
+        self.out.push(Spanned {
+            token,
+            line,
+            column,
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>> {
+        debug_assert_eq!(self.src.chars().count(), self.chars.len());
+        while let Some(c) = self.peek() {
+            let (line, column) = (self.line, self.column);
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '%' => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                '(' => {
+                    let adjacent = self.prev_adjacent();
+                    self.bump();
+                    // '(' immediately after an atom (no whitespace) is
+                    // functor application, per the DEC-10 convention.
+                    let prev_is_functor = matches!(
+                        self.out.last(),
+                        Some(Spanned {
+                            token: Token::Atom(_),
+                            ..
+                        })
+                    ) && adjacent;
+                    if prev_is_functor {
+                        self.push(Token::FunctorOpen, line, column);
+                    } else {
+                        self.push(Token::Open, line, column);
+                    }
+                }
+                ')' => {
+                    self.bump();
+                    self.push(Token::Close, line, column);
+                }
+                '[' => {
+                    self.bump();
+                    self.push(Token::OpenList, line, column);
+                }
+                ']' => {
+                    self.bump();
+                    self.push(Token::CloseList, line, column);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(Token::Comma, line, column);
+                }
+                '|' => {
+                    self.bump();
+                    self.push(Token::Bar, line, column);
+                }
+                '!' => {
+                    self.bump();
+                    self.push(Token::Atom("!".to_owned()), line, column);
+                }
+                ';' => {
+                    self.bump();
+                    self.push(Token::Atom(";".to_owned()), line, column);
+                }
+                '\'' => {
+                    self.bump();
+                    let atom = self.quoted()?;
+                    self.push(Token::Atom(atom), line, column);
+                }
+                '0'..='9' => {
+                    let n = self.integer()?;
+                    self.push(Token::Int(n), line, column);
+                }
+                c if c.is_ascii_lowercase() => {
+                    let name = self.identifier();
+                    self.push(Token::Atom(name), line, column);
+                }
+                c if c.is_ascii_uppercase() || c == '_' => {
+                    let name = self.identifier();
+                    self.push(Token::Var(name), line, column);
+                }
+                '/' if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                c if SYMBOLIC.contains(c) => {
+                    let sym = self.symbolic();
+                    if sym == "." && self.end_of_clause() {
+                        self.push(Token::End, line, column);
+                    } else {
+                        self.push(Token::Atom(sym), line, column);
+                    }
+                }
+                other => {
+                    return Err(self.error(format!("unexpected character {other:?}")))
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    /// Is the character before the current one part of a token (no
+    /// intervening whitespace)? Decides functor application for `(`.
+    fn prev_adjacent(&self) -> bool {
+        if self.pos == 0 {
+            return false;
+        }
+        let prev = self.chars[self.pos - 1];
+        prev.is_ascii_alphanumeric()
+            || prev == '_'
+            || prev == '\''
+            || SYMBOLIC.contains(prev)
+    }
+
+    /// A `.` ends a clause when followed by whitespace or EOF.
+    fn end_of_clause(&self) -> bool {
+        matches!(self.peek(), None | Some(' ') | Some('\t') | Some('\r') | Some('\n') | Some('%'))
+    }
+
+    fn quoted(&mut self) -> Result<String> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    if self.peek() == Some('\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(s);
+                    }
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('\'') => s.push('\''),
+                    Some(other) => {
+                        return Err(self.error(format!("bad escape \\{other}")))
+                    }
+                    None => return Err(self.error("unterminated quoted atom")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated quoted atom")),
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<i32> {
+        let mut n: i64 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                self.bump();
+                n = n * 10 + d as i64;
+                if n > i32::MAX as i64 {
+                    return Err(self.error("integer literal overflows 32 bits"));
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(n as i32)
+    }
+
+    fn identifier(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn symbolic(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if SYMBOLIC.contains(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn simple_fact() {
+        assert_eq!(
+            toks("foo(bar, 42)."),
+            vec![
+                Token::Atom("foo".into()),
+                Token::FunctorOpen,
+                Token::Atom("bar".into()),
+                Token::Comma,
+                Token::Int(42),
+                Token::Close,
+                Token::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn variables_and_lists() {
+        assert_eq!(
+            toks("[H|T]"),
+            vec![
+                Token::OpenList,
+                Token::Var("H".into()),
+                Token::Bar,
+                Token::Var("T".into()),
+                Token::CloseList,
+            ]
+        );
+        assert_eq!(toks("_Foo _")[0], Token::Var("_Foo".into()));
+    }
+
+    #[test]
+    fn symbolic_atoms_and_clause_end() {
+        assert_eq!(
+            toks("a :- b."),
+            vec![
+                Token::Atom("a".into()),
+                Token::Atom(":-".into()),
+                Token::Atom("b".into()),
+                Token::End,
+            ]
+        );
+        // '=..' is one symbolic atom; 'X=1.' ends the clause.
+        assert_eq!(toks("=..")[0], Token::Atom("=..".into()));
+        assert_eq!(
+            toks("X=1."),
+            vec![
+                Token::Var("X".into()),
+                Token::Atom("=".into()),
+                Token::Int(1),
+                Token::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a. % line comment\n/* block\ncomment */ b."),
+            vec![
+                Token::Atom("a".into()),
+                Token::End,
+                Token::Atom("b".into()),
+                Token::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_atoms() {
+        assert_eq!(toks("'hello world'")[0], Token::Atom("hello world".into()));
+        assert_eq!(toks("'don''t'")[0], Token::Atom("don't".into()));
+        assert_eq!(toks("'a\\nb'")[0], Token::Atom("a\nb".into()));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = tokenize("a.\n  \u{1F980}").unwrap_err();
+        match err {
+            PsiError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn cut_and_semicolon_are_atoms() {
+        assert_eq!(toks("!")[0], Token::Atom("!".into()));
+        assert_eq!(toks(";")[0], Token::Atom(";".into()));
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        assert!(tokenize("99999999999").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! KL0 front end.
+//!
+//! KL0 is the predicate-logic language the PSI executes directly — an
+//! extended Prolog (§2.1). This crate provides the textual front end
+//! shared by *both* execution engines of the reproduction (the PSI
+//! firmware interpreter in `psi-machine` and the DEC-10-style WAM in
+//! `dec10`):
+//!
+//! * [`lexer`] — tokenizer (atoms, variables, integers, quoted atoms,
+//!   `%` and `/* */` comments),
+//! * [`parser`] — operator-precedence parser for the standard Prolog
+//!   operator table subset used by the workloads,
+//! * [`Term`], [`Clause`], [`Program`] — the AST and clause database,
+//! * [`lower`] — lowering of the extended control constructs
+//!   (`;`, `->`, `\+`) into plain clauses with auxiliary predicates,
+//!   so both back ends only ever see conjunctions and cut.
+//!
+//! # Example
+//!
+//! ```
+//! use kl0::Program;
+//!
+//! let program = Program::parse(
+//!     "app([], L, L).\n\
+//!      app([H|T], L, [H|R]) :- app(T, L, R).",
+//! )?;
+//! assert_eq!(program.predicates().count(), 1);
+//! # Ok::<(), psi_core::PsiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+mod program;
+mod term;
+
+pub use lower::{FlatClause, FlatGoal, LoweredProgram};
+pub use program::{Clause, PredicateKey, Program};
+pub use term::Term;

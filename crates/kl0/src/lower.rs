@@ -1,0 +1,326 @@
+//! Lowering of extended control constructs.
+//!
+//! KL0 extends Prolog with control functions (§2.1, citing Takagi and Warren); at
+//! the source level the workloads use the standard `;`, `->` and `\+`
+//! constructs. Both back ends only understand conjunctions of calls
+//! plus cut, so this pass rewrites each construct into an auxiliary
+//! predicate:
+//!
+//! * `(C -> T ; E)` becomes `aux(V...) :- C, !, T.` / `aux(V...) :- E.`
+//! * `(A ; B)` becomes `aux(V...) :- A.` / `aux(V...) :- B.`
+//! * `\+ G` becomes `aux(V...) :- G, !, fail.` / `aux(V...).`
+//!
+//! where `V...` are the variables the construct shares with its
+//! clause. Cut inside a lowered construct is local to it, which
+//! matches the DEC-10 semantics for `\+` and the condition of
+//! if-then-else.
+
+use crate::{Clause, PredicateKey, Program, Term};
+use psi_core::{PsiError, Result};
+use std::collections::HashMap;
+
+/// A body goal after lowering: either a cut or a plain call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlatGoal {
+    /// `!` — prune choice points created since the clause was entered.
+    Cut,
+    /// Any other goal, including builtins and generated aux calls.
+    Call(Term),
+}
+
+/// A clause whose body is a flat sequence of [`FlatGoal`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatClause {
+    /// The clause head.
+    pub head: Term,
+    /// The flattened body.
+    pub goals: Vec<FlatGoal>,
+}
+
+/// A program in which every clause body is flat.
+#[derive(Debug, Clone, Default)]
+pub struct LoweredProgram {
+    order: Vec<PredicateKey>,
+    map: HashMap<PredicateKey, Vec<FlatClause>>,
+    aux_counter: u32,
+}
+
+impl LoweredProgram {
+    /// Lowers a parsed program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsiError::Compile`] if a body goal is an integer or
+    /// other non-callable term.
+    pub fn lower(program: &Program) -> Result<LoweredProgram> {
+        let mut lp = LoweredProgram::default();
+        for key in program.predicates() {
+            for clause in program.clauses_for(key) {
+                let flat = lp.lower_clause(clause)?;
+                lp.push(flat);
+            }
+        }
+        Ok(lp)
+    }
+
+    /// Iterates over predicate keys in definition order (generated aux
+    /// predicates come after the predicate that introduced them).
+    pub fn predicates(&self) -> impl Iterator<Item = &PredicateKey> {
+        self.order.iter()
+    }
+
+    /// The flat clauses of `key` (empty if undefined).
+    pub fn clauses_for(&self, key: &PredicateKey) -> &[FlatClause] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of flat clauses.
+    pub fn clause_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    fn push(&mut self, clause: FlatClause) {
+        let (name, arity) = clause
+            .head
+            .functor()
+            .expect("flat clause heads are callable");
+        let key = (name.to_owned(), arity);
+        let entry = self.map.entry(key.clone()).or_default();
+        if entry.is_empty() {
+            self.order.push(key);
+        }
+        entry.push(clause);
+    }
+
+    fn lower_clause(&mut self, clause: &Clause) -> Result<FlatClause> {
+        let mut goals = Vec::new();
+        if let Some(body) = &clause.body {
+            self.flatten(body, &mut goals)?;
+        }
+        Ok(FlatClause {
+            head: clause.head.clone(),
+            goals,
+        })
+    }
+
+    fn flatten(&mut self, goal: &Term, out: &mut Vec<FlatGoal>) -> Result<()> {
+        match goal {
+            Term::Struct(op, args) if op == "," && args.len() == 2 => {
+                self.flatten(&args[0], out)?;
+                self.flatten(&args[1], out)
+            }
+            Term::Atom(a) if a == "!" => {
+                out.push(FlatGoal::Cut);
+                Ok(())
+            }
+            Term::Atom(a) if a == "true" => Ok(()),
+            Term::Struct(op, args) if op == ";" && args.len() == 2 => {
+                // if-then-else or plain disjunction
+                if let Term::Struct(arrow, ct) = &args[0] {
+                    if arrow == "->" && ct.len() == 2 {
+                        return self.lower_if_then_else(&ct[0], &ct[1], &args[1], out);
+                    }
+                }
+                self.lower_disjunction(&args[0], &args[1], out)
+            }
+            Term::Struct(op, args) if op == "->" && args.len() == 2 => {
+                let fail = Term::atom("fail");
+                self.lower_if_then_else(&args[0], &args[1], &fail, out)
+            }
+            Term::Struct(op, args) if op == "\\+" && args.len() == 1 => {
+                self.lower_negation(&args[0], out)
+            }
+            Term::Atom(_) | Term::Struct(..) => {
+                out.push(FlatGoal::Call(goal.clone()));
+                Ok(())
+            }
+            Term::Var(_) => Err(PsiError::Compile {
+                detail: "call through a variable goal is not supported".into(),
+            }),
+            Term::Int(_) => Err(PsiError::Compile {
+                detail: format!("body goal is not callable: {goal}"),
+            }),
+        }
+    }
+
+    fn aux_head(&mut self, parts: &[&Term]) -> (Term, Vec<Term>) {
+        self.aux_counter += 1;
+        let name = format!("$aux{}", self.aux_counter);
+        let mut vars: Vec<Term> = Vec::new();
+        for part in parts {
+            for v in part.variables() {
+                let t = Term::var(v);
+                if !vars.contains(&t) {
+                    vars.push(t);
+                }
+            }
+        }
+        (Term::compound(&name, vars.clone()), vars)
+    }
+
+    fn lower_if_then_else(
+        &mut self,
+        cond: &Term,
+        then: &Term,
+        els: &Term,
+        out: &mut Vec<FlatGoal>,
+    ) -> Result<()> {
+        let (head, _) = self.aux_head(&[cond, then, els]);
+        // aux :- Cond, !, Then.
+        let mut goals1 = Vec::new();
+        self.flatten(cond, &mut goals1)?;
+        goals1.push(FlatGoal::Cut);
+        self.flatten(then, &mut goals1)?;
+        self.push(FlatClause {
+            head: head.clone(),
+            goals: goals1,
+        });
+        // aux :- Else.
+        let mut goals2 = Vec::new();
+        self.flatten(els, &mut goals2)?;
+        self.push(FlatClause {
+            head: head.clone(),
+            goals: goals2,
+        });
+        out.push(FlatGoal::Call(head));
+        Ok(())
+    }
+
+    fn lower_disjunction(
+        &mut self,
+        a: &Term,
+        b: &Term,
+        out: &mut Vec<FlatGoal>,
+    ) -> Result<()> {
+        let (head, _) = self.aux_head(&[a, b]);
+        for branch in [a, b] {
+            let mut goals = Vec::new();
+            self.flatten(branch, &mut goals)?;
+            self.push(FlatClause {
+                head: head.clone(),
+                goals,
+            });
+        }
+        out.push(FlatGoal::Call(head));
+        Ok(())
+    }
+
+    fn lower_negation(&mut self, inner: &Term, out: &mut Vec<FlatGoal>) -> Result<()> {
+        let (head, _) = self.aux_head(&[inner]);
+        // aux :- G, !, fail.
+        let mut goals1 = Vec::new();
+        self.flatten(inner, &mut goals1)?;
+        goals1.push(FlatGoal::Cut);
+        goals1.push(FlatGoal::Call(Term::atom("fail")));
+        self.push(FlatClause {
+            head: head.clone(),
+            goals: goals1,
+        });
+        // aux.
+        self.push(FlatClause {
+            head: head.clone(),
+            goals: Vec::new(),
+        });
+        out.push(FlatGoal::Call(head));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lowered(src: &str) -> LoweredProgram {
+        LoweredProgram::lower(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn plain_bodies_stay_flat() {
+        let lp = lowered("p :- a, b, c.");
+        let cl = &lp.clauses_for(&("p".into(), 0))[0];
+        assert_eq!(cl.goals.len(), 3);
+        assert!(matches!(cl.goals[0], FlatGoal::Call(_)));
+    }
+
+    #[test]
+    fn cut_and_true_lowering() {
+        let lp = lowered("p :- a, !, true, b.");
+        let cl = &lp.clauses_for(&("p".into(), 0))[0];
+        assert_eq!(cl.goals.len(), 3); // a, !, b — true vanishes
+        assert!(matches!(cl.goals[1], FlatGoal::Cut));
+    }
+
+    #[test]
+    fn disjunction_creates_aux_predicate() {
+        let lp = lowered("p(X) :- (q(X) ; r(X)).");
+        // p/1 plus one aux with two clauses
+        assert_eq!(lp.clause_count(), 3);
+        let aux_key = lp
+            .predicates()
+            .find(|(n, _)| n.starts_with("$aux"))
+            .cloned()
+            .unwrap();
+        assert_eq!(aux_key.1, 1, "aux carries the shared variable X");
+        assert_eq!(lp.clauses_for(&aux_key).len(), 2);
+    }
+
+    #[test]
+    fn if_then_else_compiles_to_cut() {
+        let lp = lowered("max(X,Y,Z) :- (X > Y -> Z = X ; Z = Y).");
+        let aux_key = lp
+            .predicates()
+            .find(|(n, _)| n.starts_with("$aux"))
+            .cloned()
+            .unwrap();
+        assert_eq!(aux_key.1, 3);
+        let auxs = lp.clauses_for(&aux_key);
+        assert_eq!(auxs.len(), 2);
+        assert!(auxs[0].goals.iter().any(|g| matches!(g, FlatGoal::Cut)));
+        assert!(!auxs[1].goals.iter().any(|g| matches!(g, FlatGoal::Cut)));
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let lp = lowered("p(X) :- \\+ q(X), r(X).");
+        let aux_key = lp
+            .predicates()
+            .find(|(n, _)| n.starts_with("$aux"))
+            .cloned()
+            .unwrap();
+        let auxs = lp.clauses_for(&aux_key);
+        assert_eq!(auxs.len(), 2);
+        assert_eq!(
+            auxs[0].goals.last(),
+            Some(&FlatGoal::Call(Term::atom("fail")))
+        );
+        assert!(auxs[1].goals.is_empty());
+    }
+
+    #[test]
+    fn nested_constructs() {
+        let lp = lowered("p(X) :- (a(X) ; (b(X) -> c(X) ; d(X))).");
+        // p/1, outer aux (2 clauses), inner aux (2 clauses)
+        assert_eq!(lp.clause_count(), 5);
+    }
+
+    #[test]
+    fn bare_if_then_gets_implicit_fail_else() {
+        let lp = lowered("p(X) :- (a(X) -> b(X)).");
+        let aux_key = lp
+            .predicates()
+            .find(|(n, _)| n.starts_with("$aux"))
+            .cloned()
+            .unwrap();
+        let auxs = lp.clauses_for(&aux_key);
+        assert_eq!(
+            auxs[1].goals,
+            vec![FlatGoal::Call(Term::atom("fail"))]
+        );
+    }
+
+    #[test]
+    fn non_callable_goals_are_rejected() {
+        assert!(LoweredProgram::lower(&Program::parse("p :- 42.").unwrap()).is_err());
+        assert!(LoweredProgram::lower(&Program::parse("p :- X.").unwrap()).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion benchmarks: one per reproduced table/figure, so `cargo
+//! bench` exercises every experiment, plus simulator throughput
+//! benchmarks. The heavyweight experiments run on reduced inputs here;
+//! the `src/bin` generators produce the full reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psi_machine::MachineConfig;
+use psi_workloads::runner::{run_on_dec, run_on_psi, run_on_psi_machine};
+use psi_workloads::{contest, harmonizer, parsers, puzzle, window};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("psi_nreverse30", |b| {
+        let w = contest::nreverse(30);
+        b.iter(|| run_on_psi(&w, MachineConfig::psi()).unwrap())
+    });
+    g.bench_function("dec_nreverse30", |b| {
+        let w = contest::nreverse(30);
+        b.iter(|| run_on_dec(&w).unwrap())
+    });
+    g.bench_function("psi_lcp2", |b| {
+        let w = parsers::lcp(2);
+        b.iter(|| run_on_psi(&w, MachineConfig::psi()).unwrap())
+    });
+    g.bench_function("dec_lcp2", |b| {
+        let w = parsers::lcp(2);
+        b.iter(|| run_on_dec(&w).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("module_ratios_harmonizer", |b| {
+        let w = harmonizer::harmonizer(1);
+        b.iter(|| {
+            let r = run_on_psi(&w, MachineConfig::psi()).unwrap();
+            r.stats.modules.percentages()
+        })
+    });
+    g.finish();
+}
+
+fn bench_tables3_to_5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables3-5");
+    g.sample_size(10);
+    g.bench_function("cache_stats_window1", |b| {
+        let w = window::window(1);
+        b.iter(|| {
+            let r = run_on_psi(&w, MachineConfig::psi()).unwrap();
+            (r.stats.cache.hit_ratio_pct(), r.stats.cache.area_shares_pct())
+        })
+    });
+    g.bench_function("cache_stats_8puzzle", |b| {
+        let w = puzzle::eight_puzzle(4);
+        b.iter(|| {
+            let r = run_on_psi(&w, MachineConfig::psi()).unwrap();
+            r.stats.cache.hit_ratio_pct()
+        })
+    });
+    g.finish();
+}
+
+fn bench_tables6_and_7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables6-7");
+    g.sample_size(10);
+    g.bench_function("wf_and_branch_stats_bup1", |b| {
+        let w = parsers::bup(1);
+        b.iter(|| {
+            let r = run_on_psi(&w, MachineConfig::psi()).unwrap();
+            let t6 = psi_tools::map::wf_mode_table(&r.stats.wf, r.stats.steps);
+            let t7 = psi_tools::map::branch_table(&r.stats.branches);
+            (t6.len(), t7.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    // Collect the WINDOW trace once; benchmark the PMMS sweep itself.
+    let mut config = MachineConfig::psi();
+    config.trace_memory = true;
+    let w = window::window(1);
+    let (run, mut machine) = run_on_psi_machine(&w, config).unwrap();
+    let trace = machine.take_trace();
+    let steps = run.stats.steps;
+    let mut g = c.benchmark_group("figure1");
+    g.sample_size(10);
+    g.bench_function("pmms_capacity_sweep", |b| {
+        b.iter(|| psi_tools::pmms::capacity_sweep(&trace, 200, steps))
+    });
+    g.bench_function("pmms_policy_study", |b| {
+        b.iter(|| psi_tools::pmms::policy_study(&trace, 200, steps))
+    });
+    g.finish();
+}
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    g.bench_function("psi_steps_per_sec_queens6", |b| {
+        let w = {
+            let mut w = contest::queens_first(6);
+            w.max_solutions = 1;
+            w
+        };
+        b.iter(|| run_on_psi(&w, MachineConfig::psi()).unwrap().stats.steps)
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_tables3_to_5,
+    bench_tables6_and_7,
+    bench_figure1,
+    bench_simulator_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Prints the ablation reproduction report.
+fn main() {
+    println!("{}", psi_bench::ablation_report());
+}

@@ -1,0 +1,4 @@
+//! Prints the figure1 reproduction report.
+fn main() {
+    println!("{}", psi_bench::figure1_report());
+}

@@ -1,0 +1,4 @@
+//! Prints the table1 reproduction report.
+fn main() {
+    println!("{}", psi_bench::table1_report());
+}

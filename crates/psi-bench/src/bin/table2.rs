@@ -1,0 +1,4 @@
+//! Prints the table2 reproduction report.
+fn main() {
+    println!("{}", psi_bench::table2_report());
+}

@@ -1,0 +1,4 @@
+//! Prints the table3 reproduction report.
+fn main() {
+    println!("{}", psi_bench::table3_report());
+}

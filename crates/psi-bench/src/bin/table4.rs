@@ -1,0 +1,4 @@
+//! Prints the table4 reproduction report.
+fn main() {
+    println!("{}", psi_bench::table4_report());
+}

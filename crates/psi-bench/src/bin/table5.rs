@@ -1,0 +1,4 @@
+//! Prints the table5 reproduction report.
+fn main() {
+    println!("{}", psi_bench::table5_report());
+}

@@ -1,0 +1,4 @@
+//! Prints the table6 reproduction report.
+fn main() {
+    println!("{}", psi_bench::table6_report());
+}

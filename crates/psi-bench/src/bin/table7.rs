@@ -1,0 +1,4 @@
+//! Prints the table7 reproduction report.
+fn main() {
+    println!("{}", psi_bench::table7_report());
+}

@@ -1,0 +1,187 @@
+//! Cache configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Write policy of the simulated cache (§4.2 compares the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Write-back: writes dirty the cache block; main memory is updated
+    /// only on eviction. The PSI uses this ("store-in method",
+    /// spec item (c)).
+    StoreIn,
+    /// Write-through: every write is sent to main memory. Modelled with
+    /// a one-deep write buffer, so a write stalls only while a previous
+    /// memory operation is still in flight.
+    StoreThrough,
+}
+
+/// Full parameter set of the simulated cache.
+///
+/// [`CacheConfig::psi`] reproduces the machine as built; the other
+/// constructors support the paper's design studies.
+///
+/// ```
+/// use psi_cache::CacheConfig;
+/// let psi = CacheConfig::psi();
+/// assert_eq!(psi.capacity_words, 8192);
+/// assert_eq!(psi.ways, 2);
+/// assert_eq!(psi.blocks(), 2048);
+/// assert_eq!(psi.sets(), 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in words (spec (a): 8K words on the real PSI).
+    pub capacity_words: u32,
+    /// Words per block (spec (e): four).
+    pub block_words: u32,
+    /// Associativity (spec (b): "two-set set associative" = 2 ways).
+    pub ways: u32,
+    /// Write policy (spec (c): store-in).
+    pub policy: WritePolicy,
+    /// Whether the specialized write-stack command suppresses block
+    /// read-in on a write miss (spec (g)).
+    pub write_stack_no_fetch: bool,
+    /// Access time on a hit, in nanoseconds (spec (d): 200 ns).
+    pub hit_ns: u64,
+    /// Access time on a miss, in nanoseconds (spec (d): 800 ns,
+    /// including the four-word block transfer of spec (f)).
+    pub miss_ns: u64,
+    /// Time main memory is occupied by a block transfer (write-back or
+    /// write-through drain), in nanoseconds (spec (f): 800 ns).
+    pub memory_busy_ns: u64,
+}
+
+impl CacheConfig {
+    /// The cache exactly as the PSI shipped it (§2.2 spec (a)–(g)).
+    pub fn psi() -> CacheConfig {
+        CacheConfig {
+            capacity_words: 8192,
+            block_words: 4,
+            ways: 2,
+            policy: WritePolicy::StoreIn,
+            write_stack_no_fetch: true,
+            hit_ns: 200,
+            miss_ns: 800,
+            memory_busy_ns: 800,
+        }
+    }
+
+    /// A capacity variant of the PSI cache, for the Figure 1 sweep
+    /// (8 words to 8K words; "other specifications are same with the
+    /// cache memory of the PSI").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_words` is not a multiple of one block per
+    /// way (the minimum is `block_words * ways` = 8 words, exactly the
+    /// smallest point of Figure 1).
+    pub fn psi_with_capacity(capacity_words: u32) -> CacheConfig {
+        let mut c = CacheConfig::psi();
+        c.capacity_words = capacity_words;
+        c.validate();
+        c
+    }
+
+    /// The §4.2 direct-mapped study: one 4K-word set instead of two.
+    pub fn psi_direct_mapped_4k() -> CacheConfig {
+        let mut c = CacheConfig::psi();
+        c.capacity_words = 4096;
+        c.ways = 1;
+        c
+    }
+
+    /// The §4.2 two-set 4K-per-set arrangement (2 × 4 KW).
+    pub fn psi_two_set_8k() -> CacheConfig {
+        CacheConfig::psi()
+    }
+
+    /// The §4.2 store-through comparison point.
+    pub fn psi_store_through() -> CacheConfig {
+        let mut c = CacheConfig::psi();
+        c.policy = WritePolicy::StoreThrough;
+        c
+    }
+
+    /// Number of blocks in the cache.
+    pub fn blocks(&self) -> u32 {
+        self.capacity_words / self.block_words
+    }
+
+    /// Number of sets (blocks divided by ways).
+    pub fn sets(&self) -> u32 {
+        self.blocks() / self.ways
+    }
+
+    /// Extra stall a miss costs beyond a hit.
+    pub fn miss_extra_ns(&self) -> u64 {
+        self.miss_ns - self.hit_ns
+    }
+
+    fn validate(&self) {
+        assert!(self.block_words.is_power_of_two(), "block size power of two");
+        assert!(
+            self.capacity_words % (self.block_words * self.ways) == 0
+                && self.capacity_words >= self.block_words * self.ways,
+            "capacity {} not compatible with block {} x ways {}",
+            self.capacity_words,
+            self.block_words,
+            self.ways
+        );
+        assert!(self.sets().is_power_of_two(), "set count power of two");
+    }
+
+    /// Checks internal consistency; called by [`Cache::new`](crate::Cache::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (capacity not a
+    /// power-of-two multiple of `block_words * ways`).
+    pub fn assert_valid(&self) {
+        self.validate();
+    }
+}
+
+impl Default for CacheConfig {
+    /// Defaults to the real PSI cache.
+    fn default() -> CacheConfig {
+        CacheConfig::psi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn psi_geometry_matches_spec() {
+        let c = CacheConfig::psi();
+        assert_eq!(c.blocks(), 2048);
+        assert_eq!(c.sets(), 1024);
+        assert_eq!(c.miss_extra_ns(), 600);
+        c.assert_valid();
+    }
+
+    #[test]
+    fn figure1_sweep_points_are_valid() {
+        // Figure 1 sweeps 8 words .. 8K words in powers of two.
+        let mut cap = 8;
+        while cap <= 8192 {
+            CacheConfig::psi_with_capacity(cap).assert_valid();
+            cap *= 2;
+        }
+    }
+
+    #[test]
+    fn direct_mapped_study_geometry() {
+        let c = CacheConfig::psi_direct_mapped_4k();
+        assert_eq!(c.ways, 1);
+        assert_eq!(c.sets(), 1024);
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "not compatible")]
+    fn invalid_capacity_panics() {
+        CacheConfig::psi_with_capacity(4);
+    }
+}

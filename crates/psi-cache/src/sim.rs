@@ -1,0 +1,420 @@
+//! The cache simulator proper.
+
+use crate::{CacheConfig, CacheStats, WritePolicy};
+use psi_core::Address;
+use serde::{Deserialize, Serialize};
+
+/// A cache command, as issued by the microprogram (§4.2, Table 3
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheCommand {
+    /// Read one word.
+    Read,
+    /// Write one word (read-modify-write of a block on a miss under
+    /// store-in).
+    Write,
+    /// Write one word to a stack top: on a miss the block is allocated
+    /// *without* being read from memory, because the continuation of a
+    /// push sequence will overwrite it anyway (spec item (g)).
+    WriteStack,
+}
+
+impl CacheCommand {
+    /// Is this one of the two write commands?
+    pub fn is_write(self) -> bool {
+        matches!(self, CacheCommand::Write | CacheCommand::WriteStack)
+    }
+}
+
+/// The result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Did the access hit in the cache?
+    pub hit: bool,
+    /// Extra stall beyond the 200 ns microcycle, in nanoseconds.
+    pub stall_ns: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u32,
+    last_used: u64,
+}
+
+/// A simulated PSI cache.
+///
+/// Drive it either directly from the machine simulator or by replaying
+/// a recorded trace (the PMMS methodology, see `psi-tools`).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    stamp: u64,
+    /// Simulated time at which main memory becomes free again; used to
+    /// model write-back and write-through memory occupancy.
+    mem_free_at_ns: u64,
+    /// The cache's own access clock, advanced by each access's cost.
+    now_ns: u64,
+}
+
+impl Cache {
+    /// Creates a cache with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration geometry is invalid
+    /// (see [`CacheConfig::assert_valid`]).
+    pub fn new(config: CacheConfig) -> Cache {
+        config.assert_valid();
+        let lines = vec![Line::default(); config.blocks() as usize];
+        Cache {
+            config,
+            lines,
+            stats: CacheStats::new(),
+            stamp: 0,
+            mem_free_at_ns: 0,
+            now_ns: 0,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (but not cache contents); used to exclude
+    /// warm-up from measurements.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::new();
+    }
+
+    /// Advances the cache clock by `ns` of non-memory computation.
+    /// Letting time pass drains the write-back/write-through traffic
+    /// that would otherwise stall later misses.
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns += ns;
+    }
+
+    /// Performs one access and returns whether it hit and how long it
+    /// stalled the processor beyond the 200 ns cycle.
+    pub fn access(&mut self, cmd: CacheCommand, addr: Address) -> AccessOutcome {
+        self.stamp += 1;
+        let block_addr = addr.raw() / self.config.block_words;
+        let sets = self.config.sets();
+        let set = (block_addr % sets) as usize;
+        let tag = block_addr / sets;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+
+        let mut hit_way = None;
+        for w in 0..ways {
+            let line = &self.lines[base + w];
+            if line.valid && line.tag == tag {
+                hit_way = Some(w);
+                break;
+            }
+        }
+
+        let hit = hit_way.is_some();
+        let mut stall = 0u64;
+
+        match (cmd, self.config.policy) {
+            (CacheCommand::Read, _) => {
+                if let Some(w) = hit_way {
+                    self.touch(base + w);
+                } else {
+                    stall += self.fetch_block(base, ways, tag, false);
+                }
+            }
+            (CacheCommand::Write, WritePolicy::StoreIn)
+            | (CacheCommand::WriteStack, WritePolicy::StoreIn) => {
+                let no_fetch =
+                    cmd == CacheCommand::WriteStack && self.config.write_stack_no_fetch;
+                if let Some(w) = hit_way {
+                    self.touch(base + w);
+                    self.lines[base + w].dirty = true;
+                } else if no_fetch {
+                    // Allocate without read-in: the block is claimed and
+                    // dirtied but memory is never consulted, so the push
+                    // completes within the cycle.
+                    stall += self.allocate_block(base, ways, tag, true, false);
+                } else {
+                    stall += self.fetch_block(base, ways, tag, true);
+                }
+            }
+            (CacheCommand::Write, WritePolicy::StoreThrough)
+            | (CacheCommand::WriteStack, WritePolicy::StoreThrough) => {
+                // Write-through with one-deep write buffer and no write
+                // allocation: update the block on a hit, and send the
+                // word to memory in either case.
+                if let Some(w) = hit_way {
+                    self.touch(base + w);
+                }
+                stall += self.wait_for_memory();
+                self.occupy_memory_after(stall);
+                self.stats.through_writes += 1;
+            }
+        }
+
+        self.record(cmd, addr, hit);
+        self.now_ns += self.config.hit_ns + stall;
+        AccessOutcome {
+            hit,
+            stall_ns: stall,
+        }
+    }
+
+    /// Runs a whole trace through the cache, advancing the clock by
+    /// `step_ns` of computation between successive accesses, and
+    /// returns the total simulated time (computation + stalls).
+    pub fn run_trace<'a, I>(&mut self, trace: I, step_ns: u64) -> u64
+    where
+        I: IntoIterator<Item = &'a (CacheCommand, Address)>,
+    {
+        let mut total = 0u64;
+        for &(cmd, addr) in trace {
+            self.advance(step_ns);
+            total += step_ns;
+            let outcome = self.access(cmd, addr);
+            total += outcome.stall_ns;
+        }
+        total
+    }
+
+    fn touch(&mut self, idx: usize) {
+        self.lines[idx].last_used = self.stamp;
+    }
+
+    /// Waits until main memory is free; returns the wait in ns.
+    fn wait_for_memory(&self) -> u64 {
+        self.mem_free_at_ns.saturating_sub(self.now_ns)
+    }
+
+    fn occupy_memory_after(&mut self, stall_so_far: u64) {
+        self.mem_free_at_ns =
+            self.now_ns + stall_so_far + self.config.memory_busy_ns;
+    }
+
+    /// Picks a victim way in the set, writing back a dirty victim.
+    /// Returns the stall incurred.
+    fn allocate_block(
+        &mut self,
+        base: usize,
+        ways: usize,
+        tag: u32,
+        dirty: bool,
+        fetched: bool,
+    ) -> u64 {
+        let mut victim = 0usize;
+        let mut best = u64::MAX;
+        for w in 0..ways {
+            let line = &self.lines[base + w];
+            if !line.valid {
+                victim = w;
+                break;
+            }
+            if line.last_used < best {
+                best = line.last_used;
+                victim = w;
+            }
+        }
+        let mut stall = 0u64;
+        let line = self.lines[base + victim];
+        if line.valid && line.dirty {
+            // The dirty victim must be stored before the set entry can
+            // be reused; the store occupies memory behind the access.
+            stall += self.wait_for_memory();
+            self.occupy_memory_after(stall);
+            self.stats.writebacks += 1;
+        }
+        if fetched {
+            self.stats.block_fetches += 1;
+        }
+        self.lines[base + victim] = Line {
+            valid: true,
+            dirty,
+            tag,
+            last_used: self.stamp,
+        };
+        stall
+    }
+
+    /// Fetches a block from memory into the set. Returns the stall.
+    fn fetch_block(&mut self, base: usize, ways: usize, tag: u32, dirty: bool) -> u64 {
+        let mut stall = self.wait_for_memory();
+        stall += self.config.miss_extra_ns();
+        stall += self.allocate_block(base, ways, tag, dirty, true);
+        stall
+    }
+
+    fn record(&mut self, cmd: CacheCommand, addr: Address, hit: bool) {
+        let c = self.stats.area_mut(addr.area());
+        match cmd {
+            CacheCommand::Read => {
+                c.reads += 1;
+                if hit {
+                    c.read_hits += 1;
+                }
+            }
+            CacheCommand::Write => {
+                c.writes += 1;
+                if hit {
+                    c.write_hits += 1;
+                }
+            }
+            CacheCommand::WriteStack => {
+                c.write_stacks += 1;
+                if hit {
+                    c.write_stack_hits += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_core::{Area, ProcessId};
+
+    fn addr(off: u32) -> Address {
+        Address::new(ProcessId::ZERO, Area::LocalStack, off)
+    }
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 4-word blocks = 32 words.
+        Cache::new(CacheConfig::psi_with_capacity(32))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(CacheCommand::Read, addr(0)).hit);
+        assert!(c.access(CacheCommand::Read, addr(0)).hit);
+        assert!(c.access(CacheCommand::Read, addr(3)).hit, "same 4-word block");
+        assert!(!c.access(CacheCommand::Read, addr(4)).hit, "next block");
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // tiny() = 8 blocks, 2 ways, 4 sets; blocks 16 words apart
+        // share a set.
+        let mut c = tiny();
+        c.access(CacheCommand::Read, addr(0));
+        c.access(CacheCommand::Read, addr(16));
+        // touch block 0 so block at offset 16 becomes LRU
+        c.access(CacheCommand::Read, addr(0));
+        c.access(CacheCommand::Read, addr(32)); // evicts the block at 16
+        assert!(c.access(CacheCommand::Read, addr(0)).hit);
+        assert!(!c.access(CacheCommand::Read, addr(16)).hit, "was evicted");
+    }
+
+    #[test]
+    fn write_stack_miss_does_not_fetch() {
+        let mut c = tiny();
+        let out = c.access(CacheCommand::WriteStack, addr(0));
+        assert!(!out.hit);
+        assert_eq!(out.stall_ns, 0, "no block read-in on write-stack miss");
+        assert_eq!(c.stats().block_fetches, 0);
+        // The block is now resident.
+        assert!(c.access(CacheCommand::Read, addr(1)).hit);
+    }
+
+    #[test]
+    fn plain_write_miss_fetches_under_store_in() {
+        let mut c = tiny();
+        let out = c.access(CacheCommand::Write, addr(0));
+        assert!(!out.hit);
+        assert_eq!(out.stall_ns, 600);
+        assert_eq!(c.stats().block_fetches, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = tiny();
+        c.access(CacheCommand::WriteStack, addr(0)); // dirty block 0 in set 0
+        c.access(CacheCommand::Read, addr(16)); // fill way 2 of set 0
+        c.access(CacheCommand::Read, addr(32)); // evicts dirty block 0
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn store_through_sends_every_write_to_memory() {
+        let mut c = Cache::new(CacheConfig {
+            capacity_words: 32,
+            ..CacheConfig::psi_store_through()
+        });
+        c.access(CacheCommand::Read, addr(0));
+        c.access(CacheCommand::Write, addr(0));
+        c.access(CacheCommand::Write, addr(1));
+        assert_eq!(c.stats().through_writes, 2);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn back_to_back_through_writes_stall_on_the_buffer() {
+        let mut c = Cache::new(CacheConfig {
+            capacity_words: 32,
+            ..CacheConfig::psi_store_through()
+        });
+        c.access(CacheCommand::Read, addr(0)); // make it resident
+        let w1 = c.access(CacheCommand::Write, addr(0));
+        let w2 = c.access(CacheCommand::Write, addr(1));
+        assert_eq!(w1.stall_ns, 0, "buffer empty");
+        assert!(w2.stall_ns > 0, "buffer still draining");
+        // After enough computation time the buffer has drained.
+        c.advance(10_000);
+        let w3 = c.access(CacheCommand::Write, addr(2));
+        assert_eq!(w3.stall_ns, 0);
+    }
+
+    #[test]
+    fn stats_account_every_access() {
+        let mut c = tiny();
+        for i in 0..100 {
+            c.access(CacheCommand::Read, addr(i % 40));
+            c.access(CacheCommand::WriteStack, addr(200 + (i % 16)));
+        }
+        let t = c.stats().total();
+        assert_eq!(t.accesses(), 200);
+        assert_eq!(t.hits() + t.misses(), 200);
+        assert!(c.stats().hit_ratio_pct().unwrap() > 50.0);
+    }
+
+    #[test]
+    fn run_trace_accumulates_time() {
+        let trace: Vec<(CacheCommand, Address)> = (0..10)
+            .map(|i| (CacheCommand::Read, addr(i * 4)))
+            .collect();
+        let mut c = tiny();
+        let time = c.run_trace(&trace, 200);
+        // 10 steps of 200 ns + 10 cold misses of 600 ns each... but the
+        // tiny cache holds only 8 blocks (2 sets x 2 ways x ...) so all
+        // 10 are misses: at least 2000 + 6000.
+        assert!(time >= 2000 + 6 * 600, "time = {time}");
+        assert_eq!(c.stats().total().accesses(), 10);
+    }
+
+    #[test]
+    fn larger_cache_never_hits_less_sequential() {
+        // On a sequential read sweep, a bigger cache can only do better.
+        let sweep: Vec<(CacheCommand, Address)> =
+            (0..2048).map(|i| (CacheCommand::Read, addr(i % 512))).collect();
+        let mut hits_prev = 0;
+        for cap in [32u32, 128, 512, 2048] {
+            let mut c = Cache::new(CacheConfig::psi_with_capacity(cap));
+            c.run_trace(&sweep, 200);
+            let hits = c.stats().total().hits();
+            assert!(hits >= hits_prev, "cap {cap}: {hits} < {hits_prev}");
+            hits_prev = hits;
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Error type shared across the PSI reproduction crates.
+
+use std::fmt;
+
+/// Convenience alias for results carrying a [`PsiError`].
+pub type Result<T> = std::result::Result<T, PsiError>;
+
+/// Errors raised by the simulated machines and their front ends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PsiError {
+    /// A simulated memory access fell outside the allocated area.
+    OutOfArea {
+        /// A human-readable description of the access.
+        access: String,
+    },
+    /// A stack area exceeded its configured limit.
+    StackOverflow {
+        /// The label of the overflowing area.
+        area: &'static str,
+        /// The configured limit in words.
+        limit: usize,
+    },
+    /// A predicate was called but never defined.
+    UndefinedPredicate {
+        /// `name/arity` of the missing predicate.
+        name: String,
+    },
+    /// A built-in received an argument of the wrong type.
+    TypeError {
+        /// The built-in that failed.
+        builtin: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Arithmetic evaluation failed (unbound variable, bad functor,
+    /// division by zero).
+    EvalError {
+        /// A description of the failure.
+        detail: String,
+    },
+    /// The execution exceeded the configured step budget.
+    StepBudgetExceeded {
+        /// The budget that was exceeded, in microinstruction steps.
+        budget: u64,
+    },
+    /// A syntax error from the KL0 reader.
+    Syntax {
+        /// Line number (1-based).
+        line: u32,
+        /// Column number (1-based).
+        column: u32,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A program was malformed at compile time.
+    Compile {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for PsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsiError::OutOfArea { access } => {
+                write!(f, "memory access out of area: {access}")
+            }
+            PsiError::StackOverflow { area, limit } => {
+                write!(f, "{area} stack overflow (limit {limit} words)")
+            }
+            PsiError::UndefinedPredicate { name } => {
+                write!(f, "undefined predicate {name}")
+            }
+            PsiError::TypeError { builtin, expected } => {
+                write!(f, "type error in {builtin}: expected {expected}")
+            }
+            PsiError::EvalError { detail } => {
+                write!(f, "arithmetic evaluation error: {detail}")
+            }
+            PsiError::StepBudgetExceeded { budget } => {
+                write!(f, "execution exceeded step budget of {budget}")
+            }
+            PsiError::Syntax {
+                line,
+                column,
+                detail,
+            } => write!(f, "syntax error at {line}:{column}: {detail}"),
+            PsiError::Compile { detail } => write!(f, "compile error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for PsiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let errors = [
+            PsiError::OutOfArea {
+                access: "read p0:heap:0x10".into(),
+            },
+            PsiError::StackOverflow {
+                area: "local",
+                limit: 4096,
+            },
+            PsiError::UndefinedPredicate {
+                name: "foo/3".into(),
+            },
+            PsiError::TypeError {
+                builtin: "is/2".into(),
+                expected: "integer",
+            },
+            PsiError::EvalError {
+                detail: "division by zero".into(),
+            },
+            PsiError::StepBudgetExceeded { budget: 10 },
+            PsiError::Syntax {
+                line: 3,
+                column: 7,
+                detail: "unexpected token".into(),
+            },
+            PsiError::Compile {
+                detail: "head is not callable".into(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "{msg}");
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<PsiError>();
+    }
+}

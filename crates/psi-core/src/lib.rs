@@ -1,0 +1,39 @@
+//! Core data types of the PSI machine reproduction.
+//!
+//! The PSI (Personal Sequential Inference machine) is a tagged
+//! architecture: every machine word is an 8-bit tag plus a 32-bit data
+//! part (§2.1 of the paper). This crate defines that word format
+//! ([`Word`], [`Tag`]), the machine's logical memory areas
+//! ([`Area`], [`Address`]) and the symbol (atom / functor name)
+//! interner shared by the KL0 front end and both execution engines.
+//!
+//! # Example
+//!
+//! ```
+//! use psi_core::{Address, Area, ProcessId, SymbolTable, Word};
+//!
+//! let mut symbols = SymbolTable::new();
+//! let foo = symbols.intern("foo");
+//! let w = Word::atom(foo);
+//! assert!(w.tag().is_atom());
+//! assert_eq!(w.atom_value(), Some(foo));
+//!
+//! let a = Address::new(ProcessId::ZERO, Area::GlobalStack, 42);
+//! let p = Word::list(a);
+//! assert_eq!(p.address_value(), Some(a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod error;
+mod symbol;
+mod tag;
+mod word;
+
+pub use address::{Address, Area, ProcessId, AREA_COUNT};
+pub use error::{PsiError, Result};
+pub use symbol::{SymbolId, SymbolTable};
+pub use tag::Tag;
+pub use word::{Functor, Word};

@@ -1,0 +1,152 @@
+//! Interned atom and functor names.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an interned symbol (atom or functor name).
+///
+/// The data part of an `Atom` word carries a `SymbolId`; a `Functor`
+/// word packs a `SymbolId` (24 bits) with an arity (8 bits), so symbol
+/// ids are limited to 24 bits.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// Maximum representable symbol id (24 bits, see [`SymbolId`]).
+    pub const MAX: u32 = (1 << 24) - 1;
+
+    /// The raw id.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a symbol id from a raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds [`SymbolId::MAX`].
+    pub fn from_raw(raw: u32) -> SymbolId {
+        assert!(raw <= Self::MAX, "symbol id {raw} out of range");
+        SymbolId(raw)
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Interner mapping atom names to dense [`SymbolId`]s and back.
+///
+/// ```
+/// use psi_core::SymbolTable;
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("append");
+/// let b = t.intern("append");
+/// assert_eq!(a, b);
+/// assert_eq!(t.name(a), "append");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    ids: HashMap<String, SymbolId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its id. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 2^24 distinct symbols are interned.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let raw = u32::try_from(self.names.len()).expect("symbol table overflow");
+        assert!(raw <= SymbolId::MAX, "symbol table overflow");
+        let id = SymbolId(raw);
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.ids.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (SymbolId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("foo");
+        let b = t.intern("bar");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("foo"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("x"), None);
+        let id = t.intern("x");
+        assert_eq!(t.lookup("x"), Some(id));
+        assert_eq!(t.name(id), "x");
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut t = SymbolTable::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|s| t.intern(s)).collect();
+        let seen: Vec<_> = t.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, seen);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = SymbolTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! The 40-bit PSI machine word: 8-bit tag + 32-bit data, packed into a
+//! `u64` (§2.1: "A word format of the PSI consists of an 8-bit tag
+//! part and a 32-bit data part").
+
+use crate::{Address, SymbolId, Tag};
+use std::fmt;
+
+/// A functor: an interned name plus an arity.
+///
+/// Packed into the data part of a [`Tag::Functor`] word as
+/// symbol-id (24 bits) | arity (8 bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Functor {
+    /// The functor name.
+    pub symbol: SymbolId,
+    /// The number of arguments.
+    pub arity: u8,
+}
+
+impl Functor {
+    /// Creates a functor.
+    pub fn new(symbol: SymbolId, arity: u8) -> Functor {
+        Functor { symbol, arity }
+    }
+}
+
+impl fmt::Display for Functor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.symbol, self.arity)
+    }
+}
+
+/// A PSI machine word: 8-bit [`Tag`] plus 32-bit data.
+///
+/// ```
+/// use psi_core::{Tag, Word};
+/// let w = Word::int(-5);
+/// assert_eq!(w.tag(), Tag::Int);
+/// assert_eq!(w.int_value(), Some(-5));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word(u64);
+
+impl Word {
+    // ------------------------------------------------------ constructors
+
+    /// Raw constructor from a tag and a 32-bit data part.
+    pub fn new(tag: Tag, data: u32) -> Word {
+        Word(((tag.as_u8() as u64) << 32) | data as u64)
+    }
+
+    /// An unbound variable cell.
+    pub fn undef() -> Word {
+        Word::new(Tag::Undef, 0)
+    }
+
+    /// A bound reference to `addr`.
+    pub fn reference(addr: Address) -> Word {
+        Word::new(Tag::Ref, addr.raw())
+    }
+
+    /// An atom.
+    pub fn atom(symbol: SymbolId) -> Word {
+        Word::new(Tag::Atom, symbol.get())
+    }
+
+    /// A 32-bit integer.
+    pub fn int(value: i32) -> Word {
+        Word::new(Tag::Int, value as u32)
+    }
+
+    /// The empty list.
+    pub fn nil() -> Word {
+        Word::new(Tag::Nil, 0)
+    }
+
+    /// A pointer to a cons cell at `addr`.
+    pub fn list(addr: Address) -> Word {
+        Word::new(Tag::List, addr.raw())
+    }
+
+    /// A pointer to a structure block at `addr`.
+    pub fn vect(addr: Address) -> Word {
+        Word::new(Tag::Vect, addr.raw())
+    }
+
+    /// A pointer to a rewritable heap vector at `addr`.
+    pub fn heap_vect(addr: Address) -> Word {
+        Word::new(Tag::HeapVect, addr.raw())
+    }
+
+    /// A functor word heading a structure block.
+    pub fn functor(f: Functor) -> Word {
+        Word::new(Tag::Functor, (f.symbol.get() << 8) | f.arity as u32)
+    }
+
+    /// A trail entry recording that the cell at `addr` must be reset.
+    pub fn trail_ref(addr: Address) -> Word {
+        Word::new(Tag::TrailRef, addr.raw())
+    }
+
+    /// A control-frame word carrying a raw payload.
+    pub fn ctl(payload: u32) -> Word {
+        Word::new(Tag::Ctl, payload)
+    }
+
+    // ------------------------------------------------------- code words
+
+    /// Clause header: `arity` argument words follow, the clause uses
+    /// `nlocals` local variable slots.
+    pub fn clause_head(arity: u8, nlocals: u16) -> Word {
+        Word::new(Tag::ClauseHead, ((nlocals as u32) << 8) | arity as u32)
+    }
+
+    /// First occurrence of local variable slot `slot`.
+    pub fn first_var(slot: u16) -> Word {
+        Word::new(Tag::FirstVar, slot as u32)
+    }
+
+    /// Subsequent occurrence of local variable slot `slot`.
+    pub fn local_var(slot: u16) -> Word {
+        Word::new(Tag::LocalVar, slot as u32)
+    }
+
+    /// A singleton variable in a clause head.
+    pub fn void() -> Word {
+        Word::new(Tag::Void, 0)
+    }
+
+    /// A static list skeleton whose two cells live at heap offset
+    /// `heap_offset`.
+    pub fn code_list(heap_offset: u32) -> Word {
+        Word::new(Tag::CodeList, heap_offset)
+    }
+
+    /// A static structure skeleton whose functor word lives at heap
+    /// offset `heap_offset`.
+    pub fn code_vect(heap_offset: u32) -> Word {
+        Word::new(Tag::CodeVect, heap_offset)
+    }
+
+    /// Four packed 8-bit operands (§2.1). Each operand is a 3-bit
+    /// packed tag plus a 5-bit payload; see [`Word::packed_operand`].
+    pub fn packed(operands: [u8; 4]) -> Word {
+        Word::new(Tag::Packed, u32::from_le_bytes(operands))
+    }
+
+    /// A user-predicate goal header: predicate-table index (24 bits)
+    /// and argument count (8 bits).
+    pub fn goal(pred_index: u32, nargs: u8) -> Word {
+        debug_assert!(pred_index <= SymbolId::MAX);
+        Word::new(Tag::Goal, (pred_index << 8) | nargs as u32)
+    }
+
+    /// A built-in goal header: builtin id (24 bits) and argument count
+    /// (8 bits).
+    pub fn builtin_goal(builtin_id: u32, nargs: u8) -> Word {
+        debug_assert!(builtin_id <= SymbolId::MAX);
+        Word::new(Tag::BuiltinGoal, (builtin_id << 8) | nargs as u32)
+    }
+
+    /// A cut goal.
+    pub fn cut_goal() -> Word {
+        Word::new(Tag::CutGoal, 0)
+    }
+
+    /// The end-of-body sentinel.
+    pub fn end_body() -> Word {
+        Word::new(Tag::EndBody, 0)
+    }
+
+    // -------------------------------------------------------- accessors
+
+    /// The tag part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word was built through [`Word::from_raw`] with an
+    /// invalid tag byte; words built through the typed constructors
+    /// always carry valid tags.
+    pub fn tag(self) -> Tag {
+        Tag::from_u8((self.0 >> 32) as u8).expect("word carries a valid tag")
+    }
+
+    /// The raw 32-bit data part.
+    pub fn data(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The raw 40-bit encoding.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a word from its raw encoding.
+    ///
+    /// Returns `None` if the tag byte is invalid.
+    pub fn from_raw(raw: u64) -> Option<Word> {
+        Tag::from_u8((raw >> 32) as u8)?;
+        Some(Word(raw))
+    }
+
+    /// The integer value, if this is an `Int` word.
+    pub fn int_value(self) -> Option<i32> {
+        (self.tag() == Tag::Int).then(|| self.data() as i32)
+    }
+
+    /// The symbol, if this is an `Atom` word.
+    pub fn atom_value(self) -> Option<SymbolId> {
+        (self.tag() == Tag::Atom).then(|| SymbolId::from_raw(self.data()))
+    }
+
+    /// The address, if this word's tag is a pointer tag.
+    pub fn address_value(self) -> Option<Address> {
+        if self.tag().is_pointer() {
+            Address::from_raw(self.data())
+        } else {
+            None
+        }
+    }
+
+    /// The functor, if this is a `Functor` word.
+    pub fn functor_value(self) -> Option<Functor> {
+        (self.tag() == Tag::Functor).then(|| Functor {
+            symbol: SymbolId::from_raw(self.data() >> 8),
+            arity: (self.data() & 0xFF) as u8,
+        })
+    }
+
+    /// `(arity, nlocals)` of a clause header word.
+    pub fn clause_head_value(self) -> Option<(u8, u16)> {
+        (self.tag() == Tag::ClauseHead)
+            .then(|| ((self.data() & 0xFF) as u8, (self.data() >> 8) as u16))
+    }
+
+    /// The local-variable slot of a `FirstVar` or `LocalVar` word.
+    pub fn var_slot(self) -> Option<u16> {
+        matches!(self.tag(), Tag::FirstVar | Tag::LocalVar).then(|| self.data() as u16)
+    }
+
+    /// `(index, nargs)` of a `Goal` or `BuiltinGoal` header.
+    pub fn goal_value(self) -> Option<(u32, u8)> {
+        matches!(self.tag(), Tag::Goal | Tag::BuiltinGoal)
+            .then(|| (self.data() >> 8, (self.data() & 0xFF) as u8))
+    }
+
+    /// The four packed operands of a `Packed` word.
+    pub fn packed_operands(self) -> Option<[u8; 4]> {
+        (self.tag() == Tag::Packed).then(|| self.data().to_le_bytes())
+    }
+
+    /// Splits a packed 8-bit operand into its 3-bit tag and 5-bit
+    /// payload (§4.4: "3-bit tags in 8-bit packed operand").
+    pub fn packed_operand(op: u8) -> (u8, u8) {
+        (op >> 5, op & 0x1F)
+    }
+
+    /// Builds a packed 8-bit operand from a 3-bit tag and 5-bit
+    /// payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tag exceeds 3 bits or the payload exceeds 5 bits.
+    pub fn make_packed_operand(tag3: u8, payload5: u8) -> u8 {
+        assert!(tag3 < 8, "packed tag must fit in 3 bits");
+        assert!(payload5 < 32, "packed payload must fit in 5 bits");
+        (tag3 << 5) | payload5
+    }
+
+    /// Is this word an unbound-variable cell?
+    pub fn is_undef(self) -> bool {
+        self.tag() == Tag::Undef
+    }
+}
+
+impl fmt::Debug for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{} {:#010x}>", self.tag(), self.data())
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl Default for Word {
+    /// The default word is an unbound variable cell.
+    fn default() -> Word {
+        Word::undef()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Area, ProcessId};
+
+    #[test]
+    fn int_roundtrip_including_negatives() {
+        for v in [0, 1, -1, i32::MAX, i32::MIN, 123456789, -987654321] {
+            let w = Word::int(v);
+            assert_eq!(w.tag(), Tag::Int);
+            assert_eq!(w.int_value(), Some(v));
+        }
+    }
+
+    #[test]
+    fn atom_roundtrip() {
+        let id = SymbolId::from_raw(777);
+        let w = Word::atom(id);
+        assert_eq!(w.atom_value(), Some(id));
+        assert_eq!(w.int_value(), None);
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let a = Address::new(ProcessId::new(2), Area::GlobalStack, 555);
+        for w in [Word::reference(a), Word::list(a), Word::vect(a), Word::heap_vect(a)] {
+            assert_eq!(w.address_value(), Some(a), "{w:?}");
+        }
+        assert_eq!(Word::int(5).address_value(), None);
+    }
+
+    #[test]
+    fn functor_roundtrip() {
+        let f = Functor::new(SymbolId::from_raw(4242), 7);
+        let w = Word::functor(f);
+        assert_eq!(w.functor_value(), Some(f));
+    }
+
+    #[test]
+    fn clause_head_roundtrip() {
+        let w = Word::clause_head(3, 12);
+        assert_eq!(w.clause_head_value(), Some((3, 12)));
+    }
+
+    #[test]
+    fn goal_roundtrip() {
+        let w = Word::goal(1000, 4);
+        assert_eq!(w.tag(), Tag::Goal);
+        assert_eq!(w.goal_value(), Some((1000, 4)));
+        let b = Word::builtin_goal(17, 2);
+        assert_eq!(b.tag(), Tag::BuiltinGoal);
+        assert_eq!(b.goal_value(), Some((17, 2)));
+    }
+
+    #[test]
+    fn packed_operands_roundtrip() {
+        let ops = [
+            Word::make_packed_operand(1, 5),
+            Word::make_packed_operand(3, 31),
+            Word::make_packed_operand(0, 0),
+            Word::make_packed_operand(7, 1),
+        ];
+        let w = Word::packed(ops);
+        assert_eq!(w.packed_operands(), Some(ops));
+        assert_eq!(Word::packed_operand(ops[1]), (3, 31));
+    }
+
+    #[test]
+    fn var_slots() {
+        assert_eq!(Word::first_var(9).var_slot(), Some(9));
+        assert_eq!(Word::local_var(9).var_slot(), Some(9));
+        assert_eq!(Word::int(9).var_slot(), None);
+    }
+
+    #[test]
+    fn raw_roundtrip_rejects_bad_tags() {
+        let w = Word::int(-1);
+        assert_eq!(Word::from_raw(w.raw()), Some(w));
+        assert_eq!(Word::from_raw(0xFF_0000_0000), None);
+    }
+
+    #[test]
+    fn default_is_undef() {
+        assert!(Word::default().is_undef());
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Word::undef()).is_empty());
+        assert!(format!("{:x}", Word::int(15)).ends_with('f'));
+    }
+}

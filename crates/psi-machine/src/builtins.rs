@@ -1,0 +1,216 @@
+//! Built-in predicate registry.
+//!
+//! §3.2 of the paper measures built-in call rates of 82% (WINDOW) and
+//! 65% (BUP) — built-ins dominate calls but not steps, because they
+//! are executed entirely by microcode. This module enumerates the
+//! built-ins of our KL0 subset; execution lives in the machine.
+
+use std::fmt;
+
+/// A built-in predicate of the simulated KL0 system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum Builtin {
+    /// `true/0`.
+    True = 0,
+    /// `fail/0` (also `false/0`).
+    Fail,
+    /// `=/2` — unification.
+    Unify,
+    /// `\=/2` — non-unifiability test.
+    NotUnify,
+    /// `is/2` — arithmetic evaluation.
+    Is,
+    /// `</2`.
+    Lt,
+    /// `>/2`.
+    Gt,
+    /// `=</2`.
+    Le,
+    /// `>=/2`.
+    Ge,
+    /// `=:=/2` — arithmetic equality.
+    ArithEq,
+    /// `=\=/2` — arithmetic inequality.
+    ArithNe,
+    /// `==/2` — structural identity.
+    TermEq,
+    /// `\==/2` — structural non-identity.
+    TermNe,
+    /// `var/1`.
+    Var,
+    /// `nonvar/1`.
+    Nonvar,
+    /// `atom/1`.
+    Atom,
+    /// `atomic/1`.
+    Atomic,
+    /// `integer/1`.
+    Integer,
+    /// `functor/3`.
+    Functor,
+    /// `arg/3`.
+    Arg,
+    /// `write/1` — renders into the machine's output buffer.
+    Write,
+    /// `nl/0`.
+    Nl,
+    /// `tab/1`.
+    Tab,
+    /// `vector/2` — `vector(V, N)` allocates an N-element rewritable
+    /// heap vector (the "heap vector" data of §4.2, used by WINDOW).
+    VectorNew,
+    /// `vget/3` — `vget(V, I, X)` reads element I.
+    VectorGet,
+    /// `vset/3` — `vset(V, I, X)` destructively writes element I.
+    VectorSet,
+    /// `yield/0` — cooperative process switch (§2.1 multi-process
+    /// support; exercised by WINDOW-2/3).
+    Yield,
+    /// `halt/0` — terminate the current process successfully.
+    Halt,
+}
+
+impl Builtin {
+    /// All built-ins.
+    pub const ALL: [Builtin; 28] = [
+        Builtin::True,
+        Builtin::Fail,
+        Builtin::Unify,
+        Builtin::NotUnify,
+        Builtin::Is,
+        Builtin::Lt,
+        Builtin::Gt,
+        Builtin::Le,
+        Builtin::Ge,
+        Builtin::ArithEq,
+        Builtin::ArithNe,
+        Builtin::TermEq,
+        Builtin::TermNe,
+        Builtin::Var,
+        Builtin::Nonvar,
+        Builtin::Atom,
+        Builtin::Atomic,
+        Builtin::Integer,
+        Builtin::Functor,
+        Builtin::Arg,
+        Builtin::Write,
+        Builtin::Nl,
+        Builtin::Tab,
+        Builtin::VectorNew,
+        Builtin::VectorGet,
+        Builtin::VectorSet,
+        Builtin::Yield,
+        Builtin::Halt,
+    ];
+
+    /// Resolves `name/arity` to a built-in.
+    pub fn lookup(name: &str, arity: usize) -> Option<Builtin> {
+        Some(match (name, arity) {
+            ("true", 0) => Builtin::True,
+            ("fail", 0) | ("false", 0) => Builtin::Fail,
+            ("=", 2) => Builtin::Unify,
+            ("\\=", 2) => Builtin::NotUnify,
+            ("is", 2) => Builtin::Is,
+            ("<", 2) => Builtin::Lt,
+            (">", 2) => Builtin::Gt,
+            ("=<", 2) => Builtin::Le,
+            (">=", 2) => Builtin::Ge,
+            ("=:=", 2) => Builtin::ArithEq,
+            ("=\\=", 2) => Builtin::ArithNe,
+            ("==", 2) => Builtin::TermEq,
+            ("\\==", 2) => Builtin::TermNe,
+            ("var", 1) => Builtin::Var,
+            ("nonvar", 1) => Builtin::Nonvar,
+            ("atom", 1) => Builtin::Atom,
+            ("atomic", 1) => Builtin::Atomic,
+            ("integer", 1) => Builtin::Integer,
+            ("functor", 3) => Builtin::Functor,
+            ("arg", 3) => Builtin::Arg,
+            ("write", 1) => Builtin::Write,
+            ("nl", 0) => Builtin::Nl,
+            ("tab", 1) => Builtin::Tab,
+            ("vector", 2) => Builtin::VectorNew,
+            ("vget", 3) => Builtin::VectorGet,
+            ("vset", 3) => Builtin::VectorSet,
+            ("yield", 0) => Builtin::Yield,
+            ("halt", 0) => Builtin::Halt,
+            _ => return None,
+        })
+    }
+
+    /// The identifier encoded in a
+    /// [`BuiltinGoal`](psi_core::Tag::BuiltinGoal) word.
+    pub fn id(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes an id from a `BuiltinGoal` word.
+    pub fn from_id(id: u32) -> Option<Builtin> {
+        Builtin::ALL.get(id as usize).copied()
+    }
+
+    /// The arity of this built-in.
+    pub fn arity(self) -> u8 {
+        match self {
+            Builtin::True
+            | Builtin::Fail
+            | Builtin::Nl
+            | Builtin::Yield
+            | Builtin::Halt => 0,
+            Builtin::Var
+            | Builtin::Nonvar
+            | Builtin::Atom
+            | Builtin::Atomic
+            | Builtin::Integer
+            | Builtin::Write
+            | Builtin::Tab => 1,
+            Builtin::Functor | Builtin::Arg | Builtin::VectorGet | Builtin::VectorSet => 3,
+            _ => 2,
+        }
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}/{}", self.arity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for b in Builtin::ALL {
+            assert_eq!(Builtin::from_id(b.id()), Some(b), "{b}");
+        }
+        assert_eq!(Builtin::from_id(9999), None);
+    }
+
+    #[test]
+    fn lookup_matches_arity() {
+        assert_eq!(Builtin::lookup("is", 2), Some(Builtin::Is));
+        assert_eq!(Builtin::lookup("is", 3), None);
+        assert_eq!(Builtin::lookup("=", 2), Some(Builtin::Unify));
+        assert_eq!(Builtin::lookup("frobnicate", 1), None);
+        assert_eq!(Builtin::lookup("false", 0), Some(Builtin::Fail));
+    }
+
+    #[test]
+    fn arities_are_consistent_with_lookup() {
+        let names = [
+            ("true", 0),
+            ("=", 2),
+            ("var", 1),
+            ("functor", 3),
+            ("vset", 3),
+            ("yield", 0),
+        ];
+        for (name, arity) in names {
+            let b = Builtin::lookup(name, arity).unwrap();
+            assert_eq!(b.arity() as usize, arity, "{name}");
+        }
+    }
+}

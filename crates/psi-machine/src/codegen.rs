@@ -1,0 +1,622 @@
+//! Compilation of lowered KL0 clauses into PSI machine-resident
+//! instruction code.
+//!
+//! §2.1: "a microprogrammed interpreter interprets and executes
+//! machine-resident expressions of KL0 programs (instruction code)...
+//! each atom, predicate name and variable is mainly expressed in a
+//! word containing the corresponding tags. If arguments for a
+//! predicate don't require one-word length expressions, up to four
+//! 8-bit arguments are packed into one word."
+//!
+//! A clause compiles to a contiguous block in the heap area:
+//!
+//! ```text
+//! ClauseHead(arity, nlocals)
+//! <arity head argument words>
+//! { Goal|BuiltinGoal(id, nargs)  <argument words | one Packed word> }*
+//! { CutGoal }*
+//! EndBody
+//! ```
+//!
+//! Static list/structure skeletons are emitted as separate heap blocks
+//! referenced by `CodeList`/`CodeVect` words. Local variables are
+//! numbered in the exact order the interpreter traverses the clause,
+//! so a `FirstVar` word always precedes any `LocalVar` for the same
+//! slot at run time.
+
+use crate::Builtin;
+use kl0::{FlatGoal, LoweredProgram, PredicateKey, Program, Term};
+use psi_core::{PsiError, Result, SymbolTable, Tag, Word};
+use std::collections::HashMap;
+
+/// Compiled code for one clause.
+#[derive(Debug, Clone, Copy)]
+pub struct ClauseCode {
+    /// Heap offset of the `ClauseHead` word.
+    pub addr: u32,
+    /// Head arity.
+    pub arity: u8,
+    /// Number of local variable slots.
+    pub nlocals: u16,
+}
+
+/// A predicate table entry.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    /// Predicate name.
+    pub name: String,
+    /// Arity.
+    pub arity: u8,
+    /// Clauses in source order. Empty means "called but never
+    /// defined" (a runtime error, as on the real system).
+    pub clauses: Vec<ClauseCode>,
+}
+
+impl Predicate {
+    /// `name/arity` for error messages.
+    pub fn indicator(&self) -> String {
+        format!("{}/{}", self.name, self.arity)
+    }
+}
+
+/// A compiled query: entry predicate plus its variable names in
+/// argument order.
+#[derive(Debug, Clone)]
+pub struct QueryCode {
+    /// Index of the generated `$query` predicate.
+    pub pred: u32,
+    /// The query's variable names, one per argument.
+    pub vars: Vec<String>,
+}
+
+/// The machine-resident code image: heap words plus the predicate
+/// table and symbol table.
+#[derive(Debug, Clone)]
+pub struct CodeImage {
+    heap: Vec<Word>,
+    preds: Vec<Predicate>,
+    index: HashMap<PredicateKey, u32>,
+    symbols: SymbolTable,
+    query_counter: u32,
+}
+
+impl CodeImage {
+    /// Creates an empty image.
+    pub fn new() -> CodeImage {
+        CodeImage {
+            heap: Vec::new(),
+            preds: Vec::new(),
+            index: HashMap::new(),
+            symbols: SymbolTable::new(),
+            query_counter: 0,
+        }
+    }
+
+    /// Compiles a whole lowered program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsiError::Compile`] for clauses that redefine
+    /// built-ins or exceed encoding limits (255 arguments, 65535
+    /// locals).
+    pub fn compile(program: &LoweredProgram) -> Result<CodeImage> {
+        let mut image = CodeImage::new();
+        image.add_program(program)?;
+        Ok(image)
+    }
+
+    /// Adds a lowered program to the image (incremental consult).
+    ///
+    /// # Errors
+    ///
+    /// See [`CodeImage::compile`].
+    pub fn add_program(&mut self, program: &LoweredProgram) -> Result<()> {
+        // Pass 1: ensure predicate entries exist so calls can resolve
+        // forward references.
+        for key in program.predicates() {
+            if Builtin::lookup(&key.0, key.1).is_some() {
+                return Err(PsiError::Compile {
+                    detail: format!("cannot redefine built-in {}/{}", key.0, key.1),
+                });
+            }
+            self.pred_index(key)?;
+        }
+        // Pass 2: compile clauses.
+        for key in program.predicates() {
+            for clause in program.clauses_for(key) {
+                let code = self.compile_clause(&clause.head, &clause.goals)?;
+                let idx = self.pred_index(key)?;
+                self.preds[idx as usize].clauses.push(code);
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles `goal` as a query, producing a fresh entry predicate
+    /// whose arguments are the goal's variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsiError::Compile`] if the goal has more than 255
+    /// variables or contains unsupported constructs.
+    pub fn compile_query(&mut self, goal: &Term) -> Result<QueryCode> {
+        self.query_counter += 1;
+        let name = format!("$query{}", self.query_counter);
+        let vars: Vec<String> =
+            goal.variables().into_iter().map(str::to_owned).collect();
+        if vars.len() > 255 {
+            return Err(PsiError::Compile {
+                detail: "query has more than 255 variables".into(),
+            });
+        }
+        let head = Term::compound(&name, vars.iter().map(|v| Term::var(v)).collect());
+        let mut program = Program::new();
+        program.add_clause(kl0::Clause {
+            head,
+            body: Some(goal.clone()),
+        })?;
+        let lowered = LoweredProgram::lower(&program)?;
+        self.add_program(&lowered)?;
+        let pred = self.lookup(&(name, vars.len())).expect("just compiled");
+        Ok(QueryCode { pred, vars })
+    }
+
+    /// The compiled heap image.
+    pub fn heap(&self) -> &[Word] {
+        &self.heap
+    }
+
+    /// The predicate table.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Looks up a predicate index.
+    pub fn lookup(&self, key: &PredicateKey) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// The predicate at `idx`.
+    pub fn predicate(&self, idx: u32) -> &Predicate {
+        &self.preds[idx as usize]
+    }
+
+    /// The symbol table (shared with the machine for decoding).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Mutable symbol table access.
+    pub fn symbols_mut(&mut self) -> &mut SymbolTable {
+        &mut self.symbols
+    }
+
+    fn pred_index(&mut self, key: &PredicateKey) -> Result<u32> {
+        if let Some(&idx) = self.index.get(key) {
+            return Ok(idx);
+        }
+        if key.1 > 255 {
+            return Err(PsiError::Compile {
+                detail: format!("predicate {}/{} exceeds 255 arguments", key.0, key.1),
+            });
+        }
+        let idx = self.preds.len() as u32;
+        self.preds.push(Predicate {
+            name: key.0.clone(),
+            arity: key.1 as u8,
+            clauses: Vec::new(),
+        });
+        self.index.insert(key.clone(), idx);
+        Ok(idx)
+    }
+
+    fn compile_clause(&mut self, head: &Term, goals: &[FlatGoal]) -> Result<ClauseCode> {
+        let (_, arity) = head.functor().ok_or_else(|| PsiError::Compile {
+            detail: format!("clause head is not callable: {head}"),
+        })?;
+        let mut ctx = ClauseCtx::new(head, goals);
+        let mut body = Vec::new();
+
+        // Head arguments (never packed; head unification examines each
+        // word's full tag).
+        if let Term::Struct(_, args) = head {
+            for arg in args {
+                let w = self.encode_term(arg, &mut ctx, true)?;
+                body.push(w);
+            }
+        }
+
+        // Body goals.
+        for goal in goals {
+            match goal {
+                FlatGoal::Cut => body.push(Word::cut_goal()),
+                FlatGoal::Call(term) => self.encode_goal(term, &mut ctx, &mut body)?,
+            }
+        }
+        body.push(Word::end_body());
+
+        if ctx.next_slot > u16::MAX as u32 {
+            return Err(PsiError::Compile {
+                detail: "clause exceeds 65535 local variables".into(),
+            });
+        }
+
+        // The skeletons were appended during encoding; the clause block
+        // goes after them.
+        let addr = self.heap.len() as u32;
+        self.heap
+            .push(Word::clause_head(arity as u8, ctx.next_slot as u16));
+        self.heap.extend_from_slice(&body);
+        Ok(ClauseCode {
+            addr,
+            arity: arity as u8,
+            nlocals: ctx.next_slot as u16,
+        })
+    }
+
+    fn encode_goal(
+        &mut self,
+        term: &Term,
+        ctx: &mut ClauseCtx,
+        body: &mut Vec<Word>,
+    ) -> Result<()> {
+        let (name, nargs) = term.functor().ok_or_else(|| PsiError::Compile {
+            detail: format!("goal is not callable: {term}"),
+        })?;
+        let header = if let Some(b) = Builtin::lookup(name, nargs) {
+            Word::builtin_goal(b.id(), nargs as u8)
+        } else {
+            let idx = self.pred_index(&(name.to_owned(), nargs))?;
+            Word::goal(idx, nargs as u8)
+        };
+        body.push(header);
+        let args: &[Term] = match term {
+            Term::Struct(_, args) => args,
+            _ => &[],
+        };
+        // §2.1 packing: up to four 8-bit arguments in one word.
+        if !args.is_empty() && args.len() <= 4 && ctx.all_packable(args) {
+            let mut ops = [0u8; 4];
+            for (i, arg) in args.iter().enumerate() {
+                ops[i] = ctx.pack(arg);
+            }
+            body.push(Word::packed(ops));
+            return Ok(());
+        }
+        for arg in args {
+            let w = self.encode_term(arg, ctx, false)?;
+            body.push(w);
+        }
+        Ok(())
+    }
+
+    fn encode_term(
+        &mut self,
+        term: &Term,
+        ctx: &mut ClauseCtx,
+        in_head: bool,
+    ) -> Result<Word> {
+        Ok(match term {
+            Term::Atom(a) if a == "[]" => Word::nil(),
+            Term::Atom(a) => {
+                let id = self.symbols.intern(a);
+                Word::atom(id)
+            }
+            Term::Int(i) => Word::int(*i),
+            Term::Var(v) => ctx.encode_var(v),
+            Term::Struct(f, args) if f == "." && args.len() == 2 => {
+                // Reserve the two cons words, then fill them in
+                // traversal order so slot numbering matches execution.
+                let base = self.heap.len();
+                self.heap.push(Word::undef());
+                self.heap.push(Word::undef());
+                let car = self.encode_term(&args[0], ctx, in_head)?;
+                self.heap[base] = car;
+                let cdr = self.encode_term(&args[1], ctx, in_head)?;
+                self.heap[base + 1] = cdr;
+                Word::code_list(base as u32)
+            }
+            Term::Struct(f, args) => {
+                if args.len() > 255 {
+                    return Err(PsiError::Compile {
+                        detail: format!("structure {f} exceeds 255 arguments"),
+                    });
+                }
+                let id = self.symbols.intern(f);
+                let base = self.heap.len();
+                self.heap.push(Word::functor(psi_core::Functor::new(
+                    id,
+                    args.len() as u8,
+                )));
+                for _ in args {
+                    self.heap.push(Word::undef());
+                }
+                for (i, arg) in args.iter().enumerate() {
+                    let w = self.encode_term(arg, ctx, in_head)?;
+                    self.heap[base + 1 + i] = w;
+                }
+                Word::code_vect(base as u32)
+            }
+        })
+    }
+}
+
+impl Default for CodeImage {
+    fn default() -> CodeImage {
+        CodeImage::new()
+    }
+}
+
+/// Per-clause compilation context: variable slot assignment and
+/// singleton detection.
+struct ClauseCtx {
+    slots: HashMap<String, u32>,
+    occurrences: HashMap<String, u32>,
+    next_slot: u32,
+}
+
+impl ClauseCtx {
+    fn new(head: &Term, goals: &[FlatGoal]) -> ClauseCtx {
+        let mut true_counts: HashMap<String, u32> = HashMap::new();
+        fn walk(t: &Term, counts: &mut HashMap<String, u32>) {
+            match t {
+                Term::Var(v) => *counts.entry(v.clone()).or_default() += 1,
+                Term::Struct(_, args) => {
+                    for a in args {
+                        walk(a, counts);
+                    }
+                }
+                _ => {}
+            }
+        }
+        walk(head, &mut true_counts);
+        for g in goals {
+            if let FlatGoal::Call(t) = g {
+                walk(t, &mut true_counts);
+            }
+        }
+        ClauseCtx {
+            slots: HashMap::new(),
+            occurrences: true_counts,
+            next_slot: 0,
+        }
+    }
+
+    fn is_singleton(&self, v: &str) -> bool {
+        self.occurrences.get(v).copied().unwrap_or(0) <= 1
+    }
+
+    fn encode_var(&mut self, v: &str) -> Word {
+        if self.is_singleton(v) {
+            return Word::void();
+        }
+        if let Some(&slot) = self.slots.get(v) {
+            Word::local_var(slot as u16)
+        } else {
+            let slot = self.next_slot;
+            self.slots.insert(v.to_owned(), slot);
+            self.next_slot += 1;
+            Word::first_var(slot as u16)
+        }
+    }
+
+    /// Can every argument be expressed as a packed 8-bit operand
+    /// (3-bit tag + 5-bit payload)?
+    fn all_packable(&self, args: &[Term]) -> bool {
+        let mut pending_new = 0u32;
+        args.iter().all(|a| match a {
+            Term::Int(i) => (0..32).contains(i),
+            Term::Atom(a) => a == "[]",
+            Term::Var(v) => {
+                if self.is_singleton(v) {
+                    true
+                } else if let Some(&slot) = self.slots.get(v) {
+                    slot < 32
+                } else {
+                    pending_new += 1;
+                    self.next_slot + pending_new - 1 < 32
+                }
+            }
+            Term::Struct(..) => false,
+        })
+    }
+
+    /// Packs one argument (must have been vetted by
+    /// [`ClauseCtx::all_packable`]).
+    fn pack(&mut self, arg: &Term) -> u8 {
+        match arg {
+            Term::Int(i) => {
+                Word::make_packed_operand(Tag::Int.packed_tag().expect("int packs"), *i as u8)
+            }
+            Term::Atom(_) => {
+                Word::make_packed_operand(Tag::Nil.packed_tag().expect("nil packs"), 0)
+            }
+            Term::Var(v) => {
+                if self.is_singleton(v) {
+                    Word::make_packed_operand(Tag::Void.packed_tag().expect("void packs"), 0)
+                } else if let Some(&slot) = self.slots.get(v) {
+                    Word::make_packed_operand(
+                        Tag::LocalVar.packed_tag().expect("local packs"),
+                        slot as u8,
+                    )
+                } else {
+                    let slot = self.next_slot;
+                    self.slots.insert(v.clone(), slot);
+                    self.next_slot += 1;
+                    Word::make_packed_operand(
+                        Tag::FirstVar.packed_tag().expect("first packs"),
+                        slot as u8,
+                    )
+                }
+            }
+            Term::Struct(..) => unreachable!("structures are never packable"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kl0::Program;
+
+    fn image(src: &str) -> CodeImage {
+        let p = Program::parse(src).unwrap();
+        let lp = LoweredProgram::lower(&p).unwrap();
+        CodeImage::compile(&lp).unwrap()
+    }
+
+    #[test]
+    fn fact_layout() {
+        let img = image("p(a, 1, []).");
+        let pred = img.lookup(&("p".into(), 3)).unwrap();
+        let clause = img.predicate(pred).clauses[0];
+        assert_eq!(clause.arity, 3);
+        assert_eq!(clause.nlocals, 0);
+        let h = img.heap();
+        let (arity, nlocals) = h[clause.addr as usize].clause_head_value().unwrap();
+        assert_eq!((arity, nlocals), (3, 0));
+        assert_eq!(h[clause.addr as usize + 1].tag(), Tag::Atom);
+        assert_eq!(h[clause.addr as usize + 2].int_value(), Some(1));
+        assert_eq!(h[clause.addr as usize + 3].tag(), Tag::Nil);
+        assert_eq!(h[clause.addr as usize + 4].tag(), Tag::EndBody);
+    }
+
+    #[test]
+    fn variables_get_slots_in_traversal_order() {
+        let img = image("p(X, Y, X, Y).");
+        let pred = img.lookup(&("p".into(), 4)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        let a = c.addr as usize;
+        assert_eq!(h[a + 1], Word::first_var(0)); // X
+        assert_eq!(h[a + 2], Word::first_var(1)); // Y
+        assert_eq!(h[a + 3], Word::local_var(0)); // X again
+        assert_eq!(h[a + 4], Word::local_var(1)); // Y again
+        assert_eq!(c.nlocals, 2);
+    }
+
+    #[test]
+    fn singletons_become_void() {
+        let img = image("p(X, Y) :- q(X).");
+        let pred = img.lookup(&("p".into(), 2)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        assert_eq!(h[c.addr as usize + 1], Word::first_var(0)); // X used twice
+        assert_eq!(h[c.addr as usize + 2], Word::void()); // Y singleton
+        assert_eq!(c.nlocals, 1);
+    }
+
+    #[test]
+    fn list_skeletons_are_emitted_before_the_clause() {
+        let img = image("p([H|T]) :- p(T), q(H).");
+        let pred = img.lookup(&("p".into(), 1)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        let arg = h[c.addr as usize + 1];
+        assert_eq!(arg.tag(), Tag::CodeList);
+        let skel = arg.data() as usize;
+        assert!(skel < c.addr as usize, "skeleton precedes clause block");
+        assert_eq!(h[skel], Word::first_var(0)); // H
+        assert_eq!(h[skel + 1], Word::first_var(1)); // T
+    }
+
+    #[test]
+    fn structure_skeleton_layout() {
+        let img = image("p(f(a, g(X), X)).");
+        let pred = img.lookup(&("p".into(), 1)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        let arg = h[c.addr as usize + 1];
+        assert_eq!(arg.tag(), Tag::CodeVect);
+        let base = arg.data() as usize;
+        let f = h[base].functor_value().unwrap();
+        assert_eq!(f.arity, 3);
+        assert_eq!(img.symbols().name(f.symbol), "f");
+        assert_eq!(h[base + 1].tag(), Tag::Atom);
+        assert_eq!(h[base + 2].tag(), Tag::CodeVect);
+        assert_eq!(h[base + 3], Word::local_var(0)); // X first occurs inside g(X)
+        let inner = h[base + 2].data() as usize;
+        assert_eq!(h[inner + 1], Word::first_var(0));
+    }
+
+    #[test]
+    fn small_goal_args_are_packed() {
+        let img = image("p(X) :- q(X, 3, []).");
+        let q = img.lookup(&("q".into(), 3)).unwrap();
+        assert!(img.predicate(q).clauses.is_empty(), "q is undefined");
+        let pred = img.lookup(&("p".into(), 1)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        // header, head arg X, goal word, packed word, endbody
+        let goal = h[c.addr as usize + 2];
+        assert_eq!(goal.tag(), Tag::Goal);
+        let packed = h[c.addr as usize + 3];
+        assert_eq!(packed.tag(), Tag::Packed);
+        let ops = packed.packed_operands().unwrap();
+        let (t0, p0) = Word::packed_operand(ops[0]);
+        assert_eq!(t0, Tag::LocalVar.packed_tag().unwrap());
+        assert_eq!(p0, 0);
+        let (t1, p1) = Word::packed_operand(ops[1]);
+        assert_eq!(t1, Tag::Int.packed_tag().unwrap());
+        assert_eq!(p1, 3);
+        let (t2, _) = Word::packed_operand(ops[2]);
+        assert_eq!(t2, Tag::Nil.packed_tag().unwrap());
+    }
+
+    #[test]
+    fn atoms_and_structures_are_not_packed() {
+        let img = image("p :- q(foo, 3).");
+        let pred = img.lookup(&("p".into(), 0)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        let goal = h[c.addr as usize + 1];
+        assert_eq!(goal.tag(), Tag::Goal);
+        assert_eq!(h[c.addr as usize + 2].tag(), Tag::Atom);
+        assert_eq!(h[c.addr as usize + 3].tag(), Tag::Int);
+    }
+
+    #[test]
+    fn builtins_are_resolved() {
+        let img = image("p(X, Y) :- X is Y + 1.");
+        let pred = img.lookup(&("p".into(), 2)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        let goal = h[c.addr as usize + 3];
+        assert_eq!(goal.tag(), Tag::BuiltinGoal);
+        let (id, nargs) = goal.goal_value().unwrap();
+        assert_eq!(Builtin::from_id(id), Some(Builtin::Is));
+        assert_eq!(nargs, 2);
+    }
+
+    #[test]
+    fn redefining_builtins_is_rejected() {
+        let p = Program::parse("is(X, X).").unwrap();
+        let lp = LoweredProgram::lower(&p).unwrap();
+        assert!(CodeImage::compile(&lp).is_err());
+    }
+
+    #[test]
+    fn query_compilation() {
+        let mut img = image("p(1). p(2).");
+        let q = img
+            .compile_query(&kl0::parser::parse_term("p(X), p(Y)").unwrap())
+            .unwrap();
+        assert_eq!(q.vars, vec!["X".to_owned(), "Y".to_owned()]);
+        let pred = img.predicate(q.pred);
+        assert_eq!(pred.arity, 2);
+        assert_eq!(pred.clauses.len(), 1);
+    }
+
+    #[test]
+    fn cut_compiles_to_cut_goal() {
+        let img = image("p :- q, !, r. q. r.");
+        let pred = img.lookup(&("p".into(), 0)).unwrap();
+        let c = img.predicate(pred).clauses[0];
+        let h = img.heap();
+        // header, goal q, cut, goal r, endbody
+        assert_eq!(h[c.addr as usize + 1].tag(), Tag::Goal);
+        assert_eq!(h[c.addr as usize + 2].tag(), Tag::CutGoal);
+        assert_eq!(h[c.addr as usize + 3].tag(), Tag::Goal);
+        assert_eq!(h[c.addr as usize + 4].tag(), Tag::EndBody);
+    }
+}

@@ -1,0 +1,1201 @@
+//! Execution engine: micro-op primitives, call/return/backtrack/cut,
+//! frame buffers, and built-in predicates.
+
+use crate::machine::{Activation, ChoicePoint, Flow, Machine, ProcStatus};
+use crate::ucode::{BranchOp, InterpModule};
+use crate::wf::{WfField, WfMode};
+use crate::Builtin;
+use psi_core::{Address, Area, PsiError, Result, Tag, Word};
+
+/// Words in a control frame (environment or choice point), §2.1:
+/// "The control stack contains 10-word control frames".
+pub(crate) const CONTROL_FRAME_WORDS: u32 = 10;
+
+impl Machine {
+    // ------------------------------------------------- micro primitives
+
+    pub(crate) fn micro(&mut self, m: InterpModule, op: BranchOp, data: bool) {
+        self.tally.step(m, op, data);
+        self.bus.tick(self.config.cycle_ns);
+    }
+
+    pub(crate) fn micro_seq(&mut self, m: InterpModule, data: bool) {
+        self.tally.step_seq(m, data);
+        self.bus.tick(self.config.cycle_ns);
+    }
+
+    pub(crate) fn micro_cond(&mut self, m: InterpModule, data: bool) {
+        self.tally.step_cond(m, data);
+        self.bus.tick(self.config.cycle_ns);
+    }
+
+    pub(crate) fn micro_goto(&mut self, m: InterpModule, data: bool) {
+        self.tally.step_goto(m, data);
+        self.bus.tick(self.config.cycle_ns);
+    }
+
+    /// An ALU step combining two registers into a third.
+    pub(crate) fn alu_step(&mut self, m: InterpModule) {
+        self.micro_seq(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+        self.wf.touch_write(WfMode::Direct10);
+    }
+
+    /// A comparison against a constant from the WF constant area.
+    pub(crate) fn test_const_step(&mut self, m: InterpModule) {
+        self.micro_cond(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Constant);
+        self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+    }
+
+    // -------------------------------------------------- memory accesses
+
+    pub(crate) fn heap_addr(&self, off: u32) -> Address {
+        Address::heap(off)
+    }
+
+    pub(crate) fn local_addr(&self, off: u32) -> Address {
+        Address::new(self.procs[self.cur].pid, Area::LocalStack, off)
+    }
+
+    pub(crate) fn global_addr(&self, off: u32) -> Address {
+        Address::new(self.procs[self.cur].pid, Area::GlobalStack, off)
+    }
+
+    pub(crate) fn ctl_addr(&self, off: u32) -> Address {
+        Address::new(self.procs[self.cur].pid, Area::ControlStack, off)
+    }
+
+    pub(crate) fn trail_addr(&self, off: u32) -> Address {
+        Address::new(self.procs[self.cur].pid, Area::TrailStack, off)
+    }
+
+    /// Instruction fetch from the heap area (the dominant heap traffic
+    /// of Table 4).
+    pub(crate) fn fetch_code(
+        &mut self,
+        m: InterpModule,
+        op: BranchOp,
+        off: u32,
+    ) -> Result<Word> {
+        self.micro(m, op, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        let w = self.bus.read(self.heap_addr(off));
+        // Decode the fetched word and advance the code pointer: the
+        // real microcode spends extra cycles per fetched word (tag
+        // extraction, pointer increment, field moves).
+        self.micro_seq(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct00);
+        self.wf.touch_write(WfMode::Direct10);
+        self.micro_cond(m, true);
+        self.micro_cond(m, false);
+        self.micro_goto(m, true);
+        w
+    }
+
+    /// Reads a cell that may hold a raw unbound marker, converting it
+    /// to a reference to the cell itself so the caller can bind it.
+    pub(crate) fn read_value(&mut self, m: InterpModule, addr: Address) -> Result<Word> {
+        let w = self.mem_read(m, addr)?;
+        Ok(if w.is_undef() {
+            Word::reference(addr)
+        } else {
+            w
+        })
+    }
+
+    pub(crate) fn mem_read(&mut self, m: InterpModule, addr: Address) -> Result<Word> {
+        // Address generation (with an area bounds test), then the
+        // access cycle.
+        self.micro_cond(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.wf.touch_write(WfMode::Direct00);
+        self.micro_seq(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.bus.read(addr)
+    }
+
+    /// A read that dispatches on the tag of the fetched word.
+    pub(crate) fn mem_read_dispatch(
+        &mut self,
+        m: InterpModule,
+        addr: Address,
+    ) -> Result<Word> {
+        self.micro(m, BranchOp::IfTag, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+        self.wf.touch_write(WfMode::Direct00);
+        self.micro(m, BranchOp::CaseTag, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.bus.read(addr)
+    }
+
+    pub(crate) fn mem_write(&mut self, m: InterpModule, addr: Address, w: Word) -> Result<()> {
+        // Address generation (write-permission test), then the write
+        // cycle.
+        self.micro_cond(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct00);
+        self.micro_seq(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+        self.bus.write(addr, w)
+    }
+
+    /// A burst push (one word per cycle): frame writes stream through
+    /// WFAR1 auto-increment straight into write-stack commands, so no
+    /// separate address-generation cycle is needed.
+    pub(crate) fn mem_push_burst(&mut self, m: InterpModule, addr: Address, w: Word) -> Result<()> {
+        self.micro_goto(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::IndWfar1);
+        self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+        self.bus.write_stack(addr, w)
+    }
+
+    /// A push to a stack top, using the specialized write-stack cache
+    /// command (cache spec item (g)).
+    pub(crate) fn mem_push(&mut self, m: InterpModule, addr: Address, w: Word) -> Result<()> {
+        // Top-of-stack pointer update with overflow test, then the
+        // push cycle.
+        self.micro_cond(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.wf.touch_write(WfMode::Direct10);
+        self.micro_seq(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+        self.bus.write_stack(addr, w)
+    }
+
+    // ------------------------------------------------------ local slots
+
+    /// Reads local variable slot `slot` of the current activation —
+    /// from the WF frame buffer while buffered, from the local stack
+    /// once flushed.
+    pub(crate) fn read_slot(&mut self, m: InterpModule, slot: u16, auto: bool) -> Result<Word> {
+        let env = self.procs[self.cur].regs.env;
+        let act = &self.procs[self.cur].envs[env];
+        match act.buffer {
+            Some(buf) => {
+                self.micro_seq(m, true);
+                Ok(self.wf.read_buffer(buf, slot as u32, false, auto))
+            }
+            None => {
+                let addr = self.local_addr(act.locals_base + slot as u32);
+                self.mem_read(m, addr)
+            }
+        }
+    }
+
+    /// Writes local variable slot `slot` of the current activation.
+    pub(crate) fn write_slot(
+        &mut self,
+        m: InterpModule,
+        slot: u16,
+        w: Word,
+        auto: bool,
+    ) -> Result<()> {
+        let env = self.procs[self.cur].regs.env;
+        let act = &self.procs[self.cur].envs[env];
+        match act.buffer {
+            Some(buf) => {
+                self.micro_seq(m, true);
+                self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+                self.wf.write_buffer(buf, slot as u32, w, false, auto);
+                Ok(())
+            }
+            None => {
+                let addr = self.local_addr(act.locals_base + slot as u32);
+                self.mem_write(m, addr, w)
+            }
+        }
+    }
+
+    // ---------------------------------------------------- frame buffers
+
+    /// Acquires a WF frame buffer for a new activation of `nlocals`
+    /// slots, flushing the oldest buffered frame if both buffers are
+    /// taken (§2.2: "Two buffers are used alternately").
+    pub(crate) fn acquire_buffer(&mut self, nlocals: u16) -> Result<Option<usize>> {
+        if !self.config.frame_buffering || nlocals as u32 > crate::wf::FRAME_BUFFER_WORDS {
+            return Ok(None);
+        }
+        if self.procs[self.cur].buffered.len() >= 2 {
+            let oldest = self.procs[self.cur].buffered[0];
+            self.flush_env_buffer(oldest)?;
+        }
+        let used: Vec<usize> = self.procs[self.cur]
+            .buffered
+            .iter()
+            .filter_map(|&e| self.procs[self.cur].envs[e].buffer)
+            .collect();
+        let buf = (0..2).find(|b| !used.contains(b)).expect("a buffer is free");
+        Ok(Some(buf))
+    }
+
+    /// Writes a buffered activation's locals to the local stack and
+    /// releases its buffer.
+    pub(crate) fn flush_env_buffer(&mut self, env_id: usize) -> Result<()> {
+        let (buf, base, n) = {
+            let act = &self.procs[self.cur].envs[env_id];
+            match act.buffer {
+                Some(b) => (b, act.locals_base, act.nlocals),
+                None => return Ok(()),
+            }
+        };
+        let at_top = base + n as u32 == self.procs[self.cur].local_top;
+        for slot in 0..n {
+            self.micro_seq(InterpModule::Control, true);
+            let w = self.wf.read_buffer(buf, slot as u32, false, true);
+            let addr = self.local_addr(base + slot as u32);
+            self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+            if at_top {
+                self.bus.write_stack(addr, w)?;
+            } else {
+                self.bus.write(addr, w)?;
+            }
+        }
+        self.procs[self.cur].envs[env_id].buffer = None;
+        self.procs[self.cur].buffered.retain(|&e| e != env_id);
+        Ok(())
+    }
+
+    /// Flushes every buffered frame (choice-point creation and process
+    /// switches).
+    pub(crate) fn flush_all_buffers(&mut self) -> Result<()> {
+        while let Some(&oldest) = self.procs[self.cur].buffered.first() {
+            self.flush_env_buffer(oldest)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------ allocation
+
+    /// Allocates one fresh unbound cell on the global stack.
+    pub(crate) fn new_global_cell(&mut self, m: InterpModule) -> Result<Address> {
+        let off = self.procs[self.cur].global_top;
+        let addr = self.global_addr(off);
+        self.mem_push(m, addr, Word::undef())?;
+        self.procs[self.cur].global_top = off + 1;
+        Ok(addr)
+    }
+
+    // ------------------------------------------------------- user calls
+
+    pub(crate) fn handle_user_call(&mut self, goal: Word, code_ptr: u32) -> Result<Flow> {
+        let (pred, nargs) = goal.goal_value().expect("Goal word");
+        let (args, next_off) =
+            self.build_args(InterpModule::Control, code_ptr + 1, nargs)?;
+        self.user_calls += 1;
+        // Predicate-table lookup and register save: the call overhead
+        // the paper blames for PSI's slowness on simple programs
+        // (§3.1: "more execution management information to be
+        // stacked").
+        self.alu_step(InterpModule::Control);
+        self.alu_step(InterpModule::Control);
+        self.micro_cond(InterpModule::Control, true);
+        // Dispatch through the predicate table (indirect jump).
+        self.micro(InterpModule::Control, BranchOp::GotoJr1, false);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.call_predicate(pred, &args, next_off)
+    }
+
+    /// Calls `pred` with `args`; `next_off` is the caller's resume
+    /// point.
+    pub(crate) fn call_predicate(
+        &mut self,
+        pred: u32,
+        args: &[Word],
+        next_off: u32,
+    ) -> Result<Flow> {
+        let nclauses = self.image.predicate(pred).clauses.len();
+        if nclauses == 0 {
+            return Err(PsiError::UndefinedPredicate {
+                name: self.image.predicate(pred).indicator(),
+            });
+        }
+
+        let cur_env = self.procs[self.cur].regs.env;
+        let barrier = self.procs[self.cur].cps.len();
+
+        // Continuation: last-call optimization passes the caller's own
+        // continuation through when the environment is not protected
+        // by newer choice points (§2.2 tail recursion optimization).
+        let is_last = self.peek_is_end_body(next_off);
+        let act = self.procs[self.cur].envs[cur_env].clone();
+        let (cont_code, cont_env) = if is_last
+            && self.config.tail_recursion_opt
+            && self.procs[self.cur].cps.len() == act.entry_cps
+        {
+            self.micro_goto(InterpModule::Control, false);
+            self.discard_env(cur_env)?;
+            (act.cont_code, act.cont_env)
+        } else {
+            self.materialize_env(cur_env)?;
+            (next_off, Some(cur_env))
+        };
+
+        if nclauses > 1 {
+            self.push_choice_point(pred, 1, args.to_vec(), cont_code, cont_env, barrier)?;
+        }
+        if self.enter_clause(pred, 0, args, cont_code, cont_env, barrier)? {
+            Ok(Flow::Continue)
+        } else {
+            Ok(Flow::Backtrack)
+        }
+    }
+
+    /// Is the code word at `off` the end-of-body sentinel? (The
+    /// microcode knows this statically from the instruction stream;
+    /// no counted fetch.)
+    fn peek_is_end_body(&self, off: u32) -> bool {
+        self.image
+            .heap()
+            .get(off as usize)
+            .map(|w| w.tag() == Tag::EndBody)
+            .unwrap_or(false)
+    }
+
+    /// Discards an activation at a deterministic last call: frees its
+    /// buffer and reclaims its stack space when it sits on top.
+    fn discard_env(&mut self, env_id: usize) -> Result<()> {
+        let act = self.procs[self.cur].envs[env_id].clone();
+        if act.buffer.is_some() {
+            // The locals die with the activation; the buffer is simply
+            // released — this is exactly the saving TRO buys.
+            self.procs[self.cur].envs[env_id].buffer = None;
+            self.procs[self.cur].buffered.retain(|&e| e != env_id);
+        }
+        if env_id + 1 == self.procs[self.cur].envs.len() {
+            self.procs[self.cur].envs.pop();
+            let p = &mut self.procs[self.cur];
+            if act.locals_base + act.nlocals as u32 == p.local_top {
+                p.local_top = act.locals_base;
+            }
+            if let Some(ctl) = act.materialized {
+                if ctl + CONTROL_FRAME_WORDS == p.ctl_top {
+                    p.ctl_top = ctl;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Saves the activation's environment frame to the control stack
+    /// if not already saved (§2.1: control information "saved to the
+    /// control stack as necessary").
+    fn materialize_env(&mut self, env_id: usize) -> Result<()> {
+        if self.procs[self.cur].envs[env_id].materialized.is_some() {
+            return Ok(());
+        }
+        let base = self.procs[self.cur].ctl_top;
+        let act = self.procs[self.cur].envs[env_id].clone();
+        let payloads = [
+            0, // kind = environment
+            act.cont_code,
+            act.cont_env.map(|e| e as u32 + 1).unwrap_or(0),
+            act.locals_base,
+            act.nlocals as u32,
+            act.cut_barrier as u32,
+            act.entry_cps as u32,
+            self.procs[self.cur].pid.get() as u32,
+            0,
+            0,
+        ];
+        self.micro(InterpModule::Control, BranchOp::LoadJr, true);
+        for (i, p) in payloads.iter().enumerate() {
+            let addr = self.ctl_addr(base + i as u32);
+            self.mem_push_burst(InterpModule::Control, addr, Word::ctl(*p))?;
+        }
+        self.procs[self.cur].ctl_top = base + CONTROL_FRAME_WORDS;
+        self.procs[self.cur].envs[env_id].materialized = Some(base);
+        Ok(())
+    }
+
+    fn push_choice_point(
+        &mut self,
+        pred: u32,
+        next_clause: usize,
+        args: Vec<Word>,
+        cont_code: u32,
+        cont_env: Option<usize>,
+        barrier: usize,
+    ) -> Result<()> {
+        // A pending alternative forces the buffered frames to the
+        // local stack (§2.2: buffers are used "when no local frame
+        // have to be saved into the local stack").
+        self.flush_all_buffers()?;
+        let p = &self.procs[self.cur];
+        let cp = ChoicePoint {
+            pred,
+            next_clause,
+            args,
+            cont_code,
+            cont_env,
+            barrier,
+            saved_local_top: p.local_top,
+            saved_global_top: p.global_top,
+            saved_trail_top: p.trail_top,
+            saved_envs_len: p.envs.len(),
+            ctl_addr: p.ctl_top,
+        };
+        let base = cp.ctl_addr;
+        let payloads = [
+            1, // kind = choice point
+            pred,
+            next_clause as u32,
+            cont_code,
+            cp.saved_local_top,
+            cp.saved_global_top,
+            cp.saved_trail_top,
+            cp.saved_envs_len as u32,
+            cp.barrier as u32,
+            cp.cont_env.map(|e| e as u32 + 1).unwrap_or(0),
+        ];
+        self.micro(InterpModule::Control, BranchOp::LoadJr, true);
+        self.alu_step(InterpModule::Control);
+        self.alu_step(InterpModule::Control);
+        for (i, p) in payloads.iter().enumerate() {
+            let addr = self.ctl_addr(base + i as u32);
+            self.mem_push_burst(InterpModule::Control, addr, Word::ctl(*p))?;
+        }
+        self.procs[self.cur].ctl_top = base + CONTROL_FRAME_WORDS;
+        self.procs[self.cur].cps.push(cp);
+        Ok(())
+    }
+
+    /// Enters clause `clause_idx` of `pred`. Returns `false` if head
+    /// unification fails.
+    pub(crate) fn enter_clause(
+        &mut self,
+        pred: u32,
+        clause_idx: usize,
+        args: &[Word],
+        cont_code: u32,
+        cont_env: Option<usize>,
+        barrier: usize,
+    ) -> Result<bool> {
+        let cc = self.image.predicate(pred).clauses[clause_idx];
+        // Clause entry microsubroutine: header decode, local frame
+        // allocation, WF buffer setup.
+        self.micro(InterpModule::Control, BranchOp::Gosub, false);
+        let header =
+            self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, cc.addr)?;
+        debug_assert_eq!(header.tag(), Tag::ClauseHead);
+        self.alu_step(InterpModule::Control);
+        self.alu_step(InterpModule::Control);
+        self.micro_seq(InterpModule::Control, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.wf.touch_write(WfMode::Direct10);
+
+        let buffer = self.acquire_buffer(cc.nlocals)?;
+        let locals_base = self.procs[self.cur].local_top;
+        let act = Activation {
+            locals_base,
+            nlocals: cc.nlocals,
+            buffer,
+            materialized: None,
+            cont_code,
+            cont_env,
+            cut_barrier: barrier,
+            entry_cps: self.procs[self.cur].cps.len(),
+        };
+        {
+            let p = &mut self.procs[self.cur];
+            p.local_top += cc.nlocals as u32;
+            p.envs.push(act);
+            let env_id = p.envs.len() - 1;
+            p.regs.env = env_id;
+            if buffer.is_some() {
+                p.buffered.push(env_id);
+            }
+        }
+        // Unbuffered activations reserve their local-stack extent
+        // immediately (the area grows by write, so touch the last
+        // slot).
+        if buffer.is_none() && cc.nlocals > 0 {
+            let addr = self.local_addr(locals_base + cc.nlocals as u32 - 1);
+            self.bus.poke(addr, Word::undef())?;
+        }
+
+        // Head unification, argument by argument.
+        for (i, &arg) in args.iter().enumerate().take(cc.arity as usize) {
+            let w = self.fetch_code(
+                InterpModule::Unify,
+                BranchOp::CaseTag,
+                cc.addr + 1 + i as u32,
+            )?;
+            if !self.unify_head_arg(w, arg)? {
+                return Ok(false);
+            }
+        }
+        self.procs[self.cur].regs.code_ptr = cc.addr + 1 + cc.arity as u32;
+        Ok(true)
+    }
+
+    // -------------------------------------------------------- backtrack
+
+    /// Restores the newest choice point and retries its next clause.
+    /// Returns `false` when the process has no alternatives left.
+    pub(crate) fn backtrack(&mut self) -> Result<bool> {
+        loop {
+            if self.procs[self.cur].cps.is_empty() {
+                return Ok(false);
+            }
+            self.micro_goto(InterpModule::Control, false);
+            self.alu_step(InterpModule::Control);
+            self.alu_step(InterpModule::Control);
+            self.micro_cond(InterpModule::Control, true);
+
+            // Restore machine state from the choice point. The newest
+            // choice point's registers are held in the WF (§2.1:
+            // "Control information for the current execution is held
+            // in a register file"), so shallow backtracking re-reads
+            // only the clause-alternative word from memory.
+            let cp = self.procs[self.cur].cps.last().expect("nonempty").clone();
+            self.mem_read(InterpModule::Control, self.ctl_addr(cp.ctl_addr + 2))?;
+            self.wf.touch_read(WfField::Source1, WfMode::Direct00);
+            // Unwind the trail (Table 2 "trail" module).
+            while self.procs[self.cur].trail_top > cp.saved_trail_top {
+                let t = self.procs[self.cur].trail_top - 1;
+                self.procs[self.cur].trail_top = t;
+                self.wf.touch_trail_buffer(false);
+                let entry = self.mem_read_dispatch(InterpModule::Trail, self.trail_addr(t))?;
+                if let Some(cell) = entry.address_value() {
+                    self.mem_write(InterpModule::Trail, cell, Word::undef())?;
+                }
+            }
+            // Restore stack tops and the activation arena.
+            {
+                let pid = self.procs[self.cur].pid;
+                let p = &mut self.procs[self.cur];
+                p.local_top = cp.saved_local_top;
+                p.global_top = cp.saved_global_top;
+                // Control frames created after this choice point are
+                // dead; the choice point's own frame stays.
+                p.ctl_top = cp.ctl_addr + CONTROL_FRAME_WORDS;
+                p.envs.truncate(cp.saved_envs_len);
+                let envs_len = p.envs.len();
+                p.buffered.retain(|&e| e < envs_len);
+                // A surviving environment may have been saved to the
+                // control stack *after* this choice point was pushed
+                // (a non-TRO last call); its frame is gone now, so it
+                // must be re-saved if needed again.
+                let ct = p.ctl_top;
+                for act in &mut p.envs {
+                    if matches!(act.materialized, Some(a) if a >= ct) {
+                        act.materialized = None;
+                    }
+                }
+                // Keep the backing store honest: discarded cells must
+                // not be readable.
+                let (lt, gt, ct, tt) =
+                    (p.local_top, p.global_top, p.ctl_top, p.trail_top);
+                self.bus.memory_mut().truncate(pid, Area::LocalStack, lt);
+                self.bus.memory_mut().truncate(pid, Area::GlobalStack, gt);
+                self.bus.memory_mut().truncate(pid, Area::ControlStack, ct);
+                self.bus.memory_mut().truncate(pid, Area::TrailStack, tt);
+            }
+            self.micro_seq(InterpModule::Control, true);
+
+            let nclauses = self.image.predicate(cp.pred).clauses.len();
+            let clause_idx = cp.next_clause;
+            if clause_idx + 1 >= nclauses {
+                // Last alternative: pop the choice point (trust).
+                let p = &mut self.procs[self.cur];
+                p.cps.pop();
+                if cp.ctl_addr + CONTROL_FRAME_WORDS == p.ctl_top {
+                    p.ctl_top = cp.ctl_addr;
+                }
+                let ct = p.ctl_top;
+                let pid = p.pid;
+                self.bus.memory_mut().truncate(pid, Area::ControlStack, ct);
+            } else {
+                // Advance the alternative in place (one frame write).
+                let idx = self.procs[self.cur].cps.len() - 1;
+                self.procs[self.cur].cps[idx].next_clause += 1;
+                let addr = self.ctl_addr(cp.ctl_addr + 2);
+                self.mem_write(
+                    InterpModule::Control,
+                    addr,
+                    Word::ctl(clause_idx as u32 + 1),
+                )?;
+            }
+
+            if self.enter_clause(
+                cp.pred,
+                clause_idx,
+                &cp.args,
+                cp.cont_code,
+                cp.cont_env,
+                cp.barrier,
+            )? {
+                return Ok(true);
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- cut
+
+    pub(crate) fn handle_cut(&mut self, code_ptr: u32) -> Result<Flow> {
+        let env = self.procs[self.cur].regs.env;
+        let barrier = self.procs[self.cur].envs[env].cut_barrier;
+        while self.procs[self.cur].cps.len() > barrier {
+            self.micro(InterpModule::Cut, BranchOp::IfCond, true);
+            let cp = self.procs[self.cur].cps.pop().expect("nonempty");
+            let p = &mut self.procs[self.cur];
+            if cp.ctl_addr + CONTROL_FRAME_WORDS == p.ctl_top {
+                p.ctl_top = cp.ctl_addr;
+            }
+        }
+        self.micro_seq(InterpModule::Cut, false);
+        self.procs[self.cur].regs.code_ptr = code_ptr + 1;
+        Ok(Flow::Continue)
+    }
+
+    // ----------------------------------------------------------- return
+
+    pub(crate) fn handle_return(&mut self) -> Result<Flow> {
+        let env = self.procs[self.cur].regs.env;
+        let act = self.procs[self.cur].envs[env].clone();
+        let Some(cont_env) = act.cont_env else {
+            // The query activation finished: a solution.
+            self.micro(InterpModule::Control, BranchOp::Return, false);
+            return Ok(Flow::Solution);
+        };
+        // Reload the caller's control registers from its saved frame.
+        if let Some(frame) = self.procs[self.cur].envs[cont_env].materialized {
+            for i in 0..3 {
+                let addr = self.ctl_addr(frame + i);
+                self.mem_read(InterpModule::Control, addr)?;
+            }
+        }
+        self.try_reclaim(env);
+        self.alu_step(InterpModule::Control);
+        self.micro_cond(InterpModule::Control, true);
+        self.micro(InterpModule::Control, BranchOp::Return, false);
+        let p = &mut self.procs[self.cur];
+        p.regs.env = cont_env;
+        p.regs.code_ptr = act.cont_code;
+        Ok(Flow::Continue)
+    }
+
+    /// Pops a returning activation when nothing can reference it
+    /// anymore: it is the newest activation and no choice point was
+    /// created after its entry.
+    fn try_reclaim(&mut self, env_id: usize) {
+        let p = &mut self.procs[self.cur];
+        if env_id + 1 != p.envs.len() {
+            return;
+        }
+        let act = &p.envs[env_id];
+        if p.cps.len() > act.entry_cps {
+            return;
+        }
+        let act = p.envs.pop().expect("nonempty");
+        if let Some(_buf) = act.buffer {
+            p.buffered.retain(|&e| e != env_id);
+        }
+        if act.locals_base + act.nlocals as u32 == p.local_top {
+            p.local_top = act.locals_base;
+        }
+        if let Some(ctl) = act.materialized {
+            if ctl + CONTROL_FRAME_WORDS == p.ctl_top {
+                p.ctl_top = ctl;
+            }
+        }
+    }
+
+    // ------------------------------------------------------- arguments
+
+    /// Builds the argument vector of a goal whose argument words start
+    /// at `off`. Returns the values and the offset just past the
+    /// arguments.
+    pub(crate) fn build_args(
+        &mut self,
+        m: InterpModule,
+        off: u32,
+        nargs: u8,
+    ) -> Result<(Vec<Word>, u32)> {
+        let mut args = Vec::with_capacity(nargs as usize);
+        if nargs == 0 {
+            return Ok((args, off));
+        }
+        let first = self.fetch_code(m, BranchOp::CaseTag, off)?;
+        if first.tag() == Tag::Packed {
+            // §2.1 packed arguments: decode each 8-bit operand with a
+            // case-irn multi-way branch (Table 7 row 6).
+            let ops = first.packed_operands().expect("Packed word");
+            for &op in ops.iter().take(nargs as usize) {
+                self.micro(m, BranchOp::CaseIrn, true);
+                let (tag3, payload) = Word::packed_operand(op);
+                let w = self.build_packed_arg(m, tag3, payload)?;
+                args.push(w);
+            }
+            return Ok((args, off + 1));
+        }
+        let w = self.build_arg(m, first)?;
+        args.push(w);
+        for i in 1..nargs as u32 {
+            let word = self.fetch_code(m, BranchOp::CaseTag, off + i)?;
+            let w = self.build_arg(m, word)?;
+            args.push(w);
+        }
+        Ok((args, off + nargs as u32))
+    }
+
+    fn build_packed_arg(&mut self, m: InterpModule, tag3: u8, payload: u8) -> Result<Word> {
+        if Some(tag3) == Tag::Int.packed_tag() {
+            Ok(Word::int(payload as i32))
+        } else if Some(tag3) == Tag::Nil.packed_tag() {
+            Ok(Word::nil())
+        } else if Some(tag3) == Tag::FirstVar.packed_tag() {
+            let cell = self.new_global_cell(m)?;
+            // Packed operands address the frame buffer base-relative
+            // through PDR/CDR (§4.3 function (4)).
+            self.write_slot_base_relative(m, payload as u16, Word::reference(cell))?;
+            Ok(Word::reference(cell))
+        } else if Some(tag3) == Tag::LocalVar.packed_tag() {
+            self.read_slot_base_relative(m, payload as u16)
+        } else if Some(tag3) == Tag::Void.packed_tag() {
+            let cell = self.new_global_cell(m)?;
+            Ok(Word::reference(cell))
+        } else {
+            Err(PsiError::EvalError {
+                detail: format!("corrupt packed operand tag {tag3}"),
+            })
+        }
+    }
+
+    /// Slot access through the PDR/CDR base-relative WF path (used for
+    /// packed operands).
+    fn read_slot_base_relative(&mut self, m: InterpModule, slot: u16) -> Result<Word> {
+        let env = self.procs[self.cur].regs.env;
+        let act = &self.procs[self.cur].envs[env];
+        match act.buffer {
+            Some(buf) => {
+                self.micro_seq(m, true);
+                Ok(self.wf.read_buffer(buf, slot as u32, true, false))
+            }
+            None => {
+                let addr = self.local_addr(act.locals_base + slot as u32);
+                self.mem_read(m, addr)
+            }
+        }
+    }
+
+    fn write_slot_base_relative(&mut self, m: InterpModule, slot: u16, w: Word) -> Result<()> {
+        let env = self.procs[self.cur].regs.env;
+        let act = &self.procs[self.cur].envs[env];
+        match act.buffer {
+            Some(buf) => {
+                self.micro_seq(m, true);
+                self.wf.write_buffer(buf, slot as u32, w, true, false);
+                Ok(())
+            }
+            None => {
+                let addr = self.local_addr(act.locals_base + slot as u32);
+                self.mem_write(m, addr, w)
+            }
+        }
+    }
+
+    /// Materializes one argument word into a runtime value.
+    pub(crate) fn build_arg(&mut self, m: InterpModule, word: Word) -> Result<Word> {
+        match word.tag() {
+            Tag::Atom | Tag::Int | Tag::Nil => Ok(word),
+            Tag::FirstVar => {
+                let slot = word.var_slot().expect("FirstVar");
+                let cell = self.new_global_cell(m)?;
+                self.write_slot(m, slot, Word::reference(cell), true)?;
+                Ok(Word::reference(cell))
+            }
+            Tag::LocalVar => {
+                let slot = word.var_slot().expect("LocalVar");
+                self.read_slot(m, slot, true)
+            }
+            Tag::Void => {
+                let cell = self.new_global_cell(m)?;
+                Ok(Word::reference(cell))
+            }
+            Tag::CodeList | Tag::CodeVect => self.copy_skeleton(word),
+            other => Err(PsiError::EvalError {
+                detail: format!("corrupt argument word ({other})"),
+            }),
+        }
+    }
+
+    // --------------------------------------------------------- builtins
+
+    pub(crate) fn handle_builtin_call(&mut self, goal: Word, code_ptr: u32) -> Result<Flow> {
+        let (id, nargs) = goal.goal_value().expect("BuiltinGoal word");
+        let b = Builtin::from_id(id).ok_or_else(|| PsiError::EvalError {
+            detail: format!("corrupt builtin id {id}"),
+        })?;
+        // Argument fetching for built-ins is the paper's get_arg
+        // module (Table 2).
+        let (args, next_off) = self.build_args(InterpModule::GetArg, code_ptr + 1, nargs)?;
+        self.builtin_calls += 1;
+        self.procs[self.cur].regs.code_ptr = next_off;
+        // Built-in dispatch: microsubroutine call through the builtin
+        // jump table.
+        self.micro(InterpModule::GetArg, BranchOp::CaseOpcode, true);
+        self.micro(InterpModule::Builtin, BranchOp::Gosub, false);
+        let flow = self.exec_builtin(b, &args)?;
+        self.micro(InterpModule::Builtin, BranchOp::Return, false);
+        Ok(flow)
+    }
+
+    fn exec_builtin(&mut self, b: Builtin, args: &[Word]) -> Result<Flow> {
+        let ok = match b {
+            Builtin::True => {
+                self.micro_seq(InterpModule::Builtin, false);
+                true
+            }
+            Builtin::Fail => {
+                self.micro_seq(InterpModule::Builtin, false);
+                false
+            }
+            Builtin::Unify => self.unify(args[0], args[1])?,
+            Builtin::NotUnify => {
+                // Trial unification with trail mark and undo.
+                let mark = self.procs[self.cur].trail_top;
+                let saved_global = self.procs[self.cur].global_top;
+                let unified = self.unify(args[0], args[1])?;
+                self.undo_trail_to(mark)?;
+                self.procs[self.cur].global_top = saved_global;
+                !unified
+            }
+            Builtin::Is => {
+                let v = self.eval_arith(args[1])?;
+                self.micro_seq(InterpModule::Builtin, true);
+                self.unify(args[0], Word::int(v))?
+            }
+            Builtin::Lt | Builtin::Gt | Builtin::Le | Builtin::Ge
+            | Builtin::ArithEq | Builtin::ArithNe => {
+                let a = self.eval_arith(args[0])?;
+                let bv = self.eval_arith(args[1])?;
+                self.micro_cond(InterpModule::Builtin, true);
+                self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+                self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+                match b {
+                    Builtin::Lt => a < bv,
+                    Builtin::Gt => a > bv,
+                    Builtin::Le => a <= bv,
+                    Builtin::Ge => a >= bv,
+                    Builtin::ArithEq => a == bv,
+                    _ => a != bv,
+                }
+            }
+            Builtin::TermEq => self.term_identical(args[0], args[1])?,
+            Builtin::TermNe => !self.term_identical(args[0], args[1])?,
+            Builtin::Var | Builtin::Nonvar | Builtin::Atom | Builtin::Atomic
+            | Builtin::Integer => {
+                let (v, unbound) = self.deref(InterpModule::Builtin, args[0])?;
+                self.micro(InterpModule::Builtin, BranchOp::IfTag, true);
+                self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+                let is_var = unbound.is_some();
+                match b {
+                    Builtin::Var => is_var,
+                    Builtin::Nonvar => !is_var,
+                    Builtin::Atom => {
+                        !is_var && matches!(v.tag(), Tag::Atom | Tag::Nil)
+                    }
+                    Builtin::Atomic => !is_var && v.tag().is_atomic_value(),
+                    _ => !is_var && v.tag() == Tag::Int,
+                }
+            }
+            Builtin::Functor => self.builtin_functor(args)?,
+            Builtin::Arg => self.builtin_arg(args)?,
+            Builtin::Write => {
+                let term = self.decode_counted(InterpModule::Builtin, args[0])?;
+                self.output.push_str(&term.to_string());
+                true
+            }
+            Builtin::Nl => {
+                self.micro_seq(InterpModule::Builtin, false);
+                self.output.push('\n');
+                true
+            }
+            Builtin::Tab => {
+                let n = self.eval_arith(args[0])?;
+                self.micro_seq(InterpModule::Builtin, false);
+                for _ in 0..n.clamp(0, 80) {
+                    self.output.push(' ');
+                }
+                true
+            }
+            Builtin::VectorNew => self.builtin_vector_new(args)?,
+            Builtin::VectorGet => self.builtin_vector_get(args)?,
+            Builtin::VectorSet => self.builtin_vector_set(args)?,
+            Builtin::Yield => {
+                self.micro_seq(InterpModule::Builtin, false);
+                return Ok(Flow::Yield);
+            }
+            Builtin::Halt => {
+                self.micro_seq(InterpModule::Builtin, false);
+                self.procs[self.cur].status = ProcStatus::Done;
+                return Ok(Flow::Solution);
+            }
+        };
+        Ok(if ok { Flow::Continue } else { Flow::Backtrack })
+    }
+
+    fn builtin_functor(&mut self, args: &[Word]) -> Result<bool> {
+        let (t, unbound) = self.deref(InterpModule::Builtin, args[0])?;
+        self.micro(InterpModule::Builtin, BranchOp::CaseTag, true);
+        if unbound.is_none() {
+            // Decompose.
+            let (name_w, arity) = match t.tag() {
+                Tag::Atom | Tag::Int | Tag::Nil => (t, 0u8),
+                Tag::List => {
+                    let dot = self.image.symbols_mut().intern(".");
+                    (Word::atom(dot), 2)
+                }
+                Tag::Vect => {
+                    let ptr = t.address_value().expect("Vect");
+                    let f = self.mem_read(InterpModule::Builtin, ptr)?;
+                    let f = f.functor_value().ok_or_else(|| PsiError::EvalError {
+                        detail: "corrupt structure header".into(),
+                    })?;
+                    (Word::atom(f.symbol), f.arity)
+                }
+                _ => {
+                    return Err(PsiError::TypeError {
+                        builtin: "functor/3".into(),
+                        expected: "callable or atomic",
+                    })
+                }
+            };
+            return Ok(self.unify(args[1], name_w)?
+                && self.unify(args[2], Word::int(arity as i32))?);
+        }
+        // Construct.
+        let (name, _) = self.deref(InterpModule::Builtin, args[1])?;
+        let arity = self.eval_arith(args[2])?;
+        if !(0..=255).contains(&arity) {
+            return Err(PsiError::TypeError {
+                builtin: "functor/3".into(),
+                expected: "arity in 0..=255",
+            });
+        }
+        if arity == 0 {
+            return self.unify(args[0], name);
+        }
+        let sym = name.atom_value().ok_or(PsiError::TypeError {
+            builtin: "functor/3".into(),
+            expected: "atom name",
+        })?;
+        let base = self.procs[self.cur].global_top;
+        let f = Word::functor(psi_core::Functor::new(sym, arity as u8));
+        self.mem_push(InterpModule::Builtin, self.global_addr(base), f)?;
+        for i in 0..arity as u32 {
+            let cell = self.global_addr(base + 1 + i);
+            self.mem_push(InterpModule::Builtin, cell, Word::undef())?;
+        }
+        self.procs[self.cur].global_top = base + 1 + arity as u32;
+        self.unify(args[0], Word::vect(self.global_addr(base)))
+    }
+
+    fn builtin_arg(&mut self, args: &[Word]) -> Result<bool> {
+        let n = self.eval_arith(args[0])?;
+        let (t, _) = self.deref(InterpModule::Builtin, args[1])?;
+        self.micro(InterpModule::Builtin, BranchOp::CaseTag, true);
+        match t.tag() {
+            Tag::Vect => {
+                let ptr = t.address_value().expect("Vect");
+                let f = self.mem_read(InterpModule::Builtin, ptr)?;
+                let f = f.functor_value().ok_or_else(|| PsiError::EvalError {
+                    detail: "corrupt structure header".into(),
+                })?;
+                if n < 1 || n > f.arity as i32 {
+                    return Ok(false);
+                }
+                let v = self.read_value(InterpModule::Builtin, ptr.offset_by(n as u32))?;
+                self.unify(args[2], v)
+            }
+            Tag::List => {
+                let ptr = t.address_value().expect("List");
+                if !(1..=2).contains(&n) {
+                    return Ok(false);
+                }
+                let v =
+                    self.read_value(InterpModule::Builtin, ptr.offset_by(n as u32 - 1))?;
+                self.unify(args[2], v)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    fn builtin_vector_new(&mut self, args: &[Word]) -> Result<bool> {
+        let n = self.eval_arith(args[1])?;
+        if n < 0 {
+            return Err(PsiError::TypeError {
+                builtin: "vector/2".into(),
+                expected: "non-negative size",
+            });
+        }
+        // Heap vectors live in the shared heap area (§4.2: "Only the
+        // program WINDOW uses data of the heap vector type").
+        let base = self.heap_top;
+        self.mem_write(
+            InterpModule::Builtin,
+            self.heap_addr(base),
+            Word::int(n),
+        )?;
+        for i in 0..n as u32 {
+            self.mem_write(
+                InterpModule::Builtin,
+                self.heap_addr(base + 1 + i),
+                Word::int(0),
+            )?;
+        }
+        self.heap_top = base + 1 + n as u32;
+        self.unify(args[0], Word::heap_vect(self.heap_addr(base)))
+    }
+
+    fn vector_slot(&mut self, vec: Word, index: Word) -> Result<Option<Address>> {
+        let (v, _) = self.deref(InterpModule::Builtin, vec)?;
+        if v.tag() != Tag::HeapVect {
+            return Err(PsiError::TypeError {
+                builtin: "vget/vset".into(),
+                expected: "heap vector",
+            });
+        }
+        let ptr = v.address_value().expect("HeapVect");
+        let size = self.mem_read(InterpModule::Builtin, ptr)?;
+        let size = size.int_value().unwrap_or(0);
+        let i = self.eval_arith(index)?;
+        self.micro_cond(InterpModule::Builtin, true);
+        if i < 0 || i >= size {
+            return Ok(None);
+        }
+        Ok(Some(ptr.offset_by(1 + i as u32)))
+    }
+
+    fn builtin_vector_get(&mut self, args: &[Word]) -> Result<bool> {
+        match self.vector_slot(args[0], args[1])? {
+            Some(cell) => {
+                let v = self.read_value(InterpModule::Builtin, cell)?;
+                self.unify(args[2], v)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn builtin_vector_set(&mut self, args: &[Word]) -> Result<bool> {
+        match self.vector_slot(args[0], args[1])? {
+            Some(cell) => {
+                // Destructive heap write — the WINDOW workload's heap
+                // write traffic (Table 3/4).
+                let (v, unbound) = self.deref(InterpModule::Builtin, args[2])?;
+                let stored = if unbound.is_some() {
+                    Word::int(0)
+                } else {
+                    v
+                };
+                self.mem_write(InterpModule::Builtin, cell, stored)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    // ------------------------------------------------------- arithmetic
+
+    /// Evaluates an arithmetic expression term (`is/2` and
+    /// comparisons).
+    pub(crate) fn eval_arith(&mut self, w: Word) -> Result<i32> {
+        let (v, unbound) = self.deref(InterpModule::Builtin, w)?;
+        if unbound.is_some() {
+            return Err(PsiError::EvalError {
+                detail: "unbound variable in arithmetic".into(),
+            });
+        }
+        match v.tag() {
+            Tag::Int => {
+                self.micro_seq(InterpModule::Builtin, true);
+                Ok(v.int_value().expect("Int"))
+            }
+            Tag::Vect => {
+                let ptr = v.address_value().expect("Vect");
+                let f = self.mem_read_dispatch(InterpModule::Builtin, ptr)?;
+                let f = f.functor_value().ok_or_else(|| PsiError::EvalError {
+                    detail: "corrupt structure in arithmetic".into(),
+                })?;
+                let a = self.mem_read(InterpModule::Builtin, ptr.offset_by(1))?;
+                let x = self.eval_arith(a)?;
+                if f.arity == 1 {
+                    self.alu_step(InterpModule::Builtin);
+                    if f.symbol == self.arith.minus {
+                        return Ok(x.wrapping_neg());
+                    }
+                    if f.symbol == self.arith.abs {
+                        return Ok(x.wrapping_abs());
+                    }
+                    return Err(self.arith_error(f.symbol, f.arity));
+                }
+                if f.arity != 2 {
+                    return Err(self.arith_error(f.symbol, f.arity));
+                }
+                let bw = self.mem_read(InterpModule::Builtin, ptr.offset_by(2))?;
+                let y = self.eval_arith(bw)?;
+                self.alu_step(InterpModule::Builtin);
+                let s = f.symbol;
+                if s == self.arith.plus {
+                    Ok(x.wrapping_add(y))
+                } else if s == self.arith.minus {
+                    Ok(x.wrapping_sub(y))
+                } else if s == self.arith.star {
+                    Ok(x.wrapping_mul(y))
+                } else if s == self.arith.int_div {
+                    if y == 0 {
+                        Err(PsiError::EvalError {
+                            detail: "division by zero".into(),
+                        })
+                    } else {
+                        Ok(x.wrapping_div(y))
+                    }
+                } else if s == self.arith.modulo {
+                    if y == 0 {
+                        Err(PsiError::EvalError {
+                            detail: "division by zero".into(),
+                        })
+                    } else {
+                        Ok(x.rem_euclid(y))
+                    }
+                } else if s == self.arith.min {
+                    Ok(x.min(y))
+                } else if s == self.arith.max {
+                    Ok(x.max(y))
+                } else {
+                    Err(self.arith_error(s, 2))
+                }
+            }
+            _ => Err(PsiError::EvalError {
+                detail: format!("non-arithmetic term ({})", v.tag()),
+            }),
+        }
+    }
+
+    fn arith_error(&self, sym: psi_core::SymbolId, arity: u8) -> PsiError {
+        PsiError::EvalError {
+            detail: format!(
+                "unknown arithmetic functor {}/{arity}",
+                self.image.symbols().name(sym)
+            ),
+        }
+    }
+
+    /// Undoes trail entries down to `mark` (used by `\=`).
+    pub(crate) fn undo_trail_to(&mut self, mark: u32) -> Result<()> {
+        while self.procs[self.cur].trail_top > mark {
+            let t = self.procs[self.cur].trail_top - 1;
+            self.procs[self.cur].trail_top = t;
+            let entry = self.mem_read_dispatch(InterpModule::Trail, self.trail_addr(t))?;
+            if let Some(cell) = entry.address_value() {
+                self.mem_write(InterpModule::Trail, cell, Word::undef())?;
+            }
+        }
+        Ok(())
+    }
+}

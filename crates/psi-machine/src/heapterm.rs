@@ -1,0 +1,164 @@
+//! Decoding runtime heap/stack representations back into [`Term`]s
+//! (solution reporting and `write/1`).
+
+use crate::machine::Machine;
+use crate::ucode::InterpModule;
+use kl0::Term;
+use psi_core::{Address, PsiError, Result, Tag, Word};
+
+/// Decoding depth limit — deep enough for every workload, shallow
+/// enough to catch accidental cyclic terms during development.
+const MAX_DEPTH: u32 = 100_000;
+
+impl Machine {
+    /// Decodes the value stored in a cell (uncounted; used for
+    /// solution capture, like reading memory through the console
+    /// processor).
+    pub(crate) fn decode_cell(&self, cell: Address) -> Result<Term> {
+        let w = self.bus.peek(cell)?;
+        self.decode_quiet(w, 0)
+    }
+
+    /// Decodes a value word without counting accesses.
+    pub fn decode_quiet(&self, w: Word, depth: u32) -> Result<Term> {
+        if depth > MAX_DEPTH {
+            return Err(PsiError::EvalError {
+                detail: "term too deep to decode".into(),
+            });
+        }
+        match w.tag() {
+            Tag::Undef => Ok(Term::Var("_".into())),
+            Tag::Ref => {
+                let addr = w.address_value().expect("Ref");
+                let content = self.bus.peek(addr)?;
+                if content.is_undef() {
+                    Ok(Term::Var(format!("_G{}", addr.raw())))
+                } else {
+                    self.decode_quiet(content, depth + 1)
+                }
+            }
+            Tag::Int => Ok(Term::Int(w.int_value().expect("Int"))),
+            Tag::Nil => Ok(Term::nil()),
+            Tag::Atom => {
+                let sym = w.atom_value().expect("Atom");
+                Ok(Term::atom(self.image.symbols().name(sym)))
+            }
+            Tag::List => {
+                // Iterate the spine to avoid deep recursion on long
+                // lists.
+                let mut elems = Vec::new();
+                let mut cur = w;
+                loop {
+                    match cur.tag() {
+                        Tag::List => {
+                            let ptr = cur.address_value().expect("List");
+                            let car = self.bus.peek(ptr)?;
+                            elems.push(self.decode_quiet(car, depth + 1)?);
+                            let cdr = self.bus.peek(ptr.offset_by(1))?;
+                            cur = self.skip_refs(cdr)?;
+                        }
+                        Tag::Nil => {
+                            return Ok(Term::list(elems));
+                        }
+                        _ => {
+                            let tail = self.decode_quiet(cur, depth + 1)?;
+                            return Ok(elems
+                                .into_iter()
+                                .rev()
+                                .fold(tail, |t, h| Term::cons(h, t)));
+                        }
+                    }
+                    if elems.len() as u32 > MAX_DEPTH {
+                        return Err(PsiError::EvalError {
+                            detail: "list too long to decode".into(),
+                        });
+                    }
+                }
+            }
+            Tag::Vect => {
+                let ptr = w.address_value().expect("Vect");
+                let f = self.bus.peek(ptr)?;
+                let f = f.functor_value().ok_or_else(|| PsiError::EvalError {
+                    detail: "corrupt structure header".into(),
+                })?;
+                let name = self.image.symbols().name(f.symbol).to_owned();
+                let mut args = Vec::with_capacity(f.arity as usize);
+                for i in 1..=f.arity as u32 {
+                    let a = self.bus.peek(ptr.offset_by(i))?;
+                    args.push(self.decode_quiet(a, depth + 1)?);
+                }
+                Ok(Term::compound(&name, args))
+            }
+            Tag::HeapVect => {
+                let ptr = w.address_value().expect("HeapVect");
+                let size = self.bus.peek(ptr)?.int_value().unwrap_or(0);
+                Ok(Term::compound(
+                    "$vector",
+                    vec![Term::Int(size), Term::Int(ptr.raw() as i32)],
+                ))
+            }
+            other => Err(PsiError::EvalError {
+                detail: format!("cannot decode word with tag {other}"),
+            }),
+        }
+    }
+
+    fn skip_refs(&self, w: Word) -> Result<Word> {
+        let mut cur = w;
+        let mut hops = 0;
+        while cur.tag() == Tag::Ref {
+            let addr = cur.address_value().expect("Ref");
+            let content = self.bus.peek(addr)?;
+            if content.is_undef() {
+                return Ok(cur);
+            }
+            cur = content;
+            hops += 1;
+            if hops > MAX_DEPTH {
+                return Err(PsiError::EvalError {
+                    detail: "reference chain too long".into(),
+                });
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Decodes a value word with counted memory reads (used by
+    /// `write/1`, whose traversal is real machine work).
+    pub(crate) fn decode_counted(&mut self, m: InterpModule, w: Word) -> Result<Term> {
+        // Walk once with counted reads to model the traffic, then
+        // decode quietly for the actual text.
+        self.walk_counted(m, w, 0)?;
+        self.decode_quiet(w, 0)
+    }
+
+    fn walk_counted(&mut self, m: InterpModule, w: Word, depth: u32) -> Result<()> {
+        if depth > 10_000 {
+            return Ok(());
+        }
+        let (v, _) = self.deref(m, w)?;
+        match v.tag() {
+            Tag::List => {
+                let ptr = v.address_value().expect("List");
+                let car = self.mem_read(m, ptr)?;
+                self.walk_counted(m, car, depth + 1)?;
+                let cdr = self.mem_read(m, ptr.offset_by(1))?;
+                self.walk_counted(m, cdr, depth + 1)
+            }
+            Tag::Vect => {
+                let ptr = v.address_value().expect("Vect");
+                let f = self.mem_read(m, ptr)?;
+                let arity = f.functor_value().map(|f| f.arity).unwrap_or(0);
+                for i in 1..=arity as u32 {
+                    let a = self.mem_read(m, ptr.offset_by(i))?;
+                    self.walk_counted(m, a, depth + 1)?;
+                }
+                Ok(())
+            }
+            _ => {
+                self.micro_seq(m, true);
+                Ok(())
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Instruction-level simulator of the PSI firmware interpreter.
+//!
+//! This crate is the heart of the reproduction: a simulator of the
+//! Personal Sequential Inference machine's microprogrammed KL0
+//! interpreter (§2 of the paper), built so that every dynamic
+//! characteristic the paper measures falls out of execution:
+//!
+//! * **microinstruction steps** attributed to interpreter modules
+//!   (Table 2) — [`ucode::MicroTally`];
+//! * **cache commands and per-area traffic** (Tables 3–5) — every
+//!   memory access goes through the `psi-mem` bus and `psi-cache`
+//!   model, including the write-stack command for stack pushes;
+//! * **work file access modes** (Table 6) — [`wf::WorkFile`] with the
+//!   two 64-word frame buffers of the tail-recursion optimization;
+//! * **branch-field operations** (Table 7) — one of the 16 ops per
+//!   microstep, with tag-dispatch everywhere the interpreter switches
+//!   on a tag.
+//!
+//! The execution model follows §2.1: four stacks (local, global,
+//! control, trail) in independent logical areas, 10-word control
+//! frames, structure-copying unification against machine-resident
+//! clause code in the heap, sequential (non-indexed) clause selection,
+//! tail recursion optimization with alternating WF frame buffers, and
+//! cooperative multi-process execution.
+//!
+//! # Example
+//!
+//! ```
+//! use kl0::Program;
+//! use psi_machine::{Machine, MachineConfig};
+//!
+//! let program = Program::parse(
+//!     "app([], L, L).\n\
+//!      app([H|T], L, [H|R]) :- app(T, L, R).",
+//! )?;
+//! let mut machine = Machine::load(&program, MachineConfig::psi())?;
+//! let solutions = machine.solve("app([1,2], [3], X)", 1)?;
+//! assert_eq!(solutions[0].binding("X").unwrap().to_string(), "[1,2,3]");
+//! # Ok::<(), psi_core::PsiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builtins;
+mod codegen;
+mod exec;
+mod heapterm;
+mod machine;
+pub mod ucode;
+mod unify;
+pub mod wf;
+
+pub use builtins::Builtin;
+pub use codegen::{ClauseCode, CodeImage, Predicate, QueryCode};
+pub use machine::{Machine, MachineConfig, MachineStats, Solution};
+pub use ucode::{BranchOp, BranchTally, InterpModule, MicroTally, ModuleTally};
+pub use wf::{WfField, WfMode, WfStats, WorkFile};

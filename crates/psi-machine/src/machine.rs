@@ -1,0 +1,623 @@
+//! Machine state, configuration, and the public API.
+
+use crate::codegen::{CodeImage, QueryCode};
+use crate::ucode::{BranchOp, BranchTally, InterpModule, MicroTally, ModuleTally};
+use crate::wf::{WfStats, WorkFile};
+use kl0::{LoweredProgram, Program, Term};
+use psi_cache::{CacheConfig, CacheStats};
+use psi_core::{Address, Area, ProcessId, PsiError, Result, SymbolId, Word};
+use psi_mem::{MemBus, TraceEntry};
+use std::fmt;
+
+/// Configuration of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Cache configuration; `None` simulates the cache-less machine
+    /// (the `Tnc` baseline of Figure 1).
+    pub cache: Option<CacheConfig>,
+    /// Microinstruction cycle time in nanoseconds (§2.3: 200 ns).
+    pub cycle_ns: u64,
+    /// Abort execution after this many microsteps.
+    pub step_budget: u64,
+    /// Enable the WF frame-buffer pair (§2.2). Disable for ablation.
+    pub frame_buffering: bool,
+    /// Enable tail recursion optimization (§2.2). Disable for
+    /// ablation.
+    pub tail_recursion_opt: bool,
+    /// Record a memory trace (COLLECT mode) for PMMS replay.
+    pub trace_memory: bool,
+}
+
+impl MachineConfig {
+    /// The machine as shipped: PSI cache, 200 ns cycle, TRO and frame
+    /// buffering on.
+    pub fn psi() -> MachineConfig {
+        MachineConfig {
+            cache: Some(CacheConfig::psi()),
+            cycle_ns: 200,
+            step_budget: 4_000_000_000,
+            frame_buffering: true,
+            tail_recursion_opt: true,
+            trace_memory: false,
+        }
+    }
+
+    /// The cache-less machine (every access pays full memory latency).
+    pub fn psi_uncached() -> MachineConfig {
+        MachineConfig {
+            cache: None,
+            ..MachineConfig::psi()
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig::psi()
+    }
+}
+
+/// One solution of a query: variable bindings in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    bindings: Vec<(String, Term)>,
+}
+
+impl Solution {
+    pub(crate) fn new(bindings: Vec<(String, Term)>) -> Solution {
+        Solution { bindings }
+    }
+
+    /// The binding of variable `name`, if the query mentioned it.
+    pub fn binding(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// All bindings in source order.
+    pub fn bindings(&self) -> &[(String, Term)] {
+        &self.bindings
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, (name, term)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{name} = {term}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot of every measured quantity after a run — the raw
+/// material for all of the paper's tables.
+#[derive(Debug, Clone)]
+pub struct MachineStats {
+    /// Total microinstruction steps.
+    pub steps: u64,
+    /// Simulated execution time in nanoseconds (steps × cycle +
+    /// cache stalls).
+    pub time_ns: u64,
+    /// Cache stall portion of the time.
+    pub stall_ns: u64,
+    /// Per-module step counts (Table 2).
+    pub modules: ModuleTally,
+    /// Branch-field operation counts (Table 7).
+    pub branches: BranchTally,
+    /// Work-file access statistics (Table 6).
+    pub wf: WfStats,
+    /// Cache statistics (Tables 3–5).
+    pub cache: CacheStats,
+    /// User-defined predicate calls (logical inferences).
+    pub user_calls: u64,
+    /// Built-in predicate calls.
+    pub builtin_calls: u64,
+}
+
+impl MachineStats {
+    /// Simulated time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.time_ns as f64 / 1e6
+    }
+
+    /// Logical inferences per second (user calls over time), the
+    /// paper's KLIPS metric (§2.3 targets 30K LIPS).
+    pub fn lips(&self) -> f64 {
+        if self.time_ns == 0 {
+            return 0.0;
+        }
+        self.user_calls as f64 / (self.time_ns as f64 / 1e9)
+    }
+
+    /// Built-in share of all predicate calls, percent (§3.2 reports
+    /// 82% for WINDOW, 65% for BUP).
+    pub fn builtin_call_share_pct(&self) -> f64 {
+        let total = (self.user_calls + self.builtin_calls).max(1) as f64;
+        self.builtin_calls as f64 * 100.0 / total
+    }
+
+    /// Cache-command rate per microstep, percent (Table 3 "total").
+    pub fn memory_access_rate_pct(&self) -> f64 {
+        self.cache.total().accesses() as f64 * 100.0 / self.steps.max(1) as f64
+    }
+}
+
+// ------------------------------------------------------------------
+// internal state
+// ------------------------------------------------------------------
+
+/// Execution status of a simulated process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcStatus {
+    Runnable,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Regs {
+    pub code_ptr: u32,
+    pub env: usize,
+}
+
+/// A clause activation (the PSI keeps the current one in the WF and
+/// saves it to the control stack as necessary, §2.1).
+#[derive(Debug, Clone)]
+pub(crate) struct Activation {
+    pub locals_base: u32,
+    pub nlocals: u16,
+    /// WF frame buffer index while the locals are buffered.
+    pub buffer: Option<usize>,
+    /// Control-stack offset of the 10-word environment frame, once
+    /// saved.
+    pub materialized: Option<u32>,
+    pub cont_code: u32,
+    pub cont_env: Option<usize>,
+    /// `cps.len()` before this predicate's own choice point — the
+    /// barrier cut restores.
+    pub cut_barrier: usize,
+    /// `cps.len()` at activation entry (after the own choice point,
+    /// if any) — newer choice points protect the activation.
+    pub entry_cps: usize,
+}
+
+/// A choice point (10-word control frame on the real machine).
+#[derive(Debug, Clone)]
+pub(crate) struct ChoicePoint {
+    pub pred: u32,
+    pub next_clause: usize,
+    pub args: Vec<Word>,
+    pub cont_code: u32,
+    pub cont_env: Option<usize>,
+    pub barrier: usize,
+    pub saved_local_top: u32,
+    pub saved_global_top: u32,
+    pub saved_trail_top: u32,
+    pub saved_envs_len: usize,
+    pub ctl_addr: u32,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct QueryState {
+    pub cells: Vec<Address>,
+    pub vars: Vec<String>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Proc {
+    pub pid: ProcessId,
+    pub status: ProcStatus,
+    pub regs: Regs,
+    pub envs: Vec<Activation>,
+    pub cps: Vec<ChoicePoint>,
+    pub local_top: u32,
+    pub global_top: u32,
+    pub ctl_top: u32,
+    pub trail_top: u32,
+    /// Env ids currently holding a WF frame buffer, oldest first.
+    pub buffered: Vec<usize>,
+    pub query: Option<QueryState>,
+}
+
+impl Proc {
+    fn new(pid: ProcessId) -> Proc {
+        Proc {
+            pid,
+            status: ProcStatus::Done,
+            regs: Regs {
+                code_ptr: 0,
+                env: 0,
+            },
+            envs: Vec::new(),
+            cps: Vec::new(),
+            local_top: 0,
+            global_top: 0,
+            ctl_top: 0,
+            trail_top: 0,
+            buffered: Vec::new(),
+            query: None,
+        }
+    }
+}
+
+/// Interned symbol ids for arithmetic functors, resolved at load time.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ArithSyms {
+    pub plus: SymbolId,
+    pub minus: SymbolId,
+    pub star: SymbolId,
+    pub int_div: SymbolId,
+    pub modulo: SymbolId,
+    pub abs: SymbolId,
+    pub min: SymbolId,
+    pub max: SymbolId,
+}
+
+/// The simulated PSI machine.
+///
+/// See the [crate-level documentation](crate) for the model and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub(crate) config: MachineConfig,
+    pub(crate) image: CodeImage,
+    pub(crate) loaded_words: u32,
+    pub(crate) bus: MemBus,
+    pub(crate) wf: WorkFile,
+    pub(crate) tally: MicroTally,
+    pub(crate) heap_top: u32,
+    pub(crate) procs: Vec<Proc>,
+    pub(crate) cur: usize,
+    pub(crate) output: String,
+    pub(crate) user_calls: u64,
+    pub(crate) builtin_calls: u64,
+    pub(crate) arith: ArithSyms,
+}
+
+/// Internal control-flow outcome of dispatching one goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Flow {
+    Continue,
+    Backtrack,
+    Solution,
+    Yield,
+}
+
+impl Machine {
+    /// Loads a program into a fresh machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parser/lowering/compilation errors.
+    pub fn load(program: &Program, config: MachineConfig) -> Result<Machine> {
+        let lowered = LoweredProgram::lower(program)?;
+        let mut image = CodeImage::compile(&lowered)?;
+        let arith = ArithSyms {
+            plus: image.symbols_mut().intern("+"),
+            minus: image.symbols_mut().intern("-"),
+            star: image.symbols_mut().intern("*"),
+            int_div: image.symbols_mut().intern("//"),
+            modulo: image.symbols_mut().intern("mod"),
+            abs: image.symbols_mut().intern("abs"),
+            min: image.symbols_mut().intern("min"),
+            max: image.symbols_mut().intern("max"),
+        };
+        let mut bus = match &config.cache {
+            Some(c) => MemBus::with_cache(*c),
+            None => MemBus::without_cache(),
+        };
+        if config.trace_memory {
+            bus.enable_trace();
+        }
+        let mut machine = Machine {
+            config,
+            image,
+            loaded_words: 0,
+            bus,
+            wf: WorkFile::new(),
+            tally: MicroTally::new(),
+            heap_top: 0,
+            procs: vec![Proc::new(ProcessId::ZERO)],
+            cur: 0,
+            output: String::new(),
+            user_calls: 0,
+            builtin_calls: 0,
+            arith,
+        };
+        machine.sync_code()?;
+        Ok(machine)
+    }
+
+    /// Copies newly compiled code words into the simulated heap.
+    fn sync_code(&mut self) -> Result<()> {
+        let len = self.image.heap().len() as u32;
+        for off in self.loaded_words..len {
+            let w = self.image.heap()[off as usize];
+            self.bus.poke(Address::heap(off), w)?;
+        }
+        self.loaded_words = len;
+        self.heap_top = self.heap_top.max(len);
+        Ok(())
+    }
+
+    /// Solves `goal_src`, returning up to `max_solutions` solutions.
+    /// Prior run state (stacks) is discarded; loaded code and
+    /// accumulated statistics are kept.
+    ///
+    /// # Errors
+    ///
+    /// Propagates syntax errors in the goal, undefined-predicate and
+    /// budget errors during execution.
+    pub fn solve(&mut self, goal_src: &str, max_solutions: usize) -> Result<Vec<Solution>> {
+        let goal = kl0::parser::parse_term(goal_src)?;
+        self.solve_term(&goal, max_solutions)
+    }
+
+    /// Like [`Machine::solve`] but takes a parsed term.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::solve`].
+    pub fn solve_term(&mut self, goal: &Term, max_solutions: usize) -> Result<Vec<Solution>> {
+        let qc = self.image.compile_query(goal)?;
+        self.sync_code()?;
+        self.reset_run_state();
+        self.start_query(0, &qc)?;
+        self.run(max_solutions)
+    }
+
+    /// Spawns a background process executing `goal_src`. Background
+    /// processes run only when some process executes the `yield/0`
+    /// built-in (§2.1's cooperative multi-process model). Call before
+    /// [`Machine::solve`]: solving resets run state, so spawn order is
+    /// spawn-then-solve within one [`Machine::run_session`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if four processes already exist or the goal is malformed.
+    pub fn spawn_background(&mut self, goal_src: &str) -> Result<()> {
+        if self.procs.len() >= ProcessId::MAX_PROCESSES {
+            return Err(PsiError::Compile {
+                detail: "too many processes (max 4)".into(),
+            });
+        }
+        let goal = kl0::parser::parse_term(goal_src)?;
+        let qc = self.image.compile_query(&goal)?;
+        self.sync_code()?;
+        let pid = ProcessId::new(self.procs.len() as u8);
+        self.procs.push(Proc::new(pid));
+        let idx = self.procs.len() - 1;
+        self.start_query(idx, &qc)?;
+        Ok(())
+    }
+
+    /// Runs a whole session: spawns the given background goals, then
+    /// solves `main_goal`. This is the WINDOW-style workload driver.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::solve`] and [`Machine::spawn_background`].
+    pub fn run_session(
+        &mut self,
+        main_goal: &str,
+        background_goals: &[&str],
+    ) -> Result<Vec<Solution>> {
+        let goal = kl0::parser::parse_term(main_goal)?;
+        let qc = self.image.compile_query(&goal)?;
+        self.sync_code()?;
+        self.reset_run_state();
+        for bg in background_goals {
+            self.spawn_background(bg)?;
+        }
+        self.start_query(0, &qc)?;
+        self.run(1)
+    }
+
+    fn reset_run_state(&mut self) {
+        for p in 0..self.procs.len() {
+            let pid = self.procs[p].pid;
+            for area in [
+                Area::LocalStack,
+                Area::GlobalStack,
+                Area::ControlStack,
+                Area::TrailStack,
+            ] {
+                self.bus.memory_mut().truncate(pid, area, 0);
+            }
+        }
+        self.procs.truncate(1);
+        self.procs[0] = Proc::new(ProcessId::ZERO);
+        self.cur = 0;
+    }
+
+    /// Resets all measurement state (step tallies, WF stats, cache
+    /// stats, stall time, call counters, output) without touching
+    /// loaded code — like the paper's breakpoint-delimited
+    /// measurements.
+    pub fn reset_measurement(&mut self) {
+        self.tally = MicroTally::new();
+        self.wf.reset_stats();
+        self.bus.reset_measurement();
+        self.user_calls = 0;
+        self.builtin_calls = 0;
+        self.output.clear();
+    }
+
+    /// A snapshot of all measured quantities.
+    pub fn stats(&self) -> MachineStats {
+        let steps = self.tally.steps();
+        let stall = self.bus.stall_ns();
+        MachineStats {
+            steps,
+            time_ns: steps * self.config.cycle_ns + stall,
+            stall_ns: stall,
+            modules: self.tally.modules,
+            branches: self.tally.branches,
+            wf: *self.wf.stats(),
+            cache: self.bus.cache_stats().clone(),
+            user_calls: self.user_calls,
+            builtin_calls: self.builtin_calls,
+        }
+    }
+
+    /// Text written by `write/1`, `nl/0` and `tab/1`.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Takes the recorded memory trace (requires
+    /// [`MachineConfig::trace_memory`]).
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.bus.take_trace()
+    }
+
+    /// The compiled code image (for inspection and tooling).
+    pub fn image(&self) -> &CodeImage {
+        &self.image
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    // ----------------------------------------------------------- query
+
+    pub(crate) fn start_query(&mut self, proc_idx: usize, qc: &QueryCode) -> Result<()> {
+        let prev = self.cur;
+        self.cur = proc_idx;
+        self.procs[proc_idx].status = ProcStatus::Runnable;
+        let mut cells = Vec::with_capacity(qc.vars.len());
+        let mut args = Vec::with_capacity(qc.vars.len());
+        for _ in &qc.vars {
+            let cell = self.new_global_cell(InterpModule::Control)?;
+            args.push(Word::reference(cell));
+            cells.push(cell);
+        }
+        self.procs[proc_idx].query = Some(QueryState {
+            cells,
+            vars: qc.vars.clone(),
+        });
+        let entered = self.enter_clause(qc.pred, 0, &args, 0, None, 0)?;
+        debug_assert!(entered, "query head has only fresh variables");
+        if proc_idx != prev {
+            // The process starts suspended: its frame buffers must not
+            // stay in the WF, which belongs to the running process.
+            self.flush_all_buffers()?;
+        }
+        self.cur = prev;
+        Ok(())
+    }
+
+    fn capture_solution(&mut self) -> Result<Solution> {
+        let q = self.procs[self.cur]
+            .query
+            .clone()
+            .expect("solution only arises from a query");
+        let mut bindings = Vec::new();
+        for (name, cell) in q.vars.iter().zip(&q.cells) {
+            if name.starts_with('_') {
+                continue;
+            }
+            let term = self.decode_cell(*cell)?;
+            bindings.push((name.clone(), term));
+        }
+        Ok(Solution::new(bindings))
+    }
+
+    // -------------------------------------------------------- main loop
+
+    pub(crate) fn run(&mut self, max_solutions: usize) -> Result<Vec<Solution>> {
+        let mut solutions = Vec::new();
+        if max_solutions == 0 {
+            return Ok(solutions);
+        }
+        self.cur = 0;
+        loop {
+            let flow = self.dispatch()?;
+            match flow {
+                Flow::Continue => {}
+                Flow::Backtrack => {
+                    if !self.backtrack()? {
+                        // current process exhausted
+                        if self.cur == 0 {
+                            return Ok(solutions);
+                        }
+                        self.procs[self.cur].status = ProcStatus::Done;
+                        self.schedule()?;
+                    }
+                }
+                Flow::Solution => {
+                    if self.cur == 0 {
+                        solutions.push(self.capture_solution()?);
+                        if solutions.len() >= max_solutions {
+                            return Ok(solutions);
+                        }
+                        if !self.backtrack()? {
+                            return Ok(solutions);
+                        }
+                    } else {
+                        self.procs[self.cur].status = ProcStatus::Done;
+                        self.schedule()?;
+                    }
+                }
+                Flow::Yield => {
+                    self.schedule()?;
+                }
+            }
+        }
+    }
+
+    /// Cooperative scheduler: flush WF state and rotate to the next
+    /// runnable process (§2.1 multi-process support).
+    fn schedule(&mut self) -> Result<()> {
+        // The WF belongs to the running process; switching saves the
+        // buffered frames to the local stack.
+        self.flush_all_buffers()?;
+        let n = self.procs.len();
+        for i in 1..=n {
+            let cand = (self.cur + i) % n;
+            if self.procs[cand].status == ProcStatus::Runnable {
+                self.cur = cand;
+                // Context switch overhead: reload control registers.
+                for _ in 0..6 {
+                    self.tally.step_seq(InterpModule::Control, true);
+                    self.bus.tick(self.config.cycle_ns);
+                }
+                return Ok(());
+            }
+        }
+        // No other runnable process: keep running the current one if
+        // it is runnable; otherwise we are deadlocked, which cannot
+        // happen because the main process drives the session.
+        Ok(())
+    }
+
+    /// Fetches and dispatches the goal word at the current code
+    /// pointer.
+    fn dispatch(&mut self) -> Result<Flow> {
+        if self.tally.steps() > self.config.step_budget {
+            return Err(PsiError::StepBudgetExceeded {
+                budget: self.config.step_budget,
+            });
+        }
+        let code_ptr = self.procs[self.cur].regs.code_ptr;
+        let w = self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, code_ptr)?;
+        match w.tag() {
+            psi_core::Tag::Goal => self.handle_user_call(w, code_ptr),
+            psi_core::Tag::BuiltinGoal => self.handle_builtin_call(w, code_ptr),
+            psi_core::Tag::CutGoal => self.handle_cut(code_ptr),
+            psi_core::Tag::EndBody => self.handle_return(),
+            other => Err(PsiError::EvalError {
+                detail: format!("corrupt code word ({other}) at heap:{code_ptr:#x}"),
+            }),
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Microinstruction step accounting.
+//!
+//! The PSI interpreter is a microprogram; the paper's measurements are
+//! all phrased in *microinstruction execution steps*. Every primitive
+//! operation of our simulated interpreter charges steps through
+//! [`MicroTally`], attributing each step to:
+//!
+//! * an interpreter **module** (Table 2: control / unify / trail /
+//!   get_arg / cut / built),
+//! * one of the 16 **branch-field operations** (Table 7),
+//! * whether the step also performed **data manipulation** (§4.4
+//!   reports ≈50% of branching steps manipulate data).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The component modules of the firmware interpreter (Table 2
+/// columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum InterpModule {
+    /// Call/return management, frame handling, clause selection.
+    Control = 0,
+    /// Head unification and structure copying.
+    Unify = 1,
+    /// Trail pushes and trail unwinding.
+    Trail = 2,
+    /// Fetching and decoding arguments for built-in predicates.
+    GetArg = 3,
+    /// Cut processing.
+    Cut = 4,
+    /// Built-in predicate bodies.
+    Builtin = 5,
+}
+
+impl InterpModule {
+    /// All modules, in Table 2 column order.
+    pub const ALL: [InterpModule; 6] = [
+        InterpModule::Control,
+        InterpModule::Unify,
+        InterpModule::Trail,
+        InterpModule::GetArg,
+        InterpModule::Cut,
+        InterpModule::Builtin,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Table 2 column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterpModule::Control => "control",
+            InterpModule::Unify => "unify",
+            InterpModule::Trail => "trail",
+            InterpModule::GetArg => "get_arg",
+            InterpModule::Cut => "cut",
+            InterpModule::Builtin => "built",
+        }
+    }
+}
+
+impl fmt::Display for InterpModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The 16 branch-field operations of Table 7, three instruction
+/// types (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum BranchOp {
+    /// (1) Type 1, no operation.
+    Nop1 = 0,
+    /// (2) `if (cond) then`.
+    IfCond = 1,
+    /// (3) `if (not(cond)) then`.
+    IfNotCond = 2,
+    /// (4) `if tag(src2) then` — compare against a given tag value.
+    IfTag = 3,
+    /// (5) `case (tag(n, P/CDR))` — the tag-dispatch multi-way branch.
+    CaseTag = 4,
+    /// (6) `case (irn)` — multi-way branch on a packed operand's 3-bit
+    /// tag.
+    CaseIrn = 5,
+    /// (7) `case (ir-opcode)` — dispatch on an instruction opcode.
+    CaseOpcode = 6,
+    /// (8) Type 1 `goto`.
+    Goto1 = 7,
+    /// (9) `gosub` — microsubroutine call.
+    Gosub = 8,
+    /// (10) `return` from microsubroutine.
+    Return = 9,
+    /// (11) `load-jr` — load the jump register (used as loop counter).
+    LoadJr = 10,
+    /// (12) `goto @jr` — indirect branch through JR.
+    GotoJr1 = 11,
+    /// (13) Type 2, no operation.
+    Nop2 = 12,
+    /// (14) Type 2 `goto`.
+    Goto2 = 13,
+    /// (15) Type 3, no operation.
+    Nop3 = 14,
+    /// (16) Type 3 `goto @jr`.
+    GotoJr3 = 15,
+}
+
+impl BranchOp {
+    /// All operations in Table 7 row order.
+    pub const ALL: [BranchOp; 16] = [
+        BranchOp::Nop1,
+        BranchOp::IfCond,
+        BranchOp::IfNotCond,
+        BranchOp::IfTag,
+        BranchOp::CaseTag,
+        BranchOp::CaseIrn,
+        BranchOp::CaseOpcode,
+        BranchOp::Goto1,
+        BranchOp::Gosub,
+        BranchOp::Return,
+        BranchOp::LoadJr,
+        BranchOp::GotoJr1,
+        BranchOp::Nop2,
+        BranchOp::Goto2,
+        BranchOp::Nop3,
+        BranchOp::GotoJr3,
+    ];
+
+    /// Dense index (Table 7 row number minus one).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Is this one of the three no-operation rows?
+    pub fn is_nop(self) -> bool {
+        matches!(self, BranchOp::Nop1 | BranchOp::Nop2 | BranchOp::Nop3)
+    }
+
+    /// Table 7 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            BranchOp::Nop1 => "no operation (t1)",
+            BranchOp::IfCond => "if (cond) then",
+            BranchOp::IfNotCond => "if (not(cond)) then",
+            BranchOp::IfTag => "if tag(src2) then",
+            BranchOp::CaseTag => "case (tag(n,P/CDR))",
+            BranchOp::CaseIrn => "case (irn)",
+            BranchOp::CaseOpcode => "case (ir-opcode)",
+            BranchOp::Goto1 => "goto (t1)",
+            BranchOp::Gosub => "gosub",
+            BranchOp::Return => "return",
+            BranchOp::LoadJr => "load-jr",
+            BranchOp::GotoJr1 => "goto @jr (t1)",
+            BranchOp::Nop2 => "no operation (t2)",
+            BranchOp::Goto2 => "goto (t2)",
+            BranchOp::Nop3 => "no operation (t3)",
+            BranchOp::GotoJr3 => "goto @jr (t3)",
+        }
+    }
+}
+
+impl fmt::Display for BranchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-module step counts (Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleTally {
+    counts: [u64; 6],
+}
+
+impl ModuleTally {
+    /// Steps charged to `module`.
+    pub fn count(&self, module: InterpModule) -> u64 {
+        self.counts[module.index()]
+    }
+
+    /// Total steps.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentages in Table 2 column order.
+    pub fn percentages(&self) -> [f64; 6] {
+        let total = self.total().max(1) as f64;
+        let mut out = [0.0; 6];
+        for m in InterpModule::ALL {
+            out[m.index()] = self.counts[m.index()] as f64 * 100.0 / total;
+        }
+        out
+    }
+}
+
+/// Per-operation branch-field counts (Table 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchTally {
+    counts: [u64; 16],
+    with_data: u64,
+}
+
+impl BranchTally {
+    /// Steps whose branch field held `op`.
+    pub fn count(&self, op: BranchOp) -> u64 {
+        self.counts[op.index()]
+    }
+
+    /// Total steps recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Percentages in Table 7 row order.
+    pub fn percentages(&self) -> [f64; 16] {
+        let total = self.total().max(1) as f64;
+        let mut out = [0.0; 16];
+        for op in BranchOp::ALL {
+            out[op.index()] = self.counts[op.index()] as f64 * 100.0 / total;
+        }
+        out
+    }
+
+    /// Share of steps carrying a real branch operation (the paper
+    /// reports 77–83%).
+    pub fn branch_share_pct(&self) -> f64 {
+        let total = self.total().max(1) as f64;
+        let nops: u64 = BranchOp::ALL
+            .iter()
+            .filter(|op| op.is_nop())
+            .map(|op| self.counts[op.index()])
+            .sum();
+        (self.total() - nops) as f64 * 100.0 / total
+    }
+
+    /// Share of *branching* steps that also manipulated data (§4.4
+    /// reports ≈50% with, ≈30% without, of all steps).
+    pub fn with_data_share_pct(&self) -> f64 {
+        let total = self.total().max(1) as f64;
+        self.with_data as f64 * 100.0 / total
+    }
+}
+
+/// The combined microstep tally the machine updates on every step.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MicroTally {
+    /// Per-module counts (Table 2).
+    pub modules: ModuleTally,
+    /// Per-branch-op counts (Table 7).
+    pub branches: BranchTally,
+    nop_rotor: u8,
+    goto_rotor: u8,
+    cond_rotor: u8,
+}
+
+impl MicroTally {
+    /// Creates a zeroed tally.
+    pub fn new() -> MicroTally {
+        MicroTally::default()
+    }
+
+    /// Total microinstruction steps.
+    pub fn steps(&self) -> u64 {
+        self.modules.total()
+    }
+
+    /// Charges one step with an explicit branch operation.
+    /// `with_data` notes whether the step also moved/combined data.
+    pub fn step(&mut self, module: InterpModule, op: BranchOp, with_data: bool) {
+        self.modules.counts[module.index()] += 1;
+        self.branches.counts[op.index()] += 1;
+        if with_data && !op.is_nop() {
+            self.branches.with_data += 1;
+        }
+    }
+
+    /// Charges a sequential (non-branching) step. The no-op rows of
+    /// Table 7 are spread over the three instruction types; real
+    /// microcode alternates among them depending on which fields the
+    /// instruction needs, which we model with a rotor.
+    pub fn step_seq(&mut self, module: InterpModule, with_data: bool) {
+        self.nop_rotor = (self.nop_rotor + 1) % 3;
+        let op = match self.nop_rotor {
+            0 => BranchOp::Nop1,
+            1 => BranchOp::Nop2,
+            _ => BranchOp::Nop3,
+        };
+        self.step(module, op, with_data);
+    }
+
+    /// Charges an unconditional-branch step. The paper shows Type 2
+    /// `goto` about three times as frequent as Type 1 (Table 7 rows 8
+    /// and 14), because the Type 2 field coexists with more data
+    /// operations; the rotor reproduces that mix.
+    pub fn step_goto(&mut self, module: InterpModule, with_data: bool) {
+        self.goto_rotor = (self.goto_rotor + 1) % 4;
+        let op = if self.goto_rotor == 0 {
+            BranchOp::Goto1
+        } else {
+            BranchOp::Goto2
+        };
+        self.step(module, op, with_data);
+    }
+
+    /// Charges a conditional-branch step. Microcode uses `if (cond)`
+    /// and `if (not(cond))` about equally (Table 7 rows 2 and 3); the
+    /// rotor alternates.
+    pub fn step_cond(&mut self, module: InterpModule, with_data: bool) {
+        self.cond_rotor = (self.cond_rotor + 1) % 2;
+        let op = if self.cond_rotor == 0 {
+            BranchOp::IfCond
+        } else {
+            BranchOp::IfNotCond
+        };
+        self.step(module, op, with_data);
+    }
+
+    /// Merges another tally (for cross-process aggregation).
+    pub fn merge(&mut self, other: &MicroTally) {
+        for i in 0..6 {
+            self.modules.counts[i] += other.modules.counts[i];
+        }
+        for i in 0..16 {
+            self.branches.counts[i] += other.branches.counts[i];
+        }
+        self.branches.with_data += other.branches.with_data;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_accumulate_per_module() {
+        let mut t = MicroTally::new();
+        t.step(InterpModule::Unify, BranchOp::CaseTag, true);
+        t.step(InterpModule::Unify, BranchOp::CaseTag, false);
+        t.step(InterpModule::Control, BranchOp::Gosub, false);
+        assert_eq!(t.steps(), 3);
+        assert_eq!(t.modules.count(InterpModule::Unify), 2);
+        let pct = t.modules.percentages();
+        assert!((pct[InterpModule::Unify.index()] - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn branch_share_excludes_nops() {
+        let mut t = MicroTally::new();
+        for _ in 0..6 {
+            t.step_seq(InterpModule::Control, false);
+        }
+        for _ in 0..4 {
+            t.step(InterpModule::Unify, BranchOp::CaseTag, true);
+        }
+        assert!((t.branches.branch_share_pct() - 40.0).abs() < 1e-9);
+        assert!((t.branches.with_data_share_pct() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotors_spread_over_types() {
+        let mut t = MicroTally::new();
+        for _ in 0..30 {
+            t.step_seq(InterpModule::Control, false);
+        }
+        assert_eq!(t.branches.count(BranchOp::Nop1), 10);
+        assert_eq!(t.branches.count(BranchOp::Nop2), 10);
+        assert_eq!(t.branches.count(BranchOp::Nop3), 10);
+        for _ in 0..40 {
+            t.step_goto(InterpModule::Control, false);
+        }
+        assert_eq!(t.branches.count(BranchOp::Goto1), 10);
+        assert_eq!(t.branches.count(BranchOp::Goto2), 30);
+        for _ in 0..10 {
+            t.step_cond(InterpModule::Builtin, true);
+        }
+        assert_eq!(t.branches.count(BranchOp::IfCond), 5);
+        assert_eq!(t.branches.count(BranchOp::IfNotCond), 5);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = MicroTally::new();
+        a.step(InterpModule::Cut, BranchOp::Goto2, false);
+        let mut b = MicroTally::new();
+        b.step(InterpModule::Cut, BranchOp::Goto2, true);
+        a.merge(&b);
+        assert_eq!(a.modules.count(InterpModule::Cut), 2);
+        assert_eq!(a.branches.count(BranchOp::Goto2), 2);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut t = MicroTally::new();
+        for (i, op) in BranchOp::ALL.iter().enumerate() {
+            for _ in 0..=i {
+                t.step(InterpModule::Control, *op, false);
+            }
+        }
+        let sum: f64 = t.branches.percentages().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

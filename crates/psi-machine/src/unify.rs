@@ -1,0 +1,373 @@
+//! Unification, structure copying, binding and the trail.
+//!
+//! The PSI unifies caller argument values against machine-resident
+//! head code, copying static skeletons to the global stack when the
+//! target is unbound (the structure-copy execution model of §2.1).
+//! Binding records trail entries so backtracking can restore the
+//! state; conditional trailing only trails cells older than the
+//! newest choice point.
+
+use crate::machine::Machine;
+use crate::ucode::{BranchOp, InterpModule};
+use psi_core::{Address, PsiError, Result, Tag, Word};
+
+impl Machine {
+    /// Dereferences a value word: follows `Ref` chains until reaching
+    /// either a value (returned with `None`) or an unbound cell
+    /// (returns the `Ref` and `Some(cell address)`).
+    pub(crate) fn deref(&mut self, m: InterpModule, w: Word) -> Result<(Word, Option<Address>)> {
+        let mut cur = w;
+        loop {
+            if cur.tag() != Tag::Ref {
+                return Ok((cur, None));
+            }
+            let addr = cur.address_value().ok_or_else(|| PsiError::EvalError {
+                detail: "corrupt reference word".into(),
+            })?;
+            let content = self.mem_read_dispatch(m, addr)?;
+            match content.tag() {
+                Tag::Undef => return Ok((cur, Some(addr))),
+                Tag::Ref => cur = content,
+                _ => return Ok((content, None)),
+            }
+        }
+    }
+
+    /// Binds the unbound cell at `addr` to `value`, trailing it when a
+    /// choice point could need it restored.
+    pub(crate) fn bind(&mut self, addr: Address, value: Word) -> Result<()> {
+        // Conditional trailing: only cells older than the newest
+        // choice point need a trail entry.
+        let needs_trail = match self.procs[self.cur].cps.last() {
+            Some(cp) => match addr.area() {
+                psi_core::Area::GlobalStack => addr.offset() < cp.saved_global_top,
+                psi_core::Area::Heap => false, // heap vectors are destructive
+                _ => addr.offset() < cp.saved_local_top,
+            },
+            None => false,
+        };
+        self.micro_cond(InterpModule::Trail, false);
+        if needs_trail {
+            let t = self.procs[self.cur].trail_top;
+            self.wf.touch_trail_buffer(true);
+            let taddr = self.trail_addr(t);
+            self.mem_push(InterpModule::Trail, taddr, Word::trail_ref(addr))?;
+            self.procs[self.cur].trail_top = t + 1;
+        }
+        self.mem_write(InterpModule::Unify, addr, value)
+    }
+
+    /// General unification of two runtime values. Returns whether it
+    /// succeeded; bindings stand either way (failure is followed by
+    /// backtracking, which unwinds them).
+    pub(crate) fn unify(&mut self, a: Word, b: Word) -> Result<bool> {
+        // The unify microsubroutine (gosub/return, Table 7 rows 9/10).
+        self.micro(InterpModule::Unify, BranchOp::Gosub, false);
+        let r = self.unify_inner(a, b);
+        self.micro(InterpModule::Unify, BranchOp::Return, false);
+        r
+    }
+
+    fn unify_inner(&mut self, a: Word, b: Word) -> Result<bool> {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            let (av, acell) = self.deref(InterpModule::Unify, a)?;
+            let (bv, bcell) = self.deref(InterpModule::Unify, b)?;
+            self.micro(InterpModule::Unify, BranchOp::CaseTag, true);
+            self.wf
+                .touch_read(crate::wf::WfField::Source1, crate::wf::WfMode::Direct00);
+            self.wf
+                .touch_read(crate::wf::WfField::Source2, crate::wf::WfMode::Direct00);
+            match (acell, bcell) {
+                (Some(ac), Some(bc)) => {
+                    if ac == bc {
+                        continue;
+                    }
+                    // Bind the younger cell to the older to keep
+                    // reference chains pointing down the stack.
+                    if ac.raw() < bc.raw() {
+                        self.bind(bc, Word::reference(ac))?;
+                    } else {
+                        self.bind(ac, Word::reference(bc))?;
+                    }
+                }
+                (Some(ac), None) => self.bind(ac, bv)?,
+                (None, Some(bc)) => self.bind(bc, av)?,
+                (None, None) => match (av.tag(), bv.tag()) {
+                    (Tag::Int, Tag::Int) | (Tag::Atom, Tag::Atom) => {
+                        self.test_const_step(InterpModule::Unify);
+                        if av.data() != bv.data() {
+                            return Ok(false);
+                        }
+                    }
+                    (Tag::Nil, Tag::Nil) => {}
+                    (Tag::List, Tag::List) => {
+                        let ap = av.address_value().expect("List");
+                        let bp = bv.address_value().expect("List");
+                        if ap != bp {
+                            let acar = self.read_value(InterpModule::Unify, ap)?;
+                            let bcar = self.read_value(InterpModule::Unify, bp)?;
+                            let acdr = self.read_value(InterpModule::Unify, ap.offset_by(1))?;
+                            let bcdr = self.read_value(InterpModule::Unify, bp.offset_by(1))?;
+                            work.push((acdr, bcdr));
+                            work.push((acar, bcar));
+                        }
+                    }
+                    (Tag::Vect, Tag::Vect) => {
+                        let ap = av.address_value().expect("Vect");
+                        let bp = bv.address_value().expect("Vect");
+                        if ap != bp {
+                            let af = self.mem_read(InterpModule::Unify, ap)?;
+                            let bf = self.mem_read(InterpModule::Unify, bp)?;
+                            self.test_const_step(InterpModule::Unify);
+                            if af != bf {
+                                return Ok(false);
+                            }
+                            let arity = af
+                                .functor_value()
+                                .map(|f| f.arity)
+                                .unwrap_or(0);
+                            for i in (1..=arity as u32).rev() {
+                                let aa = self.read_value(InterpModule::Unify, ap.offset_by(i))?;
+                                let ba = self.read_value(InterpModule::Unify, bp.offset_by(i))?;
+                                work.push((aa, ba));
+                            }
+                        }
+                    }
+                    (Tag::HeapVect, Tag::HeapVect) => {
+                        if av.data() != bv.data() {
+                            return Ok(false);
+                        }
+                    }
+                    _ => return Ok(false),
+                },
+            }
+        }
+        Ok(true)
+    }
+
+    /// Structural identity (`==/2`) without binding.
+    pub(crate) fn term_identical(&mut self, a: Word, b: Word) -> Result<bool> {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            let (av, acell) = self.deref(InterpModule::Builtin, a)?;
+            let (bv, bcell) = self.deref(InterpModule::Builtin, b)?;
+            self.micro(InterpModule::Builtin, BranchOp::CaseTag, true);
+            match (acell, bcell) {
+                (Some(ac), Some(bc)) => {
+                    if ac != bc {
+                        return Ok(false);
+                    }
+                }
+                (None, None) => match (av.tag(), bv.tag()) {
+                    (Tag::Int, Tag::Int) | (Tag::Atom, Tag::Atom) => {
+                        if av.data() != bv.data() {
+                            return Ok(false);
+                        }
+                    }
+                    (Tag::Nil, Tag::Nil) => {}
+                    (Tag::List, Tag::List) => {
+                        let ap = av.address_value().expect("List");
+                        let bp = bv.address_value().expect("List");
+                        if ap != bp {
+                            let acar = self.read_value(InterpModule::Builtin, ap)?;
+                            let bcar = self.read_value(InterpModule::Builtin, bp)?;
+                            let acdr =
+                                self.read_value(InterpModule::Builtin, ap.offset_by(1))?;
+                            let bcdr =
+                                self.read_value(InterpModule::Builtin, bp.offset_by(1))?;
+                            work.push((acdr, bcdr));
+                            work.push((acar, bcar));
+                        }
+                    }
+                    (Tag::Vect, Tag::Vect) => {
+                        let ap = av.address_value().expect("Vect");
+                        let bp = bv.address_value().expect("Vect");
+                        if ap != bp {
+                            let af = self.mem_read(InterpModule::Builtin, ap)?;
+                            let bf = self.mem_read(InterpModule::Builtin, bp)?;
+                            if af != bf {
+                                return Ok(false);
+                            }
+                            let arity =
+                                af.functor_value().map(|f| f.arity).unwrap_or(0);
+                            for i in (1..=arity as u32).rev() {
+                                let aa =
+                                    self.read_value(InterpModule::Builtin, ap.offset_by(i))?;
+                                let ba =
+                                    self.read_value(InterpModule::Builtin, bp.offset_by(i))?;
+                                work.push((aa, ba));
+                            }
+                        }
+                    }
+                    (Tag::HeapVect, Tag::HeapVect) => {
+                        if av.data() != bv.data() {
+                            return Ok(false);
+                        }
+                    }
+                    _ => return Ok(false),
+                },
+                _ => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Unifies one head argument word against a caller argument value.
+    pub(crate) fn unify_head_arg(&mut self, code_word: Word, arg: Word) -> Result<bool> {
+        match code_word.tag() {
+            Tag::FirstVar => {
+                let slot = code_word.var_slot().expect("FirstVar");
+                self.write_slot(InterpModule::Unify, slot, arg, true)?;
+                Ok(true)
+            }
+            Tag::Void => Ok(true),
+            Tag::LocalVar => {
+                let slot = code_word.var_slot().expect("LocalVar");
+                let v = self.read_slot(InterpModule::Unify, slot, true)?;
+                self.unify(v, arg)
+            }
+            Tag::Atom | Tag::Int | Tag::Nil => self.unify(code_word, arg),
+            Tag::CodeList | Tag::CodeVect => self.unify_skeleton(code_word, arg),
+            other => Err(PsiError::EvalError {
+                detail: format!("corrupt head argument word ({other})"),
+            }),
+        }
+    }
+
+    /// Unifies a static code skeleton against a runtime value: match
+    /// element-wise if bound, copy to the global stack if unbound.
+    pub(crate) fn unify_skeleton(&mut self, code_word: Word, value: Word) -> Result<bool> {
+        let (v, cell) = self.deref(InterpModule::Unify, value)?;
+        if let Some(addr) = cell {
+            let copied = self.copy_skeleton(code_word)?;
+            self.bind(addr, copied)?;
+            return Ok(true);
+        }
+        let off = code_word.data();
+        self.micro(InterpModule::Unify, BranchOp::CaseTag, true);
+        match (code_word.tag(), v.tag()) {
+            (Tag::CodeList, Tag::List) => {
+                let ptr = v.address_value().expect("List");
+                for i in 0..2 {
+                    let cw = self.fetch_code(InterpModule::Unify, BranchOp::CaseTag, off + i)?;
+                    let mv = self.read_value(InterpModule::Unify, ptr.offset_by(i))?;
+                    if !self.unify_code_arg(cw, mv)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            (Tag::CodeVect, Tag::Vect) => {
+                let ptr = v.address_value().expect("Vect");
+                let cf = self.fetch_code(InterpModule::Unify, BranchOp::CaseTag, off)?;
+                let mf = self.mem_read(InterpModule::Unify, ptr)?;
+                self.micro_cond(InterpModule::Unify, true);
+                if cf != mf {
+                    return Ok(false);
+                }
+                let arity = cf.functor_value().map(|f| f.arity).unwrap_or(0);
+                self.micro(InterpModule::Unify, BranchOp::LoadJr, true);
+                for i in 1..=arity as u32 {
+                    let cw = self.fetch_code(InterpModule::Unify, BranchOp::CaseTag, off + i)?;
+                    let mv = self.read_value(InterpModule::Unify, ptr.offset_by(i))?;
+                    if !self.unify_code_arg(cw, mv)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Unifies one skeleton element word against a runtime value.
+    fn unify_code_arg(&mut self, code_word: Word, value: Word) -> Result<bool> {
+        match code_word.tag() {
+            Tag::Atom | Tag::Int | Tag::Nil => self.unify(code_word, value),
+            Tag::FirstVar => {
+                let slot = code_word.var_slot().expect("FirstVar");
+                self.write_slot(InterpModule::Unify, slot, value, true)?;
+                Ok(true)
+            }
+            Tag::LocalVar => {
+                let slot = code_word.var_slot().expect("LocalVar");
+                let v = self.read_slot(InterpModule::Unify, slot, true)?;
+                self.unify(v, value)
+            }
+            Tag::Void => Ok(true),
+            Tag::CodeList | Tag::CodeVect => self.unify_skeleton(code_word, value),
+            other => Err(PsiError::EvalError {
+                detail: format!("corrupt skeleton word ({other})"),
+            }),
+        }
+    }
+
+    /// Copies a static skeleton to the global stack, creating fresh
+    /// cells for first-occurrence variables, and returns the value
+    /// word for the copy.
+    pub(crate) fn copy_skeleton(&mut self, code_word: Word) -> Result<Word> {
+        self.micro(InterpModule::Unify, BranchOp::Gosub, false);
+        let r = self.copy_skeleton_inner(code_word);
+        self.micro(InterpModule::Unify, BranchOp::Return, false);
+        r
+    }
+
+    fn copy_skeleton_inner(&mut self, code_word: Word) -> Result<Word> {
+        let off = code_word.data();
+        match code_word.tag() {
+            Tag::CodeList => {
+                let base = self.procs[self.cur].global_top;
+                self.procs[self.cur].global_top = base + 2;
+                for i in 0..2 {
+                    let cw = self.fetch_code(InterpModule::Unify, BranchOp::CaseTag, off + i)?;
+                    let w = self.copy_code_arg(cw)?;
+                    self.mem_push(InterpModule::Unify, self.global_addr(base + i), w)?;
+                }
+                Ok(Word::list(self.global_addr(base)))
+            }
+            Tag::CodeVect => {
+                let cf = self.fetch_code(InterpModule::Unify, BranchOp::CaseTag, off)?;
+                let arity = cf.functor_value().map(|f| f.arity).unwrap_or(0) as u32;
+                let base = self.procs[self.cur].global_top;
+                self.procs[self.cur].global_top = base + 1 + arity;
+                self.mem_push(InterpModule::Unify, self.global_addr(base), cf)?;
+                self.micro(InterpModule::Unify, BranchOp::LoadJr, true);
+                for i in 1..=arity {
+                    let cw = self.fetch_code(InterpModule::Unify, BranchOp::CaseTag, off + i)?;
+                    let w = self.copy_code_arg(cw)?;
+                    self.mem_push(InterpModule::Unify, self.global_addr(base + i), w)?;
+                }
+                Ok(Word::vect(self.global_addr(base)))
+            }
+            other => Err(PsiError::EvalError {
+                detail: format!("not a skeleton word ({other})"),
+            }),
+        }
+    }
+
+    /// Copies one skeleton element into a runtime value word.
+    fn copy_code_arg(&mut self, code_word: Word) -> Result<Word> {
+        match code_word.tag() {
+            Tag::Atom | Tag::Int | Tag::Nil => Ok(code_word),
+            Tag::FirstVar => {
+                let slot = code_word.var_slot().expect("FirstVar");
+                let cell = self.new_global_cell(InterpModule::Unify)?;
+                self.write_slot(InterpModule::Unify, slot, Word::reference(cell), true)?;
+                Ok(Word::reference(cell))
+            }
+            Tag::LocalVar => {
+                let slot = code_word.var_slot().expect("LocalVar");
+                self.read_slot(InterpModule::Unify, slot, true)
+            }
+            Tag::Void => {
+                let cell = self.new_global_cell(InterpModule::Unify)?;
+                Ok(Word::reference(cell))
+            }
+            Tag::CodeList | Tag::CodeVect => self.copy_skeleton_inner(code_word),
+            other => Err(PsiError::EvalError {
+                detail: format!("corrupt skeleton element ({other})"),
+            }),
+        }
+    }
+}

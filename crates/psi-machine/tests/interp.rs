@@ -1,0 +1,388 @@
+//! End-to-end interpreter tests: Prolog semantics on the simulated
+//! PSI, plus sanity checks on the measured statistics.
+
+use kl0::Program;
+use psi_core::PsiError;
+use psi_machine::{Machine, MachineConfig};
+
+fn machine(src: &str) -> Machine {
+    let program = Program::parse(src).expect("parse");
+    Machine::load(&program, MachineConfig::psi()).expect("load")
+}
+
+fn first(src: &str, goal: &str) -> Option<String> {
+    let mut m = machine(src);
+    let sols = m.solve(goal, 1).expect("solve");
+    sols.first().map(|s| s.to_string())
+}
+
+fn all(src: &str, goal: &str, max: usize) -> Vec<String> {
+    let mut m = machine(src);
+    m.solve(goal, max)
+        .expect("solve")
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+const APPEND: &str = "
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+";
+
+#[test]
+fn facts_and_unification() {
+    assert_eq!(first("p(1).", "p(X)"), Some("X = 1".into()));
+    assert_eq!(first("p(1).", "p(2)"), None);
+    assert_eq!(first("p(a, b).", "p(a, X)"), Some("X = b".into()));
+    assert_eq!(first("p(f(g(1), h)).", "p(f(X, h))"), Some("X = g(1)".into()));
+}
+
+#[test]
+fn append_forward_and_backward() {
+    assert_eq!(
+        first(APPEND, "app([1,2], [3,4], X)"),
+        Some("X = [1,2,3,4]".into())
+    );
+    assert_eq!(
+        first(APPEND, "app(X, [3], [1,2,3])"),
+        Some("X = [1,2]".into())
+    );
+    // Nondeterministic splits.
+    let splits = all(APPEND, "app(X, Y, [1,2])", 10);
+    assert_eq!(
+        splits,
+        vec![
+            "X = [], Y = [1,2]",
+            "X = [1], Y = [2]",
+            "X = [1,2], Y = []",
+        ]
+    );
+}
+
+#[test]
+fn naive_reverse() {
+    let src = "
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+";
+    assert_eq!(
+        first(src, "nrev([1,2,3,4,5], X)"),
+        Some("X = [5,4,3,2,1]".into())
+    );
+}
+
+#[test]
+fn arithmetic_and_comparison() {
+    assert_eq!(first("", "X is 3 + 4 * 2"), Some("X = 11".into()));
+    assert_eq!(first("", "X is (3 + 4) * 2"), Some("X = 14".into()));
+    assert_eq!(first("", "X is 10 // 3"), Some("X = 3".into()));
+    assert_eq!(first("", "X is 10 mod 3"), Some("X = 1".into()));
+    assert_eq!(first("", "X is -5 + 2"), Some("X = -3".into()));
+    assert_eq!(first("", "3 < 4"), Some("true".into()));
+    assert_eq!(first("", "4 < 3"), None);
+    assert_eq!(first("", "2 + 2 =:= 4"), Some("true".into()));
+    assert_eq!(first("", "2 + 2 =\\= 4"), None);
+}
+
+#[test]
+fn fib_recursion() {
+    let src = "
+fib(0, 0).
+fib(1, 1).
+fib(N, F) :- N > 1, N1 is N - 1, N2 is N - 2, fib(N1, F1), fib(N2, F2),
+             F is F1 + F2.
+";
+    assert_eq!(first(src, "fib(12, X)"), Some("X = 144".into()));
+}
+
+#[test]
+fn cut_prunes_alternatives() {
+    let src = "
+max(X, Y, X) :- X >= Y, !.
+max(_, Y, Y).
+once(X) :- member(X, [1,2,3]), !.
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+";
+    assert_eq!(first(src, "max(3, 5, M)"), Some("M = 5".into()));
+    assert_eq!(first(src, "max(5, 3, M)"), Some("M = 5".into()));
+    let sols = all(src, "once(X)", 10);
+    assert_eq!(sols, vec!["X = 1"]);
+}
+
+#[test]
+fn member_backtracking() {
+    let src = "
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+";
+    let sols = all(src, "member(X, [a,b,c])", 10);
+    assert_eq!(sols, vec!["X = a", "X = b", "X = c"]);
+    // Bounded solutions.
+    let two = all(src, "member(X, [a,b,c])", 2);
+    assert_eq!(two.len(), 2);
+}
+
+#[test]
+fn if_then_else_and_negation() {
+    let src = "
+classify(X, neg) :- (X < 0 -> true ; fail).
+classify(X, pos) :- \\+ X < 0.
+";
+    assert_eq!(first(src, "classify(-3, C)"), Some("C = neg".into()));
+    assert_eq!(first(src, "classify(3, C)"), Some("C = pos".into()));
+}
+
+#[test]
+fn disjunction() {
+    let src = "color(X) :- (X = red ; X = blue).";
+    let sols = all(src, "color(C)", 10);
+    assert_eq!(sols, vec!["C = red", "C = blue"]);
+}
+
+#[test]
+fn structure_copying_deep() {
+    let src = "
+mk(0, leaf).
+mk(N, node(L, N, R)) :- N > 0, N1 is N - 1, mk(N1, L), mk(N1, R).
+sum(leaf, 0).
+sum(node(L, V, R), S) :- sum(L, SL), sum(R, SR), S is SL + V + SR.
+";
+    assert_eq!(first(src, "mk(3, T), sum(T, S)"), Some(
+        "T = node(node(node(leaf,1,leaf),2,node(leaf,1,leaf)),3,node(node(leaf,1,leaf),2,node(leaf,1,leaf))), S = 11"
+            .into(),
+    ));
+}
+
+#[test]
+fn type_test_builtins() {
+    assert!(first("", "var(X)").is_some(), "unbound X is a variable");
+    assert_eq!(first("", "X = 1, integer(X)"), Some("X = 1".into()));
+    assert_eq!(first("", "atom(foo)"), Some("true".into()));
+    assert_eq!(first("", "atom(1)"), None);
+    assert_eq!(first("", "atomic([])"), Some("true".into()));
+    assert!(first("", "nonvar(f(X))").is_some());
+    assert_eq!(first("", "X = f(a), var(X)"), None);
+}
+
+#[test]
+fn structural_equality() {
+    assert!(first("", "f(X) == f(X)").is_some());
+    assert_eq!(first("", "f(X) == f(Y)"), None);
+    assert_eq!(first("", "f(a) \\== f(b)"), Some("true".into()));
+    assert_eq!(first("", "X \\= X"), None);
+    assert_eq!(first("", "f(a) \\= f(b)"), Some("true".into()));
+}
+
+#[test]
+fn functor_and_arg() {
+    assert_eq!(
+        first("", "functor(f(a,b,c), N, A)"),
+        Some("N = f, A = 3".into())
+    );
+    let s = first("", "functor(T, g, 2), arg(1, T, x)").unwrap();
+    assert!(s.starts_with("T = g(x,"), "{s}");
+    assert_eq!(first("", "arg(2, f(a,b), X)"), Some("X = b".into()));
+    assert_eq!(first("", "arg(5, f(a,b), X)"), None);
+}
+
+#[test]
+fn heap_vectors() {
+    let goal = "vector(V, 4), vset(V, 0, 42), vset(V, 3, 9), vget(V, 0, A), vget(V, 3, B)";
+    let s = first("", goal).unwrap();
+    assert!(s.contains("A = 42"), "{s}");
+    assert!(s.contains("B = 9"), "{s}");
+    assert_eq!(first("", "vector(V, 2), vget(V, 5, X)"), None);
+}
+
+#[test]
+fn write_builtin_captures_output() {
+    let mut m = machine("greet :- write(hello), nl, write([1,2,3]).");
+    m.solve("greet", 1).unwrap();
+    assert_eq!(m.output(), "hello\n[1,2,3]");
+}
+
+#[test]
+fn undefined_predicate_is_an_error() {
+    let mut m = machine("p :- q.");
+    match m.solve("p", 1) {
+        Err(PsiError::UndefinedPredicate { name }) => assert_eq!(name, "q/0"),
+        other => panic!("expected undefined predicate, got {other:?}"),
+    }
+}
+
+#[test]
+fn step_budget_is_enforced() {
+    let program = Program::parse("loop :- loop.").unwrap();
+    let mut config = MachineConfig::psi();
+    config.step_budget = 10_000;
+    let mut m = Machine::load(&program, config).unwrap();
+    assert!(matches!(
+        m.solve("loop", 1),
+        Err(PsiError::StepBudgetExceeded { .. })
+    ));
+}
+
+#[test]
+fn eight_queens_first_solution() {
+    let src = "
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+range(H, H, [H]).
+place([], Qs, Qs).
+place(Un, Placed, Qs) :-
+    select(Q, Un, Rest), safe(Q, 1, Placed), place(Rest, [Q|Placed], Qs).
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+safe(_, _, []).
+safe(Q, D, [P|Ps]) :-
+    Q =\\= P + D, Q =\\= P - D, D1 is D + 1, safe(Q, D1, Ps).
+";
+    let mut m = machine(src);
+    let sols = m.solve("queens(6, Qs)", 1).unwrap();
+    assert_eq!(sols.len(), 1);
+    // Verify it is a valid placement (a permutation of 1..6).
+    let s = sols[0].to_string();
+    for d in 1..=6 {
+        assert!(s.contains(&d.to_string()), "{s}");
+    }
+}
+
+#[test]
+fn multiple_queries_on_one_machine() {
+    let mut m = machine(APPEND);
+    let a = m.solve("app([1], [2], X)", 1).unwrap();
+    assert_eq!(a[0].to_string(), "X = [1,2]");
+    let b = m.solve("app([9], [8], Y)", 1).unwrap();
+    assert_eq!(b[0].to_string(), "Y = [9,8]");
+}
+
+#[test]
+fn stats_are_consistent() {
+    let mut m = machine(APPEND);
+    m.solve("app([1,2,3,4,5,6,7,8], [9], X)", 1).unwrap();
+    let s = m.stats();
+    assert!(s.steps > 100, "steps = {}", s.steps);
+    assert_eq!(s.modules.total(), s.steps);
+    assert_eq!(s.branches.total(), s.steps);
+    assert!(s.time_ns >= s.steps * 200);
+    assert!(s.user_calls >= 9, "one call per list element");
+    // Table invariants.
+    let mod_sum: f64 = s.modules.percentages().iter().sum();
+    assert!((mod_sum - 100.0).abs() < 1e-6);
+    let br_sum: f64 = s.branches.percentages().iter().sum();
+    assert!((br_sum - 100.0).abs() < 1e-6);
+    // Roughly one in five steps issues a cache command (§4.2 finds
+    // 16-23%); allow a generous band.
+    let rate = s.memory_access_rate_pct();
+    assert!(rate > 8.0 && rate < 45.0, "access rate {rate}");
+}
+
+#[test]
+fn deterministic_recursion_stays_in_frame_buffers() {
+    // Tail-recursive deterministic code: with TRO + frame buffering,
+    // local stack traffic should be rare.
+    let src = "
+count(0).
+count(N) :- N > 0, N1 is N - 1, count(N1).
+";
+    let mut m = machine(src);
+    m.solve("count(200)", 1).unwrap();
+    let s = m.stats();
+    let local = s.cache.area(psi_core::Area::LocalStack).accesses();
+    let total = s.cache.total().accesses();
+    assert!(
+        (local as f64) < (total as f64) * 0.40,
+        "local {local} of {total}"
+    );
+}
+
+#[test]
+fn trail_restores_bindings_across_backtracking() {
+    let src = "
+p(X, Y) :- q(X), r(X, Y).
+q(1).
+q(2).
+r(2, found).
+";
+    // q(1) binds X=1, r(1, Y) fails, backtracking must unbind X.
+    assert_eq!(first(src, "p(X, Y)"), Some("X = 2, Y = found".into()));
+}
+
+#[test]
+fn deep_backtracking_search() {
+    let src = "
+color(r). color(g). color(b).
+ok(A, B) :- color(A), color(B), A \\== B.
+all4(A, B, C, D) :-
+    ok(A, B), ok(B, C), ok(C, D), ok(D, A).
+";
+    // Proper 3-colorings of a 4-cycle: 3 * 2 * 2 * ... = 18 in total.
+    let sols = all(src, "all4(A, B, C, D)", 100);
+    assert_eq!(sols.len(), 18);
+    for s in &sols {
+        let vals: Vec<&str> = s.split(", ").map(|b| &b[4..]).collect();
+        assert_ne!(vals[0], vals[1], "{s}");
+        assert_ne!(vals[1], vals[2], "{s}");
+        assert_ne!(vals[2], vals[3], "{s}");
+        assert_ne!(vals[3], vals[0], "{s}");
+    }
+    // The 4-clique variant needs four colors, so three must fail.
+    let clique = all(
+        src,
+        "all4(A, B, C, D), A \\== C, B \\== D",
+        100,
+    );
+    assert!(clique.is_empty());
+}
+
+#[test]
+fn background_process_yield() {
+    let src = "
+tick(0).
+tick(N) :- N > 0, yield, N1 is N - 1, tick(N1).
+main(X) :- yield, yield, X = done.
+";
+    let mut m = machine(src);
+    let sols = m.run_session("main(X)", &["tick(5)"]).unwrap();
+    assert_eq!(sols[0].to_string(), "X = done");
+}
+
+#[test]
+fn packed_arguments_execute_correctly() {
+    // q(X, 3, []) packs all three args; verify values arrive intact.
+    let src = "
+p(R) :- q(R, 3, []).
+q(X, Y, Z) :- R is Y + 1, X = f(R, Z).
+";
+    assert_eq!(first(src, "p(V)"), Some("V = f(4,[])".into()));
+}
+
+#[test]
+fn uncached_machine_runs_slower() {
+    let program = Program::parse(APPEND).unwrap();
+    let mut cached = Machine::load(&program, MachineConfig::psi()).unwrap();
+    let mut uncached = Machine::load(&program, MachineConfig::psi_uncached()).unwrap();
+    cached.solve("app([1,2,3,4,5,6,7,8,9,10], [11], X)", 1).unwrap();
+    uncached.solve("app([1,2,3,4,5,6,7,8,9,10], [11], X)", 1).unwrap();
+    let tc = cached.stats();
+    let tn = uncached.stats();
+    assert_eq!(tc.steps, tn.steps, "same computation");
+    assert!(tn.time_ns > tc.time_ns, "cache must help");
+}
+
+#[test]
+fn trace_collection_works() {
+    let program = Program::parse(APPEND).unwrap();
+    let mut config = MachineConfig::psi();
+    config.trace_memory = true;
+    let mut m = Machine::load(&program, config).unwrap();
+    m.solve("app([1,2], [3], X)", 1).unwrap();
+    let trace = m.take_trace();
+    assert!(!trace.is_empty());
+    let accesses = m.stats().cache.total().accesses();
+    assert_eq!(trace.len() as u64, accesses);
+}

@@ -1,0 +1,327 @@
+//! The memory unit: storage behind a cache, with stall accounting and
+//! optional tracing.
+
+use crate::{AddressTranslation, Memory};
+use psi_cache::{Cache, CacheCommand, CacheConfig, CacheStats};
+use psi_core::{Address, Result, Word};
+use serde::{Deserialize, Serialize};
+
+/// One traced memory access: the microstep at which it happened, the
+/// cache command, and the logical address. This is exactly what the
+/// paper's COLLECT tool dumped for PMMS to replay (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Microinstruction step index at which the access occurred.
+    pub step: u64,
+    /// The cache command.
+    pub command: CacheCommand,
+    /// The logical address.
+    pub address: Address,
+}
+
+#[derive(Debug, Clone)]
+enum Attachment {
+    /// A real cache.
+    Cached(Box<Cache>),
+    /// No cache: every access pays the full memory access time. This is
+    /// the `Tnc` baseline of Figure 1's improvement-ratio definition.
+    Uncached {
+        stats: Box<CacheStats>,
+        miss_extra_ns: u64,
+    },
+}
+
+/// The memory unit the interpreter talks to.
+///
+/// All runtime accesses go through [`read`](MemBus::read),
+/// [`write`](MemBus::write) and [`write_stack`](MemBus::write_stack),
+/// which drive the cache model, accumulate stall time and optionally
+/// record a trace. Code loading and debugging use the uncounted
+/// [`peek`](MemBus::peek)/[`poke`](MemBus::poke) pair, mirroring how
+/// the real machine loaded code through the console processor rather
+/// than the cache.
+#[derive(Debug, Clone)]
+pub struct MemBus {
+    mem: Memory,
+    attachment: Attachment,
+    translation: AddressTranslation,
+    stall_ns: u64,
+    step: u64,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl MemBus {
+    /// A bus with the PSI production cache attached.
+    pub fn with_psi_cache() -> MemBus {
+        MemBus::with_cache(CacheConfig::psi())
+    }
+
+    /// A bus with an arbitrary cache configuration attached.
+    pub fn with_cache(config: CacheConfig) -> MemBus {
+        MemBus {
+            mem: Memory::new(),
+            attachment: Attachment::Cached(Box::new(Cache::new(config))),
+            translation: AddressTranslation::new(),
+            stall_ns: 0,
+            step: 0,
+            trace: None,
+        }
+    }
+
+    /// A bus with no cache: every access stalls for the full memory
+    /// time (`miss_extra_ns` beyond the cycle). Used to measure `Tnc`
+    /// in Figure 1's improvement ratio.
+    pub fn without_cache() -> MemBus {
+        let config = CacheConfig::psi();
+        MemBus {
+            mem: Memory::new(),
+            attachment: Attachment::Uncached {
+                stats: Box::new(CacheStats::new()),
+                miss_extra_ns: config.miss_extra_ns(),
+            },
+            translation: AddressTranslation::new(),
+            stall_ns: 0,
+            step: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables trace recording (COLLECT mode).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        match &mut self.trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// Called by the interpreter once per microinstruction step so the
+    /// bus can timestamp traced accesses and let the cache's pending
+    /// memory traffic drain.
+    pub fn tick(&mut self, cycle_ns: u64) {
+        self.step += 1;
+        if let Attachment::Cached(c) = &mut self.attachment {
+            c.advance(cycle_ns);
+        }
+    }
+
+    /// The current microstep counter.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Total stall time beyond microcycles, in nanoseconds.
+    pub fn stall_ns(&self) -> u64 {
+        self.stall_ns
+    }
+
+    /// Cache statistics (or bypass statistics when no cache is
+    /// attached).
+    pub fn cache_stats(&self) -> &CacheStats {
+        match &self.attachment {
+            Attachment::Cached(c) => c.stats(),
+            Attachment::Uncached { stats, .. } => stats,
+        }
+    }
+
+    /// Resets measurement state (statistics, stall time, step counter,
+    /// trace) without touching memory contents — used to exclude
+    /// warm-up, like the paper's breakpoint-triggered measurements.
+    pub fn reset_measurement(&mut self) {
+        match &mut self.attachment {
+            Attachment::Cached(c) => c.reset_stats(),
+            Attachment::Uncached { stats, .. } => **stats = CacheStats::new(),
+        }
+        self.stall_ns = 0;
+        self.step = 0;
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+    }
+
+    /// The backing storage (for checkpointing in tests).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable backing storage (used by the machine for bulk stack
+    /// truncation on backtracking).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// The address translation table.
+    pub fn translation_mut(&mut self) -> &mut AddressTranslation {
+        &mut self.translation
+    }
+
+    fn access(&mut self, cmd: CacheCommand, addr: Address) {
+        // Keep the translation table warm; the paper's machine
+        // translated every access in hardware.
+        self.translation.translate(addr);
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEntry {
+                step: self.step,
+                command: cmd,
+                address: addr,
+            });
+        }
+        match &mut self.attachment {
+            Attachment::Cached(c) => {
+                let out = c.access(cmd, addr);
+                self.stall_ns += out.stall_ns;
+            }
+            Attachment::Uncached {
+                stats,
+                miss_extra_ns,
+            } => {
+                let c = stats.area_mut(addr.area());
+                match cmd {
+                    CacheCommand::Read => c.reads += 1,
+                    CacheCommand::Write => c.writes += 1,
+                    CacheCommand::WriteStack => c.write_stacks += 1,
+                }
+                stats.stall_ns += *miss_extra_ns;
+                self.stall_ns += *miss_extra_ns;
+            }
+        }
+    }
+
+    /// Counted read of one word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`psi_core::PsiError::OutOfArea`] for reads beyond
+    /// the written extent.
+    pub fn read(&mut self, addr: Address) -> Result<Word> {
+        self.access(CacheCommand::Read, addr);
+        self.mem.read(addr)
+    }
+
+    /// Counted write of one word.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`psi_core::PsiError::StackOverflow`] if the area
+    /// limit is exceeded.
+    pub fn write(&mut self, addr: Address, word: Word) -> Result<()> {
+        self.access(CacheCommand::Write, addr);
+        self.mem.write(addr, word)
+    }
+
+    /// Counted write using the specialized write-stack command (for
+    /// pushes to a stack top).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`psi_core::PsiError::StackOverflow`] if the area
+    /// limit is exceeded.
+    pub fn write_stack(&mut self, addr: Address, word: Word) -> Result<()> {
+        self.access(CacheCommand::WriteStack, addr);
+        self.mem.write(addr, word)
+    }
+
+    /// Uncounted read (console/debug path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`psi_core::PsiError::OutOfArea`].
+    pub fn peek(&self, addr: Address) -> Result<Word> {
+        self.mem.read(addr)
+    }
+
+    /// Uncounted write (code loading path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`psi_core::PsiError::StackOverflow`].
+    pub fn poke(&mut self, addr: Address, word: Word) -> Result<()> {
+        self.mem.write(addr, word)
+    }
+}
+
+impl Default for MemBus {
+    /// Defaults to the production PSI cache.
+    fn default() -> MemBus {
+        MemBus::with_psi_cache()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_core::{Area, ProcessId};
+
+    fn addr(off: u32) -> Address {
+        Address::new(ProcessId::ZERO, Area::LocalStack, off)
+    }
+
+    #[test]
+    fn counted_accesses_reach_stats() {
+        let mut bus = MemBus::with_psi_cache();
+        bus.write_stack(addr(0), Word::int(1)).unwrap();
+        bus.read(addr(0)).unwrap();
+        bus.write(addr(0), Word::int(2)).unwrap();
+        let t = bus.cache_stats().total();
+        assert_eq!(t.reads, 1);
+        assert_eq!(t.writes, 1);
+        assert_eq!(t.write_stacks, 1);
+    }
+
+    #[test]
+    fn peek_poke_are_uncounted() {
+        let mut bus = MemBus::with_psi_cache();
+        bus.poke(addr(3), Word::int(9)).unwrap();
+        assert_eq!(bus.peek(addr(3)).unwrap().int_value(), Some(9));
+        assert_eq!(bus.cache_stats().total().accesses(), 0);
+        assert_eq!(bus.stall_ns(), 0);
+    }
+
+    #[test]
+    fn uncached_bus_stalls_every_access() {
+        let mut bus = MemBus::without_cache();
+        bus.write_stack(addr(0), Word::int(1)).unwrap();
+        bus.read(addr(0)).unwrap();
+        assert_eq!(bus.stall_ns(), 2 * 600);
+    }
+
+    #[test]
+    fn cached_bus_stalls_only_on_misses() {
+        let mut bus = MemBus::with_psi_cache();
+        bus.write_stack(addr(0), Word::int(1)).unwrap(); // miss, no fetch
+        let before = bus.stall_ns();
+        bus.read(addr(0)).unwrap(); // hit
+        assert_eq!(bus.stall_ns(), before);
+    }
+
+    #[test]
+    fn trace_records_step_and_command() {
+        let mut bus = MemBus::with_psi_cache();
+        bus.enable_trace();
+        bus.tick(200);
+        bus.read(addr(0)).unwrap_err(); // read of unwritten cell: still traced
+        bus.tick(200);
+        bus.write_stack(addr(0), Word::nil()).unwrap();
+        let trace = bus.take_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].step, 1);
+        assert_eq!(trace[0].command, CacheCommand::Read);
+        assert_eq!(trace[1].step, 2);
+        assert_eq!(trace[1].command, CacheCommand::WriteStack);
+        assert_eq!(trace[1].address, addr(0));
+    }
+
+    #[test]
+    fn reset_measurement_clears_counters_not_memory() {
+        let mut bus = MemBus::with_psi_cache();
+        bus.write_stack(addr(0), Word::int(5)).unwrap();
+        bus.reset_measurement();
+        assert_eq!(bus.cache_stats().total().accesses(), 0);
+        assert_eq!(bus.stall_ns(), 0);
+        assert_eq!(bus.peek(addr(0)).unwrap().int_value(), Some(5));
+    }
+}

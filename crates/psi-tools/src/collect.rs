@@ -1,0 +1,118 @@
+//! COLLECT: trace capture and persistence.
+//!
+//! The paper's COLLECT ran in the console processor, single-stepping
+//! the CPU and dumping "microinstruction addresses and the contents of
+//! registers or memory... onto a flexible disk each time the CPU
+//! stopped". Our equivalent captures the memory-access trace from the
+//! simulator ([`psi_mem::TraceEntry`]) and serializes it to JSON.
+
+use psi_core::{PsiError, Result};
+use psi_mem::TraceEntry;
+use std::io::{Read, Write};
+
+/// Serializes a trace to a writer as JSON (remember a `&mut` writer
+/// can be passed).
+///
+/// # Errors
+///
+/// Returns [`PsiError::Compile`] wrapping serialization failures.
+pub fn save_trace<W: Write>(trace: &[TraceEntry], writer: W) -> Result<()> {
+    serde_json::to_writer(writer, trace).map_err(|e| PsiError::Compile {
+        detail: format!("trace serialization failed: {e}"),
+    })
+}
+
+/// Deserializes a trace from a reader (a `&mut` reader works too).
+///
+/// # Errors
+///
+/// Returns [`PsiError::Compile`] wrapping deserialization failures.
+pub fn load_trace<R: Read>(reader: R) -> Result<Vec<TraceEntry>> {
+    serde_json::from_reader(reader).map_err(|e| PsiError::Compile {
+        detail: format!("trace deserialization failed: {e}"),
+    })
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Number of accesses.
+    pub accesses: usize,
+    /// Total steps spanned (last step − first step).
+    pub steps_spanned: u64,
+    /// Reads.
+    pub reads: usize,
+    /// Ordinary writes.
+    pub writes: usize,
+    /// Write-stack pushes.
+    pub write_stacks: usize,
+}
+
+/// Summarizes a trace.
+pub fn summarize(trace: &[TraceEntry]) -> TraceSummary {
+    use psi_cache::CacheCommand;
+    let mut s = TraceSummary {
+        accesses: trace.len(),
+        steps_spanned: 0,
+        reads: 0,
+        writes: 0,
+        write_stacks: 0,
+    };
+    if let (Some(first), Some(last)) = (trace.first(), trace.last()) {
+        s.steps_spanned = last.step.saturating_sub(first.step);
+    }
+    for e in trace {
+        match e.command {
+            CacheCommand::Read => s.reads += 1,
+            CacheCommand::Write => s.writes += 1,
+            CacheCommand::WriteStack => s.write_stacks += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_cache::CacheCommand;
+    use psi_core::{Address, Area, ProcessId};
+
+    fn sample() -> Vec<TraceEntry> {
+        (0..10)
+            .map(|i| TraceEntry {
+                step: i * 3,
+                command: if i % 3 == 0 {
+                    CacheCommand::WriteStack
+                } else {
+                    CacheCommand::Read
+                },
+                address: Address::new(ProcessId::ZERO, Area::Heap, i as u32),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        save_trace(&trace, &mut buf).unwrap();
+        let loaded = load_trace(buf.as_slice()).unwrap();
+        assert_eq!(trace, loaded);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summarize(&sample());
+        assert_eq!(s.accesses, 10);
+        assert_eq!(s.write_stacks, 4);
+        assert_eq!(s.reads, 6);
+        assert_eq!(s.steps_spanned, 27);
+    }
+
+    #[test]
+    fn empty_trace_summary() {
+        let s = summarize(&[]);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.steps_spanned, 0);
+    }
+}

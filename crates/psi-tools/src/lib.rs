@@ -1,0 +1,18 @@
+//! Reimplementations of the paper's measurement tooling (§4.1).
+//!
+//! * [`collect`] — COLLECT: capture and persist execution traces
+//!   (microstep-stamped cache commands with addresses), as the
+//!   console-processor tool dumped them "onto a flexible disk";
+//! * [`map`] — MAP: count microinstruction field patterns, producing
+//!   the work-file (Table 6) and branch (Table 7) analyses;
+//! * [`pmms`] — PMMS: replay a collected trace through arbitrary
+//!   cache configurations to obtain hit ratios and performance
+//!   improvement ratios (Table 5, Figure 1, and the §4.2
+//!   associativity and write-policy studies).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collect;
+pub mod map;
+pub mod pmms;

@@ -1,0 +1,116 @@
+//! MAP: microinstruction pattern analysis.
+//!
+//! "Using an address pattern of microinstructions traced by COLLECT,
+//! MAP counts the number of specific pattern appears in a specific
+//! microinstruction field" (§4.1). Our machine aggregates the same
+//! field information online ([`WfStats`], [`BranchTally`]); MAP turns
+//! those tallies into the paper's Table 6 and Table 7 layouts.
+
+use psi_machine::{BranchOp, BranchTally, WfField, WfMode, WfStats};
+
+/// One Table 6 row: a WF addressing mode with, per field, its share
+/// of that field's accesses (`†`) and its rate against total steps
+/// (`‡`). `None` = the mode is not available in that field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WfModeRow {
+    /// Row label.
+    pub mode: WfMode,
+    /// `(share_pct, rate_pct)` per field (source 1, source 2,
+    /// destination).
+    pub fields: [Option<(f64, f64)>; 3],
+}
+
+/// Builds the Table 6 rows from WF statistics and the total step
+/// count.
+pub fn wf_mode_table(stats: &WfStats, steps: u64) -> Vec<WfModeRow> {
+    WfMode::ALL
+        .iter()
+        .map(|&mode| {
+            let fields = [WfField::Source1, WfField::Source2, WfField::Destination]
+                .map(|field| {
+                    // Source 2 only reaches the dual-port area; other
+                    // impossible combinations simply never occur.
+                    let available = !(field == WfField::Source2 && mode != WfMode::Direct00);
+                    if !available {
+                        return None;
+                    }
+                    let share = stats.mode_share_pct(field, mode);
+                    let rate = stats.count(field, mode) as f64 * 100.0
+                        / steps.max(1) as f64;
+                    Some((share, rate))
+                });
+            WfModeRow { mode, fields }
+        })
+        .collect()
+}
+
+/// The Table 6 "total" row: per-field access rates against steps.
+pub fn wf_field_rates(stats: &WfStats, steps: u64) -> [f64; 3] {
+    [WfField::Source1, WfField::Source2, WfField::Destination]
+        .map(|f| stats.field_rate_pct(f, steps))
+}
+
+/// One Table 7 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchRow {
+    /// The branch operation.
+    pub op: BranchOp,
+    /// Its share of all steps, percent.
+    pub share_pct: f64,
+}
+
+/// Builds the Table 7 rows from a branch tally.
+pub fn branch_table(tally: &BranchTally) -> Vec<BranchRow> {
+    let pct = tally.percentages();
+    BranchOp::ALL
+        .iter()
+        .map(|&op| BranchRow {
+            op,
+            share_pct: pct[op.index()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_machine::WorkFile;
+
+    #[test]
+    fn wf_table_has_seven_rows_and_consistent_shares() {
+        let mut wf = WorkFile::new();
+        for _ in 0..6 {
+            wf.touch_read(WfField::Source1, WfMode::Direct10);
+        }
+        wf.touch_read(WfField::Source1, WfMode::Constant);
+        wf.touch_read(WfField::Source2, WfMode::Direct00);
+        wf.touch_write(WfMode::Direct10);
+        let rows = wf_mode_table(wf.stats(), 10);
+        assert_eq!(rows.len(), 7);
+        // source-1 shares sum to 100
+        let sum: f64 = rows
+            .iter()
+            .filter_map(|r| r.fields[0].map(|(s, _)| s))
+            .sum();
+        assert!((sum - 100.0).abs() < 1e-9, "{sum}");
+        // source 2 restricted to WF00-0F
+        assert!(rows[0].fields[1].is_some());
+        assert!(rows[1].fields[1].is_none());
+        let rates = wf_field_rates(wf.stats(), 10);
+        assert!((rates[0] - 70.0).abs() < 1e-9);
+        assert!((rates[1] - 10.0).abs() < 1e-9);
+        assert!((rates[2] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_table_sums_to_100() {
+        let mut t = psi_machine::MicroTally::new();
+        for op in BranchOp::ALL {
+            t.step(psi_machine::InterpModule::Control, op, false);
+        }
+        let rows = branch_table(&t.branches);
+        assert_eq!(rows.len(), 16);
+        let sum: f64 = rows.iter().map(|r| r.share_pct).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,235 @@
+//! Benchmarks (1)–(10) of Table 1: the first Prolog contest of Japan
+//! set — "small-scale programs that contain frequent list
+//! processing".
+
+use crate::library::{int_list, iota, lcg_sequence};
+use crate::Workload;
+
+/// (1) `nreverse (30)` — naive reverse of an n-element list.
+pub fn nreverse(n: i32) -> Workload {
+    let source = "
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+"
+    .to_owned();
+    Workload::new("nreverse", source, format!("nrev({}, R)", iota(n)))
+}
+
+/// (2) `quick sort (50)` — quicksort of n pseudo-random integers.
+pub fn quick_sort(n: usize) -> Workload {
+    let source = "
+qsort([], []).
+qsort([P|T], S) :-
+    partition(T, P, Lo, Hi),
+    qsort(Lo, SLo),
+    qsort(Hi, SHi),
+    app(SLo, [P|SHi], S).
+partition([], _, [], []).
+partition([X|T], P, [X|Lo], Hi) :- X =< P, partition(T, P, Lo, Hi).
+partition([X|T], P, Lo, [X|Hi]) :- X > P, partition(T, P, Lo, Hi).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+"
+    .to_owned();
+    let data = int_list(&lcg_sequence(n, 1000));
+    Workload::new("quick sort", source, format!("qsort({data}, S)"))
+}
+
+/// (3) `tree traversing` — build a complete binary tree and traverse
+/// it in-order, collecting the labels.
+pub fn tree_traversing(depth: i32) -> Workload {
+    let source = "
+mktree(0, _, leaf).
+mktree(D, N, node(L, N, R)) :-
+    D > 0, D1 is D - 1,
+    NL is N * 2, NR is N * 2 + 1,
+    mktree(D1, NL, L), mktree(D1, NR, R).
+inorder(leaf, A, A).
+inorder(node(L, N, R), A0, A) :-
+    inorder(L, A0, A1),
+    inorder(R, [N|A1], A).
+traverse(D, Xs) :- mktree(D, 1, T), inorder(T, [], Xs).
+"
+    .to_owned();
+    Workload::new("tree traversing", source, format!("traverse({depth}, Xs)"))
+}
+
+/// The mini-Lisp interpreter written in Prolog that benchmarks (4)–(6)
+/// run. Lisp data is encoded as Prolog terms: `n(I)` numbers, `v(S)`
+/// variable references, `c(H,T)`/`nil` conses, and application nodes.
+const LISP: &str = "
+evl(n(X), _, n(X)).
+evl(v(S), Env, V) :- lkp(S, Env, V).
+evl(nl, _, nl).
+evl(add(A, B), E, n(V)) :- evl(A, E, n(X)), evl(B, E, n(Y)), V is X + Y.
+evl(sub(A, B), E, n(V)) :- evl(A, E, n(X)), evl(B, E, n(Y)), V is X - Y.
+evl(lt(A, B), E, R) :- evl(A, E, n(X)), evl(B, E, n(Y)),
+    (X < Y -> R = tt ; R = ff).
+evl(lte(A, B), E, R) :- evl(A, E, n(X)), evl(B, E, n(Y)),
+    (X =< Y -> R = tt ; R = ff).
+evl(ite(C, T, _), E, V) :- evl(C, E, tt), !, evl(T, E, V).
+evl(ite(_, _, El), E, V) :- evl(El, E, V).
+evl(cons(A, B), E, c(X, Y)) :- evl(A, E, X), evl(B, E, Y).
+evl(car(A), E, X) :- evl(A, E, c(X, _)).
+evl(cdr(A), E, Y) :- evl(A, E, c(_, Y)).
+evl(isnl(A), E, R) :- evl(A, E, V), (V = nl -> R = tt ; R = ff).
+evl(ap(F, Args), E, V) :-
+    evlis(Args, E, Vs),
+    def(F, Params, Body),
+    bindargs(Params, Vs, NewE),
+    evl(Body, NewE, V).
+
+evlis([], _, []).
+evlis([A|As], E, [V|Vs]) :- evl(A, E, V), evlis(As, E, Vs).
+
+bindargs([], [], []).
+bindargs([P|Ps], [V|Vs], [b(P, V)|E]) :- bindargs(Ps, Vs, E).
+
+lkp(S, [b(S, V)|_], V) :- !.
+lkp(S, [_|E], V) :- lkp(S, E, V).
+";
+
+/// (4) `lisp (tarai3)` — the tak/tarai function interpreted by the
+/// mini-Lisp. `tarai(x, y, z)` with the classic recursion.
+pub fn lisp_tarai(x: i32, y: i32, z: i32) -> Workload {
+    let mut source = LISP.to_owned();
+    source.push_str(
+        "
+def(tak, [x, y, z],
+    ite(lt(v(y), v(x)),
+        ap(tak, [ap(tak, [sub(v(x), n(1)), v(y), v(z)]),
+                 ap(tak, [sub(v(y), n(1)), v(z), v(x)]),
+                 ap(tak, [sub(v(z), n(1)), v(x), v(y)])]),
+        v(z))).
+",
+    );
+    Workload::new(
+        "lisp (tarai3)",
+        source,
+        format!("evl(ap(tak, [n({x}), n({y}), n({z})]), [], V)"),
+    )
+}
+
+/// (5) `lisp (fib10)` — Fibonacci interpreted by the mini-Lisp.
+pub fn lisp_fib(n: i32) -> Workload {
+    let mut source = LISP.to_owned();
+    source.push_str(
+        "
+def(fib, [n],
+    ite(lte(v(n), n(1)),
+        v(n),
+        add(ap(fib, [sub(v(n), n(1))]),
+            ap(fib, [sub(v(n), n(2))])))).
+",
+    );
+    Workload::new(
+        "lisp (fib10)",
+        source,
+        format!("evl(ap(fib, [n({n})]), [], V)"),
+    )
+}
+
+/// (6) `lisp (nreverse)` — naive reverse interpreted by the
+/// mini-Lisp, on an n-element list.
+pub fn lisp_nreverse(n: i32) -> Workload {
+    let mut source = LISP.to_owned();
+    source.push_str(
+        "
+def(apnd, [a, b],
+    ite(isnl(v(a)),
+        v(b),
+        cons(car(v(a)), ap(apnd, [cdr(v(a)), v(b)])))).
+def(nrev, [l],
+    ite(isnl(v(l)),
+        nl,
+        ap(apnd, [ap(nrev, [cdr(v(l))]), cons(car(v(l)), nl)]))).
+mklisp(0, nl).
+mklisp(N, cons(n(N), T)) :- N > 0, N1 is N - 1, mklisp(N1, T).
+run_lnrev(N, V) :- mklisp(N, L), evl(ap(nrev, [L]), [], V).
+",
+    );
+    Workload::new("lisp (nreverse)", source, format!("run_lnrev({n}, V)"))
+}
+
+const QUEENS: &str = "
+queens(N, Qs) :- range(1, N, Ns), place(Ns, [], Qs).
+range(L, H, [L|T]) :- L < H, L1 is L + 1, range(L1, H, T).
+range(H, H, [H]).
+place([], Qs, Qs).
+place(Un, Placed, Qs) :-
+    sel(Q, Un, Rest), safe(Q, 1, Placed), place(Rest, [Q|Placed], Qs).
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+safe(_, _, []).
+safe(Q, D, [P|Ps]) :-
+    Q =\\= P + D, Q =\\= P - D, D1 is D + 1, safe(Q, D1, Ps).
+";
+
+/// (7) `8 queens (1)` — first solution.
+pub fn queens_first(n: i32) -> Workload {
+    Workload::new("8 queens (1)", QUEENS.to_owned(), format!("queens({n}, Qs)"))
+}
+
+/// (8) `8 queens (all)` — all solutions (92 for n = 8).
+pub fn queens_all(n: i32) -> Workload {
+    Workload::new("8 queens (all)", QUEENS.to_owned(), format!("queens({n}, Qs)"))
+        .exhaustive()
+}
+
+/// (9) `reverse function` — accumulator ("function-style") reverse,
+/// applied repeatedly so the run is comparable to (1).
+pub fn reverse_function(n: i32, rounds: i32) -> Workload {
+    let source = "
+rev(L, R) :- rev_acc(L, [], R).
+rev_acc([], A, A).
+rev_acc([H|T], A, R) :- rev_acc(T, [H|A], R).
+times(0, _).
+times(N, L) :- N > 0, rev(L, R), rev(R, _), N1 is N - 1, times(N1, L).
+"
+    .to_owned();
+    Workload::new(
+        "reverse function",
+        source,
+        format!("times({rounds}, {})", iota(n)),
+    )
+}
+
+/// (10) `slow reverse (6)` — reverse by repeatedly extracting the
+/// last element (quadratic, choice-point heavy).
+pub fn slow_reverse(n: i32) -> Workload {
+    let source = "
+last_of([X], X, []).
+last_of([H|T], X, [H|R]) :- last_of(T, X, R).
+srev([], []).
+srev(L, [X|R]) :- last_of(L, X, Rest), srev(Rest, R).
+"
+    .to_owned();
+    Workload::new("slow reverse", source, format!("srev({}, R)", iota(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kl0::Program;
+
+    #[test]
+    fn all_contest_sources_parse() {
+        for w in [
+            nreverse(5),
+            quick_sort(8),
+            tree_traversing(3),
+            lisp_tarai(4, 2, 0),
+            lisp_fib(6),
+            lisp_nreverse(5),
+            queens_first(4),
+            queens_all(4),
+            reverse_function(5, 2),
+            slow_reverse(4),
+        ] {
+            Program::parse(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(w.runs_on_dec(), "{} must run on both engines", w.name);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! HARMONIZER (Table 1 rows 14–16): "a music generation system that
+//! attaches harmonies to melodies according to musical knowledge",
+//! which "uses frequent backtracking".
+//!
+//! The re-implementation harmonizes a melody (a list of scale degrees
+//! 0–11) with triads, under voice-leading constraints strict enough
+//! to force deep backtracking: chord tones must cover the melody
+//! note, adjacent chords must share a tone or move by step, parallel
+//! repetition is limited, and phrases must end in an authentic
+//! cadence.
+
+use crate::library::lcg_sequence;
+use crate::Workload;
+
+fn harmonizer_source() -> String {
+    String::from(
+        "
+% chord(Name, Root, Tones) — the diatonic triads of C major.
+chord(i,  0, [0, 4, 7]).
+chord(ii, 2, [2, 5, 9]).
+chord(iii,4, [4, 7, 11]).
+chord(iv, 5, [5, 9, 0]).
+chord(v,  7, [7, 11, 2]).
+chord(vi, 9, [9, 0, 4]).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+% A chord harmonizes a note if the note is a chord tone.
+covers(Note, Name) :- chord(Name, _, Tones), member(Note, Tones).
+
+% Transitions: share a common tone, or roots a fourth/fifth apart.
+shares_tone(A, B) :- chord(A, _, Ta), chord(B, _, Tb),
+    member(X, Ta), member(X, Tb), !.
+root_step(A, B) :- chord(A, Ra, _), chord(B, Rb, _),
+    D is Ra - Rb, member(D, [5, -5, 7, -7, 2, -2]).
+good_transition(A, B) :- shares_tone(A, B).
+good_transition(A, B) :- root_step(A, B).
+% Forbid immediate repetition (forces search).
+ok_next(A, B) :- A \\== B, good_transition(A, B).
+
+% Cadence: the phrase must end V -> I.
+cadence([i, v|_]).
+
+% harmonize(Melody, ReversedChords)
+harmonize([], []).
+harmonize([N|Ns], [C|Cs]) :-
+    harmonize(Ns, Cs),
+    covers(N, C),
+    ok_head(C, Cs).
+ok_head(_, []).
+ok_head(C, [P|_]) :- ok_next(P, C).
+
+% Top level: harmonize and require a cadence (reversed chord list
+% starts with the final chord).
+harmonize_phrase(Melody, Chords) :-
+    harmonize(Melody, Chords),
+    cadence(Chords).
+",
+    )
+}
+
+/// A melody of the requested length whose notes are all diatonic
+/// chord tones, ending on the tonic so a cadence exists.
+pub fn melody(len: usize) -> Vec<i32> {
+    // Use only pitches that at least one triad covers.
+    let palette = [0, 2, 4, 5, 7, 9, 11];
+    let mut notes: Vec<i32> = lcg_sequence(len, palette.len() as i32)
+        .into_iter()
+        .map(|i| palette[i as usize])
+        .collect();
+    let n = notes.len();
+    if n >= 2 {
+        notes[n - 2] = 7; // leading V chord tone
+        notes[n - 1] = 0; // tonic
+    }
+    notes
+}
+
+/// `harmonizer-n` (Table 1 rows 14–16): melodies of growing length.
+pub fn harmonizer(level: u32) -> Workload {
+    let len = match level {
+        1 => 8,
+        2 => 11,
+        _ => 16,
+    };
+    let m = melody(len);
+    let m_text: Vec<String> = m.iter().map(|n| n.to_string()).collect();
+    Workload::new(
+        &format!("harmonizer-{level}"),
+        harmonizer_source(),
+        format!("harmonize_phrase([{}], Chords)", m_text.join(",")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kl0::Program;
+
+    #[test]
+    fn source_parses() {
+        Program::parse(&harmonizer_source()).unwrap();
+        assert!(harmonizer(1).runs_on_dec());
+    }
+
+    #[test]
+    fn melody_ends_with_cadence_tones() {
+        let m = melody(8);
+        assert_eq!(m[6], 7);
+        assert_eq!(m[7], 0);
+    }
+
+    #[test]
+    fn levels_grow() {
+        assert!(harmonizer(1).goal.len() < harmonizer(3).goal.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's benchmark suite.
+//!
+//! Section 3.1 measures nineteen programs: ten small list-processing
+//! programs from the first Prolog contest of Japan, and nine
+//! practical-scale runs of three applications (the BUP and LCP
+//! natural-language parsers and the HARMONIZER music system). Section
+//! 3.2/4 adds the WINDOW system (built-in heavy, heap vectors,
+//! process switching) and 8-PUZZLE (search with backtracking).
+//!
+//! The original sources are lost; these re-implementations follow the
+//! paper's characterization of each program (size, structure depth,
+//! backtracking rate, built-in rate — see DESIGN.md). Every workload
+//! is expressed in the KL0 subset both engines execute, so the same
+//! source runs on the PSI simulator and the DEC-10 baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use psi_workloads::{contest, runner};
+//!
+//! let w = contest::nreverse(10);
+//! let psi = runner::run_on_psi(&w, psi_machine::MachineConfig::psi())?;
+//! let dec = runner::run_on_dec(&w)?;
+//! assert_eq!(psi.solutions, dec.solutions);
+//! # Ok::<(), psi_core::PsiError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contest;
+pub mod harmonizer;
+pub mod library;
+pub mod parsers;
+pub mod puzzle;
+pub mod runner;
+pub mod suite;
+pub mod window;
+
+/// A benchmark workload: a KL0 program plus the query that drives it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (matches the paper's Table 1 row labels).
+    pub name: String,
+    /// Program source text.
+    pub source: String,
+    /// The driving query.
+    pub goal: String,
+    /// How many solutions to request (`usize::MAX` = exhaust the
+    /// search space, as in "8 queens (all)").
+    pub max_solutions: usize,
+    /// Background process goals (WINDOW-2/3 only; PSI-only feature).
+    pub background: Vec<String>,
+}
+
+impl Workload {
+    /// Creates a single-solution workload.
+    pub fn new(name: &str, source: String, goal: String) -> Workload {
+        Workload {
+            name: name.to_owned(),
+            source,
+            goal,
+            max_solutions: 1,
+            background: Vec::new(),
+        }
+    }
+
+    /// Requests exhaustive solution enumeration.
+    pub fn exhaustive(mut self) -> Workload {
+        self.max_solutions = usize::MAX;
+        self
+    }
+
+    /// Can this workload run on the DEC-10 baseline? (WINDOW uses the
+    /// PSI-only heap vectors and process switching.)
+    pub fn runs_on_dec(&self) -> bool {
+        self.background.is_empty()
+            && !self.source.contains("vector(")
+            && !self.source.contains("yield")
+    }
+}

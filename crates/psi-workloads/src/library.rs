@@ -1,0 +1,76 @@
+//! Shared KL0 library predicates used by several workloads.
+
+/// List utilities: append, member, select, length, range.
+pub const LISTS: &str = "
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+memberchk(X, L) :- member(X, L), !.
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+len([], 0).
+len([_|T], N) :- len(T, N1), N is N1 + 1.
+
+range(L, H, []) :- L > H.
+range(L, H, [L|T]) :- L =< H, L1 is L + 1, range(L1, H, T).
+
+nth0(0, [X|_], X) :- !.
+nth0(N, [_|T], X) :- N > 0, N1 is N - 1, nth0(N1, T, X).
+
+rev_acc([], A, A).
+rev_acc([H|T], A, R) :- rev_acc(T, [H|A], R).
+";
+
+/// Builds the textual representation of a Prolog integer list.
+pub fn int_list(items: &[i32]) -> String {
+    let body: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Builds `[1, 2, .., n]`.
+pub fn iota(n: i32) -> String {
+    int_list(&(1..=n).collect::<Vec<_>>())
+}
+
+/// A deterministic pseudo-random permutation-ish sequence (linear
+/// congruential, fixed seed) so every run and both engines see the
+/// same input data.
+pub fn lcg_sequence(n: usize, modulus: i32) -> Vec<i32> {
+    let mut x: i64 = 12345;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        x = (x * 1103515245 + 12345) % (1 << 31);
+        out.push((x % modulus as i64) as i32);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kl0::Program;
+
+    #[test]
+    fn library_parses() {
+        let p = Program::parse(LISTS).unwrap();
+        assert!(p.clause_count() >= 12);
+    }
+
+    #[test]
+    fn int_list_format() {
+        assert_eq!(int_list(&[1, 2, 3]), "[1,2,3]");
+        assert_eq!(int_list(&[]), "[]");
+        assert_eq!(iota(3), "[1,2,3]");
+    }
+
+    #[test]
+    fn lcg_is_deterministic() {
+        assert_eq!(lcg_sequence(5, 100), lcg_sequence(5, 100));
+        assert!(lcg_sequence(50, 100).iter().all(|&x| (0..100).contains(&x)));
+    }
+}

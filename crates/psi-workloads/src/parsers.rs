@@ -1,0 +1,194 @@
+//! The two natural-language parsers of Table 1.
+//!
+//! The paper: "BUP and LCP are parsers using different methods for
+//! natural language processing... BUP treats structures larger than
+//! eight elements and nested structures" and BUP/harmonizer-style
+//! programs "have much unification between structural data and
+//! involve frequent backtracking", while LCP was written by F. Pereira
+//! with "thorough knowledge of the [DEC-10] system's advantages" — it
+//! is deterministic, shallow and indexing-friendly, which is why DEC
+//! beats PSI on it (Table 1 rows 17–19).
+
+use crate::Workload;
+
+/// BUP: a backtracking shift-reduce bottom-up parser over *feature
+/// structures*. Stack items are `cat(Name, Number, Tree)` terms;
+/// reductions unify whole feature structures (repeated variables →
+/// general unification), carry number agreement (det–noun and
+/// subject–verb), and build nested parse trees — the paper's BUP
+/// "treats structures larger than eight elements and nested
+/// structures" and drives the unify module to 43% of steps
+/// (Table 2). Word positions are counted arithmetically, giving BUP
+/// its built-in call traffic (§3.2: 65%).
+fn bup_source() -> String {
+    String::from(
+        "
+% Lexicon with number agreement; 'the' and most verbs are ambiguous
+% in number, which multiplies the search.
+wd(det, sg, the). wd(det, pl, the). wd(det, sg, a).
+wd(n, sg, man). wd(n, pl, men). wd(n, sg, woman).
+wd(n, sg, telescope). wd(n, sg, park). wd(n, sg, dog).
+wd(n, pl, dogs). wd(n, sg, cat). wd(n, sg, hill). wd(n, sg, stick).
+wd(v, sg, saw). wd(v, pl, saw). wd(v, sg, liked). wd(v, pl, liked).
+wd(v, sg, chased). wd(v, pl, chased). wd(v, sg, found).
+wd(p, sg, with). wd(p, sg, in). wd(p, sg, on).
+wd(adj, sg, old). wd(adj, pl, old). wd(adj, sg, young).
+wd(adj, pl, young). wd(adj, sg, small). wd(adj, pl, small).
+
+% Grammar rules with right-hand sides reversed for stack matching.
+% Feature structures share agreement variables across elements.
+rrule(cat(s, Num, s(NPT, VPT)),
+      [cat(vp, Num, VPT), cat(np, Num, NPT)]).
+rrule(cat(np, Num, np(D, N)),
+      [cat(n, Num, N), cat(det, Num, D)]).
+rrule(cat(np, Num, np(D, A, N)),
+      [cat(n, Num, N), cat(adj, Num, A), cat(det, Num, D)]).
+rrule(cat(np, Num, np(NPT, PPT)),
+      [cat(pp, _, PPT), cat(np, Num, NPT)]).
+rrule(cat(vp, Num, vp(V)),
+      [cat(v, Num, V)]).
+rrule(cat(vp, Num, vp(V, NPT)),
+      [cat(np, _, NPT), cat(v, Num, V)]).
+rrule(cat(vp, Num, vp(V, NPT, PPT)),
+      [cat(pp, _, PPT), cat(np, _, NPT), cat(v, Num, V)]).
+rrule(cat(pp, Num, pp(P, NPT)),
+      [cat(np, Num, NPT), cat(p, _, P)]).
+
+% Shift-reduce with full backtracking; N counts word positions.
+bup(Words, Tree) :- sr([], Words, 0, Tree).
+
+sr([cat(s, Num, T)], [], _, cat(s, Num, T)).
+sr(Stack, [W|Ws], N, Tree) :-
+    wd(C, Num, W),
+    N1 is N + 1,
+    sr([cat(C, Num, w(W, N))|Stack], Ws, N1, Tree).
+sr(Stack, Ws, N, Tree) :-
+    N > 0,
+    reduce(Stack, NewStack),
+    sr(NewStack, Ws, N, Tree).
+
+reduce(Stack, [Cat|Rest]) :-
+    rrule(Cat, RevRhs),
+    match_rhs(RevRhs, Stack, Rest).
+
+% The repeated variable C forces a full feature-structure
+% unification per matched stack element.
+match_rhs([], Rest, Rest).
+match_rhs([C|Cs], [C|Stack], Rest) :-
+    match_rhs(Cs, Stack, Rest).
+",
+    )
+}
+
+/// LCP: a left-corner parser with a pre-computed link (left-corner
+/// reachability) table — the Pereira style. First arguments are bound
+/// atoms everywhere (indexing-friendly), structures are shallow
+/// difference lists, and the link table prunes almost all
+/// backtracking.
+fn lcp_source() -> String {
+    // Note the Pereira signature the paper alludes to: every table is
+    // keyed on a *bound* first argument (word → category, corner →
+    // links, first child → rules), so DEC-10's clause indexing
+    // dispatches each lookup directly — no choice points on the happy
+    // path. This is what "thorough knowledge of the system's
+    // advantages" buys (§3.1).
+    String::from(
+        "
+% Lexicon keyed by the word.
+wcat(the, det). wcat(a, det).
+wcat(man, n). wcat(woman, n). wcat(telescope, n). wcat(park, n).
+wcat(dog, n). wcat(cat, n). wcat(hill, n). wcat(stick, n).
+wcat(saw, v). wcat(liked, v). wcat(chased, v). wcat(found, v).
+wcat(with, p). wcat(in, p). wcat(on, p).
+wcat(old, adj). wcat(young, adj). wcat(small, adj).
+
+% Left-corner reachability, fully enumerated (no variable clause).
+lc(det, np). lc(det, s). lc(det, det).
+lc(np, s). lc(np, np).
+lc(v, vp). lc(v, v).
+lc(p, pp). lc(p, p).
+lc(adj, adj). lc(adj, np).
+lc(n, n). lc(s, s). lc(vp, vp). lc(pp, pp).
+
+% Rules keyed by the (bound) first child.
+rule(np, s, [vp]).
+rule(det, np, [n]).
+rule(det, np, [adj, n]).
+rule(np, np, [pp]).
+rule(v, vp, []).
+rule(v, vp, [np]).
+rule(v, vp, [np, pp]).
+rule(p, pp, [np]).
+
+% parse(Cat, Words0, Words)
+lcp(Words, t(s)) :- parse(s, Words, []).
+
+parse(C, [W|Ws0], Ws) :-
+    wcat(W, PreC),
+    lc(PreC, C),
+    complete(PreC, C, Ws0, Ws).
+
+complete(C, C, Ws, Ws).
+complete(Sub, C, Ws0, Ws) :-
+    rule(Sub, Parent, Rest),
+    lc(Parent, C),
+    parse_list(Rest, Ws0, Ws1),
+    complete(Parent, C, Ws1, Ws).
+
+parse_list([], Ws, Ws).
+parse_list([C|Cs], Ws0, Ws) :-
+    parse(C, Ws0, Ws1),
+    parse_list(Cs, Ws1, Ws).
+",
+    )
+}
+
+/// Sentences of increasing length for the -1/-2/-3 variants.
+pub fn sentence(level: u32) -> &'static str {
+    match level {
+        1 => "[the, man, saw, the, dog]",
+        2 => "[the, old, man, saw, the, dog, in, the, park]",
+        _ => {
+            "[the, old, man, saw, the, small, dog, in, the, park, \
+             with, the, telescope, on, the, hill]"
+        }
+    }
+}
+
+/// `BUP-n` (Table 1 rows 11–13).
+pub fn bup(level: u32) -> Workload {
+    Workload::new(
+        &format!("BUP-{level}"),
+        bup_source(),
+        format!("bup({}, T)", sentence(level)),
+    )
+}
+
+/// `LCP-n` (Table 1 rows 17–19).
+pub fn lcp(level: u32) -> Workload {
+    Workload::new(
+        &format!("LCP-{level}"),
+        lcp_source(),
+        format!("lcp({}, T)", sentence(level)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kl0::Program;
+
+    #[test]
+    fn parser_sources_parse() {
+        Program::parse(&bup_source()).unwrap();
+        Program::parse(&lcp_source()).unwrap();
+        assert!(bup(1).runs_on_dec());
+        assert!(lcp(3).runs_on_dec());
+    }
+
+    #[test]
+    fn sentences_grow() {
+        assert!(sentence(1).len() < sentence(2).len());
+        assert!(sentence(2).len() < sentence(3).len());
+    }
+}

@@ -1,0 +1,96 @@
+//! 8-PUZZLE (§3.2, Table 2 row 2): a search problem that "contains
+//! much backtracking".
+//!
+//! Iterative-deepening depth-first search over the 3×3 sliding
+//! puzzle, with move generation by list surgery. No visited set —
+//! exactly the naive search shape that makes the trail and
+//! choice-point machinery work hard (Table 2 shows 8-PUZZLE with the
+//! highest trail share, 7.5%).
+
+use crate::Workload;
+
+fn puzzle_source() -> String {
+    String::from(
+        "
+% States are 9-element lists, 0 is the blank.
+% swap(I, J, State0, State) swaps positions I < J.
+swap(0, 1, [A,B|T], [B,A|T]).
+swap(0, 3, [A,B,C,D|T], [D,B,C,A|T]).
+swap(1, 2, [A,B,C|T], [A,C,B|T]).
+swap(1, 4, [A,B,C,D,E|T], [A,E,C,D,B|T]).
+swap(2, 5, [A,B,C,D,E,F|T], [A,B,F,D,E,C|T]).
+swap(3, 4, [A,B,C,D,E|T], [A,B,C,E,D|T]).
+swap(3, 6, [A,B,C,D,E,F,G|T], [A,B,C,G,E,F,D|T]).
+swap(4, 5, [A,B,C,D,E,F|T], [A,B,C,D,F,E|T]).
+swap(4, 7, [A,B,C,D,E,F,G,H|T], [A,B,C,D,H,F,G,E|T]).
+swap(5, 8, [A,B,C,D,E,F,G,H,I], [A,B,C,D,E,I,G,H,F]).
+swap(6, 7, [A,B,C,D,E,F,G,H|T], [A,B,C,D,E,F,H,G|T]).
+swap(7, 8, [A,B,C,D,E,F,G,H,I], [A,B,C,D,E,F,G,I,H]).
+
+% blank position
+blank(S, P) :- blank_at(S, 0, P).
+blank_at([0|_], P, P) :- !.
+blank_at([_|T], I, P) :- I1 is I + 1, blank_at(T, I1, P).
+
+% A move swaps the blank with a neighbour (either direction).
+move(S0, S) :- blank(S0, B), adj(B, O), order2(B, O, I, J), swap(I, J, S0, S).
+order2(B, O, B, O) :- B < O.
+order2(B, O, O, B) :- O < B.
+adj(0, 1). adj(0, 3). adj(1, 0). adj(1, 2). adj(1, 4).
+adj(2, 1). adj(2, 5). adj(3, 0). adj(3, 4). adj(3, 6).
+adj(4, 1). adj(4, 3). adj(4, 5). adj(4, 7).
+adj(5, 2). adj(5, 4). adj(5, 8).
+adj(6, 3). adj(6, 7). adj(7, 4). adj(7, 6). adj(7, 8).
+adj(8, 5). adj(8, 7).
+
+goal_state([1,2,3,4,5,6,7,8,0]).
+
+% Depth-bounded DFS.
+dfs(S, _, S, []) :- goal_state(S).
+dfs(S0, D, G, [S1|Path]) :-
+    D > 0,
+    move(S0, S1),
+    D1 is D - 1,
+    dfs(S1, D1, G, Path).
+
+% Iterative deepening.
+iddfs(S, MaxD, Path) :- between(0, MaxD, D), dfs(S, D, _, Path).
+between(L, _, L).
+between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+solve_puzzle(S, Path) :- iddfs(S, 9, Path).
+",
+    )
+}
+
+/// The 8-puzzle workload: a start state the given number of moves
+/// from the goal.
+pub fn eight_puzzle(difficulty: u32) -> Workload {
+    // States at increasing scrambles of the goal.
+    let start = match difficulty {
+        1 => "[1,2,3,4,5,6,7,0,8]", // 1 move
+        2 => "[1,2,3,4,0,6,7,5,8]", // 2 moves
+        3 => "[1,2,3,0,4,6,7,5,8]", // 3 moves
+        4 => "[0,2,3,1,4,6,7,5,8]", // 4 moves
+        5 => "[2,0,3,1,4,6,7,5,8]", // 5 moves
+        6 => "[2,3,0,1,4,6,7,5,8]", // 6 moves
+        _ => "[2,3,6,1,4,0,7,5,8]", // 7 moves
+    };
+    Workload::new(
+        "8 puzzle",
+        puzzle_source(),
+        format!("solve_puzzle({start}, Path)"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kl0::Program;
+
+    #[test]
+    fn source_parses() {
+        Program::parse(&puzzle_source()).unwrap();
+        assert!(eight_puzzle(3).runs_on_dec());
+    }
+}

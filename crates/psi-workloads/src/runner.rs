@@ -1,0 +1,112 @@
+//! Engine glue: run any [`Workload`] on the PSI simulator or the
+//! DEC-10 baseline and collect comparable results.
+
+use crate::Workload;
+use dec10::{DecConfig, DecMachine, DecStats};
+use kl0::Program;
+use psi_core::Result;
+use psi_machine::{Machine, MachineConfig, MachineStats};
+
+/// Result of a PSI run.
+#[derive(Debug, Clone)]
+pub struct PsiRun {
+    /// Solutions rendered to text (engine-neutral comparison form).
+    pub solutions: Vec<String>,
+    /// Full machine statistics.
+    pub stats: MachineStats,
+}
+
+/// Result of a DEC-10 baseline run.
+#[derive(Debug, Clone)]
+pub struct DecRun {
+    /// Solutions rendered to text.
+    pub solutions: Vec<String>,
+    /// Instruction statistics.
+    pub stats: DecStats,
+    /// Simulated time in nanoseconds.
+    pub time_ns: u64,
+}
+
+/// Runs a workload on the PSI simulator.
+///
+/// # Errors
+///
+/// Propagates parse and execution errors.
+pub fn run_on_psi(w: &Workload, config: MachineConfig) -> Result<PsiRun> {
+    let program = Program::parse(&w.source)?;
+    let mut machine = Machine::load(&program, config)?;
+    let solutions = if w.background.is_empty() {
+        machine.solve(&w.goal, w.max_solutions)?
+    } else {
+        let bg: Vec<&str> = w.background.iter().map(String::as_str).collect();
+        machine.run_session(&w.goal, &bg)?
+    };
+    Ok(PsiRun {
+        solutions: solutions.iter().map(|s| s.to_string()).collect(),
+        stats: machine.stats(),
+    })
+}
+
+/// Runs a workload on the PSI simulator and returns the machine too
+/// (for trace collection).
+///
+/// # Errors
+///
+/// Propagates parse and execution errors.
+pub fn run_on_psi_machine(w: &Workload, config: MachineConfig) -> Result<(PsiRun, Machine)> {
+    let program = Program::parse(&w.source)?;
+    let mut machine = Machine::load(&program, config)?;
+    let solutions = if w.background.is_empty() {
+        machine.solve(&w.goal, w.max_solutions)?
+    } else {
+        let bg: Vec<&str> = w.background.iter().map(String::as_str).collect();
+        machine.run_session(&w.goal, &bg)?
+    };
+    let run = PsiRun {
+        solutions: solutions.iter().map(|s| s.to_string()).collect(),
+        stats: machine.stats(),
+    };
+    Ok((run, machine))
+}
+
+/// Runs a workload on the DEC-10 baseline.
+///
+/// # Errors
+///
+/// Propagates parse and execution errors. Workloads using PSI-only
+/// built-ins fail with an undefined-predicate error; check
+/// [`Workload::runs_on_dec`] first.
+pub fn run_on_dec(w: &Workload) -> Result<DecRun> {
+    let program = Program::parse(&w.source)?;
+    let mut machine = DecMachine::load(&program, DecConfig::dec2060())?;
+    let solutions = machine.solve(&w.goal, w.max_solutions)?;
+    Ok(DecRun {
+        solutions: solutions.iter().map(|s| s.to_string()).collect(),
+        stats: machine.stats(),
+        time_ns: machine.time_ns(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contest;
+
+    #[test]
+    fn both_engines_agree_on_nreverse() {
+        let w = contest::nreverse(8);
+        let psi = run_on_psi(&w, MachineConfig::psi()).unwrap();
+        let dec = run_on_dec(&w).unwrap();
+        assert_eq!(psi.solutions, dec.solutions);
+        assert_eq!(psi.solutions[0], "R = [8,7,6,5,4,3,2,1]");
+    }
+
+    #[test]
+    fn exhaustive_workloads_enumerate() {
+        let w = contest::queens_all(5);
+        let psi = run_on_psi(&w, MachineConfig::psi()).unwrap();
+        let dec = run_on_dec(&w).unwrap();
+        assert_eq!(psi.solutions.len(), 10, "5-queens has 10 solutions");
+        assert_eq!(psi.solutions, dec.solutions);
+    }
+}

@@ -1,0 +1,192 @@
+//! WINDOW (§3.2, §4): a slice of the PSI operating system's window
+//! manager, written in the object-styled fashion of ESP (the PSI's
+//! system description language).
+//!
+//! The paper's characterization: WINDOW "treats few unifications of
+//! structure data and less backtracking... rarely uses the functions
+//! of Prolog"; 82% of its calls are built-ins; it is the only program
+//! using *heap vector* data; and WINDOW-2/3 "contained process
+//! switching for I/O services several times", which lowers its cache
+//! hit ratio (Table 5). This re-implementation has all four
+//! properties: method dispatch across many small "class" predicates,
+//! heavy arithmetic and vector built-ins, destructive heap-vector
+//! screen updates, and cooperative background service processes.
+
+use crate::Workload;
+
+fn window_source() -> String {
+    String::from(
+        "
+% ----------------------------------------------------------- screen
+% The screen is a heap vector of W*H cells (§4.2 heap vector data).
+mkscreen(W, H, S) :- N is W * H, vector(S, N).
+
+pset(S, W, X, Y, V) :- I is Y * W + X, vset(S, I, V).
+pget(S, W, X, Y, V) :- I is Y * W + X, vget(S, I, V).
+
+% ------------------------------------------------- window 'objects'
+% A window is a heap vector: [x, y, w, h, id].
+mkwindow(Id, X, Y, W, H, Win) :-
+    vector(Win, 5),
+    vset(Win, 0, X), vset(Win, 1, Y),
+    vset(Win, 2, W), vset(Win, 3, H),
+    vset(Win, 4, Id).
+
+% Method dispatch across class predicates: each message is its own
+% small predicate, as ESP method calls across 'the class'.
+send(move(DX, DY), Win) :- !, method_move(Win, DX, DY).
+send(resize(W, H), Win) :- !, method_resize(Win, W, H).
+send(draw(S, SW), Win) :- !, method_draw(Win, S, SW).
+send(clear(S, SW), Win) :- !, method_clear(Win, S, SW).
+send(raise, Win) :- method_raise(Win).
+
+method_move(Win, DX, DY) :-
+    vget(Win, 0, X), vget(Win, 1, Y),
+    vget(Win, 2, W), vget(Win, 3, H),
+    X1 is X + DX, Y1 is Y + DY,
+    XMax is 16 - W, YMax is 12 - H,
+    X2 is min(XMax, max(0, X1)), Y2 is min(YMax, max(0, Y1)),
+    vset(Win, 0, X2), vset(Win, 1, Y2).
+
+method_resize(Win, W, H) :-
+    W1 is max(1, W), H1 is max(1, H),
+    vset(Win, 2, W1), vset(Win, 3, H1).
+
+method_raise(Win) :- vget(Win, 4, _).
+
+% Fill the window rectangle into the screen vector.
+method_draw(Win, S, SW) :-
+    vget(Win, 0, X), vget(Win, 1, Y),
+    vget(Win, 2, W), vget(Win, 3, H),
+    vget(Win, 4, Id),
+    Y2 is Y + H - 1,
+    fill_rows(Y, Y2, X, W, Id, S, SW).
+
+method_clear(Win, S, SW) :-
+    vget(Win, 0, X), vget(Win, 1, Y),
+    vget(Win, 2, W), vget(Win, 3, H),
+    Y2 is Y + H - 1,
+    fill_rows(Y, Y2, X, W, 0, S, SW).
+
+fill_rows(Y, Y2, _, _, _, _, _) :- Y > Y2, !.
+fill_rows(Y, Y2, X, W, V, S, SW) :-
+    X2 is X + W - 1,
+    fill_cols(X, X2, Y, V, S, SW),
+    Y1 is Y + 1,
+    fill_rows(Y1, Y2, X, W, V, S, SW).
+
+fill_cols(X, X2, _, _, _, _) :- X > X2, !.
+fill_cols(X, X2, Y, V, S, SW) :-
+    XX is X mod SW,
+    pset(S, SW, XX, Y, V),
+    X1 is X + 1,
+    fill_cols(X1, X2, Y, V, S, SW).
+
+% ------------------------------------------------------ event loop
+% A scripted event stream, dispatched window by window.
+run_events(0, _, _, _, _) :- !.
+run_events(N, Win1, Win2, S, SW) :-
+    E is N mod 7,
+    dispatch(E, Win1, Win2, S, SW),
+    N1 is N - 1,
+    run_events(N1, Win1, Win2, S, SW).
+
+dispatch(0, W1, _, S, SW) :- !, send(draw(S, SW), W1).
+dispatch(1, W1, _, _, _)  :- !, send(move(1, 1), W1).
+dispatch(2, _, W2, S, SW) :- !, send(clear(S, SW), W2), send(draw(S, SW), W2).
+dispatch(3, _, W2, _, _)  :- !, send(resize(4, 3), W2).
+dispatch(4, W1, _, _, _)  :- !, send(raise, W1).
+dispatch(5, _, W2, _, _)  :- !, send(move(2, 0), W2).
+dispatch(6, W1, _, S, SW) :- send(clear(S, SW), W1).
+
+% Variant with a cooperative yield every event, so I/O service
+% processes run interleaved (WINDOW-2/3).
+run_events_mp(0, _, _, _, _) :- !.
+run_events_mp(N, Win1, Win2, S, SW) :-
+    E is N mod 7,
+    dispatch(E, Win1, Win2, S, SW),
+    yield,
+    N1 is N - 1,
+    run_events_mp(N1, Win1, Win2, S, SW).
+
+window_main(Events) :-
+    mkscreen(16, 12, S),
+    mkwindow(1, 1, 1, 6, 4, W1),
+    mkwindow(2, 4, 3, 5, 5, W2),
+    run_events(Events, W1, W2, S, 16).
+
+window_main_mp(Events) :-
+    mkscreen(16, 12, S),
+    mkwindow(1, 1, 1, 6, 4, W1),
+    mkwindow(2, 4, 3, 5, 5, W2),
+    run_events_mp(Events, W1, W2, S, 16).
+
+% ------------------------------------------- I/O service process
+% A background process polling a device queue: pure built-in churn.
+io_service(0) :- !.
+io_service(N) :-
+    vector(Buf, 8),
+    fill_io(Buf, 7),
+    yield,
+    N1 is N - 1,
+    io_service(N1).
+
+fill_io(_, I) :- I < 0, !.
+fill_io(Buf, I) :-
+    V is I * 3 mod 8,
+    vset(Buf, I, V),
+    vget(Buf, I, _),
+    I1 is I - 1,
+    fill_io(Buf, I1).
+",
+    )
+}
+
+/// `window-n` (Tables 2–5 row 1–3): -1 is single-process; -2 and -3
+/// add one and two background I/O service processes with cooperative
+/// switching.
+pub fn window(level: u32) -> Workload {
+    let events = match level {
+        1 => 40,
+        2 => 40,
+        _ => 60,
+    };
+    let mut w = if level == 1 {
+        Workload::new(
+            "window-1",
+            window_source(),
+            format!("window_main({events})"),
+        )
+    } else {
+        let mut w = Workload::new(
+            &format!("window-{level}"),
+            window_source(),
+            format!("window_main_mp({events})"),
+        );
+        w.background.push(format!("io_service({events})"));
+        if level >= 3 {
+            w.background.push(format!("io_service({events})"));
+        }
+        w
+    };
+    w.max_solutions = 1;
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kl0::Program;
+
+    #[test]
+    fn source_parses() {
+        Program::parse(&window_source()).unwrap();
+    }
+
+    #[test]
+    fn window_is_psi_only() {
+        assert!(!window(1).runs_on_dec(), "heap vectors are PSI-only");
+        assert_eq!(window(2).background.len(), 1);
+        assert_eq!(window(3).background.len(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! The paper's Table 1 comparison in miniature: run 8-queens on both
+//! the PSI simulator and the DEC-10 WAM baseline and compare.
+//!
+//! Run with: `cargo run --release --example eight_queens`
+
+use psi_machine::MachineConfig;
+use psi_workloads::{contest, runner};
+
+fn main() -> Result<(), psi_core::PsiError> {
+    let workload = contest::queens_first(8);
+
+    let psi = runner::run_on_psi(&workload, MachineConfig::psi())?;
+    let dec = runner::run_on_dec(&workload)?;
+
+    assert_eq!(psi.solutions, dec.solutions, "engines must agree");
+    println!("first placement: {}", psi.solutions[0]);
+
+    let psi_ms = psi.stats.time_ms();
+    let dec_ms = dec.time_ns as f64 / 1e6;
+    println!("\nPSI : {:>8.2} ms  ({} microsteps, {:.1} KLIPS)",
+        psi_ms, psi.stats.steps, psi.stats.lips() / 1e3);
+    println!("DEC : {:>8.2} ms  ({} WAM instructions, {} choice points)",
+        dec_ms, dec.stats.instructions, dec.stats.choice_points);
+    println!("DEC/PSI ratio: {:.2}  (paper Table 1 row 7: 1.01)", dec_ms / psi_ms);
+    Ok(())
+}

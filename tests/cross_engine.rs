@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: every workload must produce
+//! identical solutions on the PSI simulator and the DEC-10 baseline,
+//! and the measured statistics must satisfy the paper's structural
+//! invariants.
+
+use psi::psi_machine::MachineConfig;
+use psi::psi_workloads::{contest, harmonizer, parsers, puzzle, runner, suite};
+
+fn assert_engines_agree(w: &psi::psi_workloads::Workload) {
+    let psi_run = runner::run_on_psi(w, MachineConfig::psi())
+        .unwrap_or_else(|e| panic!("{} on PSI: {e}", w.name));
+    let dec_run =
+        runner::run_on_dec(w).unwrap_or_else(|e| panic!("{} on DEC: {e}", w.name));
+    assert_eq!(
+        psi_run.solutions, dec_run.solutions,
+        "{}: engines disagree",
+        w.name
+    );
+    assert!(
+        !psi_run.solutions.is_empty(),
+        "{}: workload found no solution",
+        w.name
+    );
+}
+
+#[test]
+fn contest_programs_agree_across_engines() {
+    for w in [
+        contest::nreverse(12),
+        contest::quick_sort(16),
+        contest::tree_traversing(4),
+        contest::lisp_tarai(5, 3, 0),
+        contest::lisp_fib(8),
+        contest::lisp_nreverse(8),
+        contest::queens_first(6),
+        contest::queens_all(5),
+        contest::reverse_function(10, 3),
+        contest::slow_reverse(8),
+    ] {
+        assert_engines_agree(&w);
+    }
+}
+
+#[test]
+fn parsers_agree_across_engines() {
+    assert_engines_agree(&parsers::bup(1));
+    assert_engines_agree(&parsers::lcp(1));
+    assert_engines_agree(&parsers::lcp(2));
+}
+
+#[test]
+fn harmonizer_and_puzzle_agree_across_engines() {
+    assert_engines_agree(&harmonizer::harmonizer(1));
+    assert_engines_agree(&puzzle::eight_puzzle(3));
+}
+
+#[test]
+fn window_runs_on_psi_with_processes() {
+    for level in 1..=3 {
+        let w = psi::psi_workloads::window::window(level);
+        assert!(!w.runs_on_dec());
+        let run = runner::run_on_psi(&w, MachineConfig::psi())
+            .unwrap_or_else(|e| panic!("{} on PSI: {e}", w.name));
+        assert_eq!(run.solutions.len(), 1, "{}", w.name);
+    }
+}
+
+#[test]
+fn stats_satisfy_structural_invariants() {
+    for w in [
+        contest::nreverse(12),
+        puzzle::eight_puzzle(3),
+        parsers::bup(1),
+        harmonizer::harmonizer(1),
+    ] {
+        let run = runner::run_on_psi(&w, MachineConfig::psi()).unwrap();
+        let s = &run.stats;
+        // Table 2 columns cover all steps.
+        assert_eq!(s.modules.total(), s.steps, "{}", w.name);
+        // Table 7 rows cover all steps.
+        assert_eq!(s.branches.total(), s.steps, "{}", w.name);
+        // Table 4 shares sum to 100.
+        let shares: f64 = s.cache.area_shares_pct().iter().sum();
+        assert!((shares - 100.0).abs() < 1e-6, "{}: {shares}", w.name);
+        // Hits never exceed accesses.
+        let t = s.cache.total();
+        assert!(t.hits() <= t.accesses(), "{}", w.name);
+        // Time = steps * 200ns + stalls.
+        assert_eq!(s.time_ns, s.steps * 200 + s.stall_ns, "{}", w.name);
+        // The paper's §4.2 observation: roughly one in five steps is a
+        // memory access (generous band).
+        let rate = s.memory_access_rate_pct();
+        assert!(rate > 10.0 && rate < 45.0, "{}: {rate}", w.name);
+        // Branch ops appear on most steps (paper: 77-83%).
+        let br = s.branches.branch_share_pct();
+        assert!(br > 55.0 && br < 95.0, "{}: {br}", w.name);
+    }
+}
+
+#[test]
+fn paper_qualitative_claims_hold() {
+    // §3.1's headline: DEC wins on indexable list code, PSI wins on
+    // unification+backtracking application code.
+    let nrev = suite::table1_suite().into_iter().next().unwrap();
+    let psi = runner::run_on_psi(&nrev.workload, MachineConfig::psi()).unwrap();
+    let dec = runner::run_on_dec(&nrev.workload).unwrap();
+    let nrev_ratio = (dec.time_ns as f64) / (psi.stats.time_ns as f64);
+    assert!(nrev_ratio < 1.0, "DEC must win nreverse ({nrev_ratio:.2})");
+
+    let harm = harmonizer::harmonizer(1);
+    let psi = runner::run_on_psi(&harm, MachineConfig::psi()).unwrap();
+    let dec = runner::run_on_dec(&harm).unwrap();
+    let harm_ratio = (dec.time_ns as f64) / (psi.stats.time_ns as f64);
+    assert!(harm_ratio > 1.0, "PSI must win harmonizer ({harm_ratio:.2})");
+
+    let lcp = parsers::lcp(2);
+    let psi = runner::run_on_psi(&lcp, MachineConfig::psi()).unwrap();
+    let dec = runner::run_on_dec(&lcp).unwrap();
+    let lcp_ratio = (dec.time_ns as f64) / (psi.stats.time_ns as f64);
+    assert!(lcp_ratio < 1.0, "DEC must win LCP ({lcp_ratio:.2})");
+    assert!(
+        lcp_ratio < harm_ratio && nrev_ratio < harm_ratio,
+        "crossover ordering"
+    );
+}
+
+#[test]
+fn cache_hit_ratios_match_papers_magnitude() {
+    // "the hit ratio for application programs was found higher than
+    // 96%" — BUP and harmonizer are the paper's flagship rows.
+    for w in [parsers::bup(2), harmonizer::harmonizer(1)] {
+        let run = runner::run_on_psi(&w, MachineConfig::psi()).unwrap();
+        let hit = run.stats.cache.hit_ratio_pct().unwrap();
+        assert!(hit > 95.0, "{}: hit ratio {hit}", w.name);
+    }
+}
+
+#[test]
+fn process_switching_lowers_hit_ratio() {
+    // Table 5: window-2/3 hit ratios are lower than window-1.
+    let h1 = runner::run_on_psi(&psi::psi_workloads::window::window(1), MachineConfig::psi())
+        .unwrap()
+        .stats
+        .cache
+        .hit_ratio_pct()
+        .unwrap();
+    let h3 = runner::run_on_psi(&psi::psi_workloads::window::window(3), MachineConfig::psi())
+        .unwrap()
+        .stats
+        .cache
+        .hit_ratio_pct()
+        .unwrap();
+    assert!(
+        h3 < h1,
+        "process switching must lower locality: window-1 {h1:.2}% vs window-3 {h3:.2}%"
+    );
+}

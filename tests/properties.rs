@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) over the core invariants: both
+//! engines agree on randomized programs, sorting/reversing match Rust
+//! reference implementations, the cache model obeys its invariants
+//! against a naive reference simulator, and machine state is restored
+//! across backtracking.
+
+use proptest::prelude::*;
+use psi::dec10::{DecConfig, DecMachine};
+use psi::kl0::Program;
+use psi::psi_cache::{Cache, CacheCommand, CacheConfig};
+use psi::psi_core::{Address, Area, ProcessId};
+use psi::psi_machine::{Machine, MachineConfig};
+
+fn int_list(xs: &[i32]) -> String {
+    let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", parts.join(","))
+}
+
+const SORT_SRC: &str = "
+qsort([], []).
+qsort([P|T], S) :-
+    partition(T, P, Lo, Hi), qsort(Lo, SLo), qsort(Hi, SHi),
+    app(SLo, [P|SHi], S).
+partition([], _, [], []).
+partition([X|T], P, [X|Lo], Hi) :- X =< P, partition(T, P, Lo, Hi).
+partition([X|T], P, Lo, [X|Hi]) :- X > P, partition(T, P, Lo, Hi).
+app([], L, L).
+app([H|T], L, [H|R]) :- app(T, L, R).
+nrev([], []).
+nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Quicksort on the PSI equals Rust's sort; both engines agree.
+    #[test]
+    fn sorting_matches_reference(xs in prop::collection::vec(-50i32..50, 0..14)) {
+        let program = Program::parse(SORT_SRC).unwrap();
+        let goal = format!("qsort({}, S)", int_list(&xs));
+
+        let mut psi = Machine::load(&program, MachineConfig::psi()).unwrap();
+        let psi_sols = psi.solve(&goal, 1).unwrap();
+
+        let mut expected = xs.clone();
+        expected.sort();
+        // Prolog qsort keeps duplicates; compare rendered lists.
+        prop_assert_eq!(
+            psi_sols[0].to_string(),
+            format!("S = {}", int_list(&expected))
+        );
+
+        let mut dec = DecMachine::load(&program, DecConfig::dec2060()).unwrap();
+        let dec_sols = dec.solve(&goal, 1).unwrap();
+        prop_assert_eq!(psi_sols[0].to_string(), dec_sols[0].to_string());
+    }
+
+    /// nreverse is an involution and matches Rust's reverse.
+    #[test]
+    fn nreverse_matches_reference(xs in prop::collection::vec(-9i32..9, 0..12)) {
+        let program = Program::parse(SORT_SRC).unwrap();
+        let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
+        let sols = m.solve(&format!("nrev({}, R)", int_list(&xs)), 1).unwrap();
+        let mut expected = xs.clone();
+        expected.reverse();
+        prop_assert_eq!(sols[0].to_string(), format!("R = {}", int_list(&expected)));
+    }
+
+    /// append splits enumerate exactly n+1 ways and re-concatenate.
+    #[test]
+    fn append_enumeration_is_complete(xs in prop::collection::vec(0i32..9, 0..8)) {
+        let program = Program::parse(SORT_SRC).unwrap();
+        let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
+        let sols = m.solve(&format!("app(X, Y, {})", int_list(&xs)), 50).unwrap();
+        prop_assert_eq!(sols.len(), xs.len() + 1);
+    }
+
+    /// member/2 finds exactly the distinct positions, in order.
+    #[test]
+    fn member_enumerates_in_order(xs in prop::collection::vec(0i32..5, 1..10)) {
+        let src = "
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+";
+        let program = Program::parse(src).unwrap();
+        let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
+        let sols = m.solve(&format!("member(M, {})", int_list(&xs)), 100).unwrap();
+        prop_assert_eq!(sols.len(), xs.len());
+        for (s, x) in sols.iter().zip(&xs) {
+            prop_assert_eq!(s.to_string(), format!("M = {x}"));
+        }
+    }
+
+    /// Arithmetic on the PSI matches Rust arithmetic.
+    #[test]
+    fn arithmetic_matches_rust(a in -500i32..500, b in -500i32..500, c in 1i32..50) {
+        let program = Program::parse("").unwrap();
+        let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
+        let goal = format!("X is ({a} + {b}) * 2 - {a} // {c}");
+        let sols = m.solve(&goal, 1).unwrap();
+        let expected = (a.wrapping_add(b)).wrapping_mul(2).wrapping_sub(a / c);
+        prop_assert_eq!(sols[0].to_string(), format!("X = {expected}"));
+    }
+
+    /// Backtracking restores bindings: after exhausting a two-way
+    /// choice, a later alternative sees unbound variables again.
+    #[test]
+    fn trail_restoration(v in 0i32..100) {
+        let src = format!("
+p(X) :- q(X), X > {v}.
+q({v}).
+q(V) :- V is {v} + 1.
+");
+        let program = Program::parse(&src).unwrap();
+        let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
+        let sols = m.solve("p(X)", 5).unwrap();
+        prop_assert_eq!(sols.len(), 1);
+        prop_assert_eq!(sols[0].to_string(), format!("X = {}", v + 1));
+    }
+}
+
+// ------------------------------------------------------------------
+// Cache model vs a naive reference simulator
+// ------------------------------------------------------------------
+
+/// A deliberately simple reference cache: same geometry and LRU
+/// policy, structured entirely differently (vector of sets of
+/// (tag, last-used) pairs), used to cross-check hit/miss decisions.
+struct ReferenceCache {
+    sets: Vec<Vec<(u32, u64)>>,
+    ways: usize,
+    block: u32,
+    clock: u64,
+}
+
+impl ReferenceCache {
+    fn new(config: &CacheConfig) -> ReferenceCache {
+        ReferenceCache {
+            sets: vec![Vec::new(); config.sets() as usize],
+            ways: config.ways as usize,
+            block: config.block_words,
+            clock: 0,
+        }
+    }
+
+    fn access(&mut self, addr: Address) -> bool {
+        self.clock += 1;
+        let block = addr.raw() / self.block;
+        let nsets = self.sets.len() as u32;
+        let set = &mut self.sets[(block % nsets) as usize];
+        let tag = block / nsets;
+        if let Some(entry) = set.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.clock;
+            return true;
+        }
+        if set.len() == self.ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            set.remove(lru);
+        }
+        set.push((tag, self.clock));
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Our cache's hit/miss decisions match the reference model for
+    /// arbitrary access patterns (reads and write-stacks both allocate,
+    /// so the reference treats them identically).
+    #[test]
+    fn cache_matches_reference_model(
+        offsets in prop::collection::vec(0u32..512, 1..300),
+        cap_exp in 3u32..10,
+    ) {
+        let config = CacheConfig::psi_with_capacity(1 << cap_exp);
+        let mut ours = Cache::new(config);
+        let mut reference = ReferenceCache::new(&config);
+        for (i, off) in offsets.iter().enumerate() {
+            let addr = Address::new(ProcessId::ZERO, Area::Heap, *off);
+            let cmd = if i % 4 == 3 { CacheCommand::WriteStack } else { CacheCommand::Read };
+            let out = ours.access(cmd, addr);
+            let expected = reference.access(addr);
+            prop_assert_eq!(out.hit, expected, "access {} at {}", i, addr);
+        }
+        let t = ours.stats().total();
+        prop_assert_eq!(t.accesses(), offsets.len() as u64);
+    }
+
+    /// Store-in never performs worse than store-through on total
+    /// stall time (the §4.2 claim, universally).
+    #[test]
+    fn store_in_dominates_store_through(
+        offsets in prop::collection::vec(0u32..256, 1..200),
+    ) {
+        let mk = |policy_through: bool| {
+            let config = if policy_through {
+                CacheConfig::psi_store_through()
+            } else {
+                CacheConfig::psi()
+            };
+            let mut c = Cache::new(config);
+            let mut stall = 0;
+            for (i, off) in offsets.iter().enumerate() {
+                let addr = Address::new(ProcessId::ZERO, Area::LocalStack, *off);
+                let cmd = if i % 2 == 0 { CacheCommand::WriteStack } else { CacheCommand::Read };
+                c.advance(200);
+                stall += c.access(cmd, addr).stall_ns;
+            }
+            stall
+        };
+        prop_assert!(mk(false) <= mk(true));
+    }
+}
