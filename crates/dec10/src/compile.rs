@@ -120,8 +120,7 @@ impl CompiledProgram {
     pub fn compile_query(&mut self, goal: &Term) -> Result<DecQuery> {
         self.query_counter += 1;
         let name = format!("$query{}", self.query_counter);
-        let vars: Vec<String> =
-            goal.variables().into_iter().map(str::to_owned).collect();
+        let vars: Vec<String> = goal.variables().into_iter().map(str::to_owned).collect();
         if vars.len() > 255 {
             return Err(PsiError::Compile {
                 detail: "query has more than 255 variables".into(),
@@ -175,11 +174,7 @@ impl CompiledProgram {
         if addrs.len() == 1 {
             return Ok(addrs[0]);
         }
-        let arity = clauses[0]
-            .head
-            .functor()
-            .map(|(_, a)| a)
-            .unwrap_or(0);
+        let arity = clauses[0].head.functor().map(|(_, a)| a).unwrap_or(0);
         if arity == 0 {
             // Nothing to index on.
             return Ok(self.emit_chain(&addrs));
@@ -230,16 +225,15 @@ impl CompiledProgram {
             .iter()
             .map(|c| match first_arg(c) {
                 Some(Term::Atom(ref a)) if a == "[]" => Some(ConstKey::Nil),
-                Some(Term::Atom(ref a)) => {
-                    Some(ConstKey::Atom(self.symbols.intern(a).get()))
-                }
+                Some(Term::Atom(ref a)) => Some(ConstKey::Atom(self.symbols.intern(a).get())),
                 Some(Term::Int(i)) => Some(ConstKey::Int(i)),
                 _ => None,
             })
             .collect();
-        let all_consts = clauses.iter().zip(&const_keys).all(|(c, k)| {
-            k.is_some() || !matches!(first_arg(c), Some(Term::Var(_)) | None)
-        });
+        let all_consts = clauses
+            .iter()
+            .zip(&const_keys)
+            .all(|(c, k)| k.is_some() || !matches!(first_arg(c), Some(Term::Var(_)) | None));
         let constant = if all_consts && const_bucket.len() > 1 {
             // Group clause addresses by constant value, in order.
             let mut groups: Vec<(ConstKey, Vec<usize>)> = Vec::new();
@@ -341,10 +335,8 @@ impl CompiledProgram {
             match goal {
                 FlatGoal::Cut => self.code.push(Instr::Cut),
                 FlatGoal::Call(term) => {
-                    let (name, nargs) = term.functor().ok_or_else(|| {
-                        PsiError::Compile {
-                            detail: format!("goal is not callable: {term}"),
-                        }
+                    let (name, nargs) = term.functor().ok_or_else(|| PsiError::Compile {
+                        detail: format!("goal is not callable: {term}"),
                     })?;
                     let args: &[Term] = match term {
                         Term::Struct(_, a) => a,
@@ -673,7 +665,10 @@ mod tests {
     #[test]
     fn fact_compiles_to_gets_and_proceed() {
         let cp = compiled("p(a, 42, []).");
-        let entry = cp.predicate(cp.lookup(&("p".into(), 3)).unwrap()).entry.unwrap();
+        let entry = cp
+            .predicate(cp.lookup(&("p".into(), 3)).unwrap())
+            .entry
+            .unwrap();
         assert!(matches!(cp.code[entry], Instr::GetConstant(..)));
         assert!(matches!(cp.code[entry + 1], Instr::GetInteger(42, 1)));
         assert!(matches!(cp.code[entry + 2], Instr::GetNil(2)));
@@ -683,19 +678,24 @@ mod tests {
     #[test]
     fn two_clause_list_predicate_gets_switch() {
         let cp = compiled("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).");
-        let entry = cp.predicate(cp.lookup(&("app".into(), 3)).unwrap()).entry.unwrap();
+        let entry = cp
+            .predicate(cp.lookup(&("app".into(), 3)).unwrap())
+            .entry
+            .unwrap();
         match cp.code[entry] {
-            Instr::SwitchOnTerm {
-                nil,
-                list,
-                var,
-                ..
-            } => {
+            Instr::SwitchOnTerm { nil, list, var, .. } => {
                 // Nil and list buckets are singletons: straight to the
                 // clause, no choice point.
-                assert!(matches!(cp.code[nil], Instr::GetNil(_) | Instr::GetVariableY(..)),
-                    "nil target: {:?}", cp.code[nil]);
-                assert!(matches!(cp.code[list], Instr::Allocate(_)), "list target: {:?}", cp.code[list]);
+                assert!(
+                    matches!(cp.code[nil], Instr::GetNil(_) | Instr::GetVariableY(..)),
+                    "nil target: {:?}",
+                    cp.code[nil]
+                );
+                assert!(
+                    matches!(cp.code[list], Instr::Allocate(_)),
+                    "list target: {:?}",
+                    cp.code[list]
+                );
                 // Var bucket tries both.
                 assert!(matches!(cp.code[var], Instr::TryMeElse(_)));
             }
@@ -706,7 +706,10 @@ mod tests {
     #[test]
     fn last_call_is_execute() {
         let cp = compiled("p(X) :- q(X), r(X). q(1). r(1).");
-        let entry = cp.predicate(cp.lookup(&("p".into(), 1)).unwrap()).entry.unwrap();
+        let entry = cp
+            .predicate(cp.lookup(&("p".into(), 1)).unwrap())
+            .entry
+            .unwrap();
         let mut saw_call = false;
         let mut saw_execute_after_deallocate = false;
         let mut prev_dealloc = false;
@@ -728,7 +731,10 @@ mod tests {
     #[test]
     fn nested_structures_flatten() {
         let cp = compiled("p(f(g(X), X)).");
-        let entry = cp.predicate(cp.lookup(&("p".into(), 1)).unwrap()).entry.unwrap();
+        let entry = cp
+            .predicate(cp.lookup(&("p".into(), 1)).unwrap())
+            .entry
+            .unwrap();
         assert!(matches!(cp.code[entry], Instr::GetStructure(..)));
         // f's unify sequence has a temp for g(X), then the queue emits
         // get_structure for g.
@@ -742,7 +748,10 @@ mod tests {
     #[test]
     fn singleton_head_vars_cost_nothing() {
         let cp = compiled("p(X, Y) :- q(X). q(1).");
-        let entry = cp.predicate(cp.lookup(&("p".into(), 2)).unwrap()).entry.unwrap();
+        let entry = cp
+            .predicate(cp.lookup(&("p".into(), 2)).unwrap())
+            .entry
+            .unwrap();
         // Y is a singleton: no get instruction for A2.
         let gets = cp.code[entry..]
             .iter()
@@ -755,7 +764,10 @@ mod tests {
     #[test]
     fn builtins_compile_to_call_builtin() {
         let cp = compiled("p(X, Y) :- Y is X + 1.");
-        let entry = cp.predicate(cp.lookup(&("p".into(), 2)).unwrap()).entry.unwrap();
+        let entry = cp
+            .predicate(cp.lookup(&("p".into(), 2)).unwrap())
+            .entry
+            .unwrap();
         assert!(cp.code[entry..]
             .iter()
             .any(|i| matches!(i, Instr::CallBuiltin(Builtin::Is, 2))));

@@ -542,11 +542,7 @@ impl DecMachine {
                 self.cont = env.cp_code;
                 self.cur_env = env.ce;
                 // Reclaim the arena slot when nothing can reach it.
-                let protected = self
-                    .cps
-                    .last()
-                    .map(|cp| cp.envs_len > idx)
-                    .unwrap_or(false);
+                let protected = self.cps.last().map(|cp| cp.envs_len > idx).unwrap_or(false);
                 if idx + 1 == self.envs.len() && !protected {
                     self.envs.pop();
                 }
@@ -554,8 +550,7 @@ impl DecMachine {
             }
             TryMeElse(alt) => {
                 self.stats.choice_points += 1;
-                self.stats.cycles +=
-                    self.num_args as u64 * self.config.costs.try_per_arg;
+                self.stats.cycles += self.num_args as u64 * self.config.costs.try_per_arg;
                 let cp = Cp {
                     args: self.x[..self.num_args as usize].to_vec(),
                     e: self.cur_env,
@@ -616,8 +611,7 @@ impl DecMachine {
                     Some(e) => self.envs[e].b0,
                     None => self.b0,
                 };
-                self.stats.cycles +=
-                    self.cps.len().saturating_sub(b0) as u64;
+                self.stats.cycles += self.cps.len().saturating_sub(b0) as u64;
                 self.cps.truncate(b0);
                 Step::Ok
             }
@@ -733,10 +727,7 @@ impl DecMachine {
                 (Cell::Nil, Cell::Nil) => {}
                 (Cell::Lis(p), Cell::Lis(q)) => {
                     if p != q {
-                        work.push((
-                            self.heap[p as usize + 1],
-                            self.heap[q as usize + 1],
-                        ));
+                        work.push((self.heap[p as usize + 1], self.heap[q as usize + 1]));
                         work.push((self.heap[p as usize], self.heap[q as usize]));
                     }
                 }
@@ -751,10 +742,7 @@ impl DecMachine {
                             return false;
                         }
                         for i in (1..=fp.arity as u32).rev() {
-                            work.push((
-                                self.heap[(p + i) as usize],
-                                self.heap[(q + i) as usize],
-                            ));
+                            work.push((self.heap[(p + i) as usize], self.heap[(q + i) as usize]));
                         }
                     }
                 }
@@ -920,8 +908,7 @@ impl DecMachine {
                 let dot = self.program.symbols_mut().intern(".").get();
                 let a1 = self.x[1];
                 let a2 = self.x[2];
-                let ok =
-                    self.unify(a1, Cell::Atom(dot)) && self.unify(a2, Cell::Int(2));
+                let ok = self.unify(a1, Cell::Atom(dot)) && self.unify(a2, Cell::Int(2));
                 Ok(self.ok_if(ok))
             }
             Cell::Str(p) => {
@@ -932,8 +919,8 @@ impl DecMachine {
                 };
                 let a1 = self.x[1];
                 let a2 = self.x[2];
-                let ok = self.unify(a1, Cell::Atom(f.atom))
-                    && self.unify(a2, Cell::Int(f.arity as i32));
+                let ok =
+                    self.unify(a1, Cell::Atom(f.atom)) && self.unify(a2, Cell::Int(f.arity as i32));
                 Ok(self.ok_if(ok))
             }
             Cell::Fun(_) => Err(PsiError::EvalError {
@@ -992,10 +979,7 @@ impl DecMachine {
                 }
                 (Cell::Lis(p), Cell::Lis(q)) => {
                     if p != q {
-                        work.push((
-                            self.heap[p as usize + 1],
-                            self.heap[q as usize + 1],
-                        ));
+                        work.push((self.heap[p as usize + 1], self.heap[q as usize + 1]));
                         work.push((self.heap[p as usize], self.heap[q as usize]));
                     }
                 }
@@ -1010,10 +994,7 @@ impl DecMachine {
                             return false;
                         }
                         for i in (1..=fp.arity as u32).rev() {
-                            work.push((
-                                self.heap[(p + i) as usize],
-                                self.heap[(q + i) as usize],
-                            ));
+                            work.push((self.heap[(p + i) as usize], self.heap[(q + i) as usize]));
                         }
                     }
                 }
@@ -1124,9 +1105,7 @@ impl DecMachine {
             Cell::Ref(a) => Term::Var(format!("_G{a}")),
             Cell::Int(v) => Term::Int(v),
             Cell::Nil => Term::nil(),
-            Cell::Atom(a) => {
-                Term::atom(self.program.symbols().name(SymbolId::from_raw(a)))
-            }
+            Cell::Atom(a) => Term::atom(self.program.symbols().name(SymbolId::from_raw(a))),
             Cell::Lis(_) => {
                 let mut elems = Vec::new();
                 let mut cur = d;
@@ -1139,10 +1118,7 @@ impl DecMachine {
                         Cell::Nil => return Ok(Term::list(elems)),
                         other => {
                             let tail = self.decode(other, depth + 1)?;
-                            return Ok(elems
-                                .into_iter()
-                                .rev()
-                                .fold(tail, |t, h| Term::cons(h, t)));
+                            return Ok(elems.into_iter().rev().fold(tail, |t, h| Term::cons(h, t)));
                         }
                     }
                     if elems.len() > 100_000 {

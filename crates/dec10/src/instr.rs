@@ -260,7 +260,11 @@ mod tests {
             Builtin::lookup("=<", 2),
             Some(Builtin::Compare(CompareOp::Le))
         );
-        assert_eq!(Builtin::lookup("vget", 3), None, "heap vectors are PSI-only");
+        assert_eq!(
+            Builtin::lookup("vget", 3),
+            None,
+            "heap vectors are PSI-only"
+        );
         assert_eq!(Builtin::lookup("yield", 0), None, "processes are PSI-only");
     }
 

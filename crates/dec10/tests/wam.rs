@@ -35,7 +35,10 @@ app([H|T], L, [H|R]) :- app(T, L, R).
 fn facts_and_unification() {
     assert_eq!(first("p(1).", "p(X)"), Some("X = 1".into()));
     assert_eq!(first("p(1).", "p(2)"), None);
-    assert_eq!(first("p(f(g(1), h)).", "p(f(X, h))"), Some("X = g(1)".into()));
+    assert_eq!(
+        first("p(f(g(1), h)).", "p(f(X, h))"),
+        Some("X = g(1)".into())
+    );
 }
 
 #[test]
@@ -51,11 +54,7 @@ fn append_both_directions() {
     let splits = all(APPEND, "app(X, Y, [1,2])", 10);
     assert_eq!(
         splits,
-        vec![
-            "X = [], Y = [1,2]",
-            "X = [1], Y = [2]",
-            "X = [1,2], Y = []",
-        ]
+        vec!["X = [], Y = [1,2]", "X = [1], Y = [2]", "X = [1,2], Y = []",]
     );
 }
 
@@ -165,12 +164,18 @@ sum(node(L, V, R), S) :- sum(L, SL), sum(R, SR), S is SL + V + SR.
 
 #[test]
 fn builtins() {
-    assert_eq!(first("", "functor(f(a,b,c), N, A)"), Some("N = f, A = 3".into()));
+    assert_eq!(
+        first("", "functor(f(a,b,c), N, A)"),
+        Some("N = f, A = 3".into())
+    );
     assert_eq!(first("", "arg(2, f(a,b), X)"), Some("X = b".into()));
     assert_eq!(first("", "f(a) \\== f(b)"), Some("true".into()));
     assert_eq!(first("", "f(a) \\= f(b)"), Some("true".into()));
     assert_eq!(first("", "X \\= X"), None);
-    assert_eq!(first("", "atom(foo), integer(3), atomic([])"), Some("true".into()));
+    assert_eq!(
+        first("", "atom(foo), integer(3), atomic([])"),
+        Some("true".into())
+    );
 }
 
 #[test]
@@ -227,7 +232,10 @@ fn stats_accumulate() {
     let s = m.stats();
     assert!(s.instructions > 10);
     assert!(s.cycles > s.instructions, "weights are > 1");
-    assert_eq!(s.calls, 4, "one inference per list element plus the base case");
+    assert_eq!(
+        s.calls, 4,
+        "one inference per list element plus the base case"
+    );
     assert!(m.time_ns() > 0);
 }
 
@@ -254,8 +262,14 @@ fn deep_structures_roundtrip() {
 #[test]
 fn multiple_queries() {
     let mut m = machine(APPEND);
-    assert_eq!(m.solve("app([1], [2], X)", 1).unwrap()[0].to_string(), "X = [1,2]");
-    assert_eq!(m.solve("app([9], [8], Y)", 1).unwrap()[0].to_string(), "Y = [9,8]");
+    assert_eq!(
+        m.solve("app([1], [2], X)", 1).unwrap()[0].to_string(),
+        "X = [1,2]"
+    );
+    assert_eq!(
+        m.solve("app([9], [8], Y)", 1).unwrap()[0].to_string(),
+        "Y = [9,8]"
+    );
 }
 
 #[test]

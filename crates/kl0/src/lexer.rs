@@ -211,9 +211,7 @@ impl<'a> Lexer<'a> {
                         self.push(Token::Atom(sym), line, column);
                     }
                 }
-                other => {
-                    return Err(self.error(format!("unexpected character {other:?}")))
-                }
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
             }
         }
         Ok(self.out)
@@ -226,15 +224,15 @@ impl<'a> Lexer<'a> {
             return false;
         }
         let prev = self.chars[self.pos - 1];
-        prev.is_ascii_alphanumeric()
-            || prev == '_'
-            || prev == '\''
-            || SYMBOLIC.contains(prev)
+        prev.is_ascii_alphanumeric() || prev == '_' || prev == '\'' || SYMBOLIC.contains(prev)
     }
 
     /// A `.` ends a clause when followed by whitespace or EOF.
     fn end_of_clause(&self) -> bool {
-        matches!(self.peek(), None | Some(' ') | Some('\t') | Some('\r') | Some('\n') | Some('%'))
+        matches!(
+            self.peek(),
+            None | Some(' ') | Some('\t') | Some('\r') | Some('\n') | Some('%')
+        )
     }
 
     fn quoted(&mut self) -> Result<String> {
@@ -254,9 +252,7 @@ impl<'a> Lexer<'a> {
                     Some('t') => s.push('\t'),
                     Some('\\') => s.push('\\'),
                     Some('\'') => s.push('\''),
-                    Some(other) => {
-                        return Err(self.error(format!("bad escape \\{other}")))
-                    }
+                    Some(other) => return Err(self.error(format!("bad escape \\{other}"))),
                     None => return Err(self.error("unterminated quoted atom")),
                 },
                 Some(c) => s.push(c),
@@ -313,7 +309,11 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Token> {
-        tokenize(src).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

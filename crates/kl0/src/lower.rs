@@ -186,12 +186,7 @@ impl LoweredProgram {
         Ok(())
     }
 
-    fn lower_disjunction(
-        &mut self,
-        a: &Term,
-        b: &Term,
-        out: &mut Vec<FlatGoal>,
-    ) -> Result<()> {
+    fn lower_disjunction(&mut self, a: &Term, b: &Term, out: &mut Vec<FlatGoal>) -> Result<()> {
         let (head, _) = self.aux_head(&[a, b]);
         for branch in [a, b] {
             let mut goals = Vec::new();
@@ -312,10 +307,7 @@ mod tests {
             .cloned()
             .unwrap();
         let auxs = lp.clauses_for(&aux_key);
-        assert_eq!(
-            auxs[1].goals,
-            vec![FlatGoal::Call(Term::atom("fail"))]
-        );
+        assert_eq!(auxs[1].goals, vec![FlatGoal::Call(Term::atom("fail"))]);
     }
 
     #[test]

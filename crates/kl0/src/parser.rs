@@ -20,8 +20,8 @@ fn infix_op(name: &str) -> Option<(u32, InfixKind)> {
         ";" => (1100, InfixKind::Xfy),
         "->" => (1050, InfixKind::Xfy),
         // ',' handled specially (it is a token, not an atom)
-        "=" | "\\=" | "==" | "\\==" | "is" | "<" | ">" | "=<" | ">=" | "=:="
-        | "=\\=" | "@<" | "@>" | "@=<" | "@>=" | "=.." => (700, InfixKind::Xfx),
+        "=" | "\\=" | "==" | "\\==" | "is" | "<" | ">" | "=<" | ">=" | "=:=" | "=\\=" | "@<"
+        | "@>" | "@=<" | "@>=" | "=.." => (700, InfixKind::Xfx),
         "+" | "-" => (500, InfixKind::Yfx),
         "*" | "//" | "mod" => (400, InfixKind::Yfx),
         _ => return None,
@@ -223,13 +223,7 @@ impl Parser {
     fn starts_term(&self) -> bool {
         matches!(
             self.peek(),
-            Some(
-                Token::Int(_)
-                    | Token::Var(_)
-                    | Token::Atom(_)
-                    | Token::Open
-                    | Token::OpenList
-            )
+            Some(Token::Int(_) | Token::Var(_) | Token::Atom(_) | Token::Open | Token::OpenList)
         )
     }
 
@@ -344,9 +338,18 @@ mod tests {
 
     #[test]
     fn errors_are_syntax_errors() {
-        assert!(matches!(parse_term("f(").unwrap_err(), PsiError::Syntax { .. }));
-        assert!(matches!(parse_term(")").unwrap_err(), PsiError::Syntax { .. }));
-        assert!(matches!(parse_terms("a").unwrap_err(), PsiError::Syntax { .. }));
+        assert!(matches!(
+            parse_term("f(").unwrap_err(),
+            PsiError::Syntax { .. }
+        ));
+        assert!(matches!(
+            parse_term(")").unwrap_err(),
+            PsiError::Syntax { .. }
+        ));
+        assert!(matches!(
+            parse_terms("a").unwrap_err(),
+            PsiError::Syntax { .. }
+        ));
     }
 
     #[test]

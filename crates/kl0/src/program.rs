@@ -91,7 +91,8 @@ impl Program {
                     })?;
                 }
                 Term::Struct(op, args) if op == ":-" && args.len() == 1 => {
-                    self.directives.push(args.into_iter().next().expect("one arg"));
+                    self.directives
+                        .push(args.into_iter().next().expect("one arg"));
                 }
                 head @ (Term::Atom(_) | Term::Struct(..)) => {
                     self.add_clause(Clause { head, body: None })?;

@@ -157,9 +157,7 @@ fn atom_needs_quotes(name: &str) -> bool {
     let mut chars = name.chars();
     let first = chars.next().expect("nonempty");
     if first.is_ascii_lowercase() {
-        return !name
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_');
+        return !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     }
     // Symbolic atoms and special atoms print bare.
     const SPECIAL: &[&str] = &["[]", "!", ";", "{}"];
@@ -237,8 +235,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Term::list(vec![Term::int(1), Term::int(2)]).to_string(), "[1,2]");
-        assert_eq!(Term::cons(Term::int(1), Term::var("T")).to_string(), "[1|T]");
+        assert_eq!(
+            Term::list(vec![Term::int(1), Term::int(2)]).to_string(),
+            "[1,2]"
+        );
+        assert_eq!(
+            Term::cons(Term::int(1), Term::var("T")).to_string(),
+            "[1|T]"
+        );
         assert_eq!(
             Term::compound("f", vec![Term::atom("a"), Term::var("B")]).to_string(),
             "f(a,B)"

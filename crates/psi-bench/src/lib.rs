@@ -10,7 +10,9 @@
 #![warn(missing_docs)]
 
 use psi_machine::{InterpModule, MachineConfig, MachineStats};
-use psi_workloads::runner::{run_on_dec, run_on_psi, run_on_psi_machine};
+use psi_workloads::runner::{
+    default_parallelism, par_map, run_on_dec, run_on_psi, run_on_psi_machine, run_suite_parallel,
+};
 use psi_workloads::suite::{self, paper};
 use psi_workloads::{parsers, window, Workload};
 use std::fmt::Write as _;
@@ -19,6 +21,17 @@ fn run_psi(w: &Workload) -> MachineStats {
     run_on_psi(w, MachineConfig::psi())
         .unwrap_or_else(|e| panic!("{}: {e}", w.name))
         .stats
+}
+
+/// Runs a suite through [`run_suite_parallel`] and unwraps each run,
+/// preserving workload order. Rendering afterwards stays serial, so
+/// report text is identical to a serial run.
+fn run_suite(workloads: &[Workload]) -> Vec<psi_workloads::runner::PsiRun> {
+    run_suite_parallel(workloads, &MachineConfig::psi())
+        .into_iter()
+        .zip(workloads)
+        .map(|(r, w)| r.unwrap_or_else(|e| panic!("{}: {e}", w.name)))
+        .collect()
 }
 
 /// Table 1: execution time of the nineteen benchmark programs on both
@@ -34,11 +47,18 @@ pub fn table1_report() -> String {
         "{:<20} {:>10} {:>10} {:>9} {:>11}",
         "program", "PSI(ms)", "DEC(ms)", "DEC/PSI", "paper ratio"
     );
-    for e in suite::table1_suite() {
+    // Both engines for all nineteen rows in parallel; the rows are
+    // rendered in suite order afterwards, so the report text matches
+    // the serial version byte for byte.
+    let entries = suite::table1_suite();
+    let runs = par_map(&entries, default_parallelism(), |_, e| {
         let psi = run_on_psi(&e.workload, MachineConfig::psi())
             .unwrap_or_else(|err| panic!("{}: {err}", e.workload.name));
-        let dec = run_on_dec(&e.workload)
-            .unwrap_or_else(|err| panic!("{}: {err}", e.workload.name));
+        let dec =
+            run_on_dec(&e.workload).unwrap_or_else(|err| panic!("{}: {err}", e.workload.name));
+        (psi, dec)
+    });
+    for (e, (psi, dec)) in entries.iter().zip(runs) {
         assert_eq!(
             psi.solutions, dec.solutions,
             "{}: engines disagree",
@@ -72,8 +92,10 @@ pub fn table2_report() -> String {
         "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "program", "control", "unify", "trail", "get_arg", "cut", "built"
     );
-    for (i, w) in suite::table2_suite().iter().enumerate() {
-        let stats = run_psi(w);
+    let workloads = suite::table2_suite();
+    let runs = run_suite(&workloads);
+    for (i, (w, run)) in workloads.iter().zip(&runs).enumerate() {
+        let stats = &run.stats;
         let pct = stats.modules.percentages();
         let _ = writeln!(
             out,
@@ -105,18 +127,31 @@ pub fn table2_report() -> String {
                 "{:<14} built-in call share: {:.1}% (paper: {}%)",
                 "",
                 stats.builtin_call_share_pct(),
-                if w.name.starts_with("window") { 82.0 } else { 65.0 }
+                if w.name.starts_with("window") {
+                    82.0
+                } else {
+                    65.0
+                }
             );
         }
     }
     out
 }
 
-fn hardware_stats() -> Vec<(String, MachineStats)> {
-    suite::hardware_suite()
-        .iter()
-        .map(|w| (w.name.clone(), run_psi(w)))
-        .collect()
+/// The seven Table 3–5 workloads, run once (in parallel) and shared by
+/// all three reports — the serial version recomputed the whole suite
+/// per table.
+fn hardware_stats() -> &'static [(String, MachineStats)] {
+    use std::sync::OnceLock;
+    static STATS: OnceLock<Vec<(String, MachineStats)>> = OnceLock::new();
+    STATS.get_or_init(|| {
+        let workloads = suite::hardware_suite();
+        run_suite(&workloads)
+            .into_iter()
+            .zip(&workloads)
+            .map(|(run, w)| (w.name.clone(), run.stats))
+            .collect()
+    })
 }
 
 /// Table 3: execution rate of each cache command per microstep (%),
@@ -150,7 +185,7 @@ pub fn table3_report() -> String {
             paper::TABLE3[i].1[4],
         );
     }
-    let (_, s) = &hardware_stats()[4]; // BUP
+    let (_, s) = &hardware_stats()[4]; // BUP (memoized, not a rerun)
     let _ = writeln!(
         out,
         "\nread:write ratio (BUP) = {:.2} (paper: about 3:1); \
@@ -288,7 +323,7 @@ pub fn table7_report() -> String {
         window::window(1),
         psi_workloads::puzzle::eight_puzzle(6),
     ];
-    let stats: Vec<MachineStats> = workloads.iter().map(run_psi).collect();
+    let stats: Vec<MachineStats> = par_map(&workloads, default_parallelism(), |_, w| run_psi(w));
     let _ = writeln!(
         out,
         "Table 7: Dynamic frequency of branch operations in microprogram steps (%)"
@@ -302,8 +337,8 @@ pub fn table7_report() -> String {
         .iter()
         .map(|s| psi_tools::map::branch_table(&s.branches))
         .collect();
-    for i in 0..16 {
-        let p = paper::TABLE7[i].1;
+    for (i, row) in paper::TABLE7.iter().enumerate().take(16) {
+        let p = row.1;
         let _ = writeln!(
             out,
             "{:<22} {:>7.1} {:>7.1} {:>9.1}   ({:.1}, {:.1}, {:.2})",
@@ -336,22 +371,30 @@ pub fn figure1_report() -> String {
     let mut config = MachineConfig::psi();
     config.trace_memory = true;
     let w = window::window(1);
-    let (run, mut machine) =
-        run_on_psi_machine(&w, config).expect("window workload runs");
+    let (run, mut machine) = run_on_psi_machine(&w, config).expect("window workload runs");
     let trace = machine.take_trace();
     let steps = run.stats.steps;
     let _ = writeln!(
         out,
         "Figure 1: Performance improvement ratios against the cache memory size"
     );
-    let _ = writeln!(out, "(trace: {}, {} accesses, {} steps)", w.name, trace.len(), steps);
+    let _ = writeln!(
+        out,
+        "(trace: {}, {} accesses, {} steps)",
+        w.name,
+        trace.len(),
+        steps
+    );
     let _ = writeln!(out, "{:>10} {:>12}", "capacity", "improvement%");
-    let sweep = psi_tools::pmms::capacity_sweep(&trace, 200, steps);
+    let sweep = psi_tools::pmms::capacity_sweep_parallel(&trace, 200, steps, default_parallelism());
     for (cap, ratio) in &sweep {
         let bar = "#".repeat((*ratio / 2.0).max(0.0) as usize);
         let _ = writeln!(out, "{:>10} {:>12.1}  {}", cap, ratio, bar);
     }
-    let _ = writeln!(out, "(paper: the improvement ratio saturates near 512 words)");
+    let _ = writeln!(
+        out,
+        "(paper: the improvement ratio saturates near 512 words)"
+    );
 
     let (two, one) = psi_tools::pmms::associativity_study(&trace, 200, steps);
     let _ = writeln!(
@@ -374,12 +417,18 @@ pub fn figure1_report() -> String {
 /// recursion optimization and the WF frame buffers.
 pub fn ablation_report() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Ablation: PSI design features on nreverse(30) and BUP-2");
+    let _ = writeln!(
+        out,
+        "Ablation: PSI design features on nreverse(30) and BUP-2"
+    );
     let _ = writeln!(
         out,
         "{:<34} {:>10} {:>10} {:>10}",
         "configuration", "steps", "time_ms", "local%"
     );
+    // The full workload × feature grid runs in parallel; rendering
+    // preserves grid order.
+    let mut grid = Vec::new();
     for w in [psi_workloads::contest::nreverse(30), parsers::bup(2)] {
         for (label, tro, fb) in [
             ("full PSI", true, true),
@@ -387,23 +436,27 @@ pub fn ablation_report() -> String {
             ("no frame buffering", true, false),
             ("neither", false, false),
         ] {
-            let mut config = MachineConfig::psi();
-            config.tail_recursion_opt = tro;
-            config.frame_buffering = fb;
-            let stats = run_on_psi(&w, config)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-                .stats;
-            let local = stats.cache.area_shares_pct()
-                [psi_core::Area::LocalStack.index()];
-            let _ = writeln!(
-                out,
-                "{:<34} {:>10} {:>10.2} {:>10.1}",
-                format!("{} / {}", w.name, label),
-                stats.steps,
-                stats.time_ms(),
-                local,
-            );
+            grid.push((w.clone(), label, tro, fb));
         }
+    }
+    let runs = par_map(&grid, default_parallelism(), |_, (w, _, tro, fb)| {
+        let mut config = MachineConfig::psi();
+        config.tail_recursion_opt = *tro;
+        config.frame_buffering = *fb;
+        run_on_psi(w, config)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .stats
+    });
+    for ((w, label, _, _), stats) in grid.iter().zip(&runs) {
+        let local = stats.cache.area_shares_pct()[psi_core::Area::LocalStack.index()];
+        let _ = writeln!(
+            out,
+            "{:<34} {:>10} {:>10.2} {:>10.1}",
+            format!("{} / {}", w.name, label),
+            stats.steps,
+            stats.time_ms(),
+            local,
+        );
     }
     out
 }

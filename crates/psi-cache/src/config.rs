@@ -1,9 +1,7 @@
 //! Cache configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Write policy of the simulated cache (§4.2 compares the two).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WritePolicy {
     /// Write-back: writes dirty the cache block; main memory is updated
     /// only on eviction. The PSI uses this ("store-in method",
@@ -28,7 +26,7 @@ pub enum WritePolicy {
 /// assert_eq!(psi.blocks(), 2048);
 /// assert_eq!(psi.sets(), 1024);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in words (spec (a): 8K words on the real PSI).
     pub capacity_words: u32,
@@ -118,9 +116,13 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.block_words.is_power_of_two(), "block size power of two");
         assert!(
-            self.capacity_words % (self.block_words * self.ways) == 0
+            self.block_words.is_power_of_two(),
+            "block size power of two"
+        );
+        assert!(
+            self.capacity_words
+                .is_multiple_of(self.block_words * self.ways)
                 && self.capacity_words >= self.block_words * self.ways,
             "capacity {} not compatible with block {} x ways {}",
             self.capacity_words,

@@ -2,11 +2,10 @@
 
 use crate::{CacheConfig, CacheStats, WritePolicy};
 use psi_core::Address;
-use serde::{Deserialize, Serialize};
 
 /// A cache command, as issued by the microprogram (§4.2, Table 3
 /// columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheCommand {
     /// Read one word.
     Read,
@@ -136,8 +135,7 @@ impl Cache {
             }
             (CacheCommand::Write, WritePolicy::StoreIn)
             | (CacheCommand::WriteStack, WritePolicy::StoreIn) => {
-                let no_fetch =
-                    cmd == CacheCommand::WriteStack && self.config.write_stack_no_fetch;
+                let no_fetch = cmd == CacheCommand::WriteStack && self.config.write_stack_no_fetch;
                 if let Some(w) = hit_way {
                     self.touch(base + w);
                     self.lines[base + w].dirty = true;
@@ -199,8 +197,7 @@ impl Cache {
     }
 
     fn occupy_memory_after(&mut self, stall_so_far: u64) {
-        self.mem_free_at_ns =
-            self.now_ns + stall_so_far + self.config.memory_busy_ns;
+        self.mem_free_at_ns = self.now_ns + stall_so_far + self.config.memory_busy_ns;
     }
 
     /// Picks a victim way in the set, writing back a dirty victim.
@@ -299,7 +296,10 @@ mod tests {
         let mut c = tiny();
         assert!(!c.access(CacheCommand::Read, addr(0)).hit);
         assert!(c.access(CacheCommand::Read, addr(0)).hit);
-        assert!(c.access(CacheCommand::Read, addr(3)).hit, "same 4-word block");
+        assert!(
+            c.access(CacheCommand::Read, addr(3)).hit,
+            "same 4-word block"
+        );
         assert!(!c.access(CacheCommand::Read, addr(4)).hit, "next block");
     }
 
@@ -391,9 +391,8 @@ mod tests {
 
     #[test]
     fn run_trace_accumulates_time() {
-        let trace: Vec<(CacheCommand, Address)> = (0..10)
-            .map(|i| (CacheCommand::Read, addr(i * 4)))
-            .collect();
+        let trace: Vec<(CacheCommand, Address)> =
+            (0..10).map(|i| (CacheCommand::Read, addr(i * 4))).collect();
         let mut c = tiny();
         let time = c.run_trace(&trace, 200);
         // 10 steps of 200 ns + 10 cold misses of 600 ns each... but the
@@ -406,8 +405,9 @@ mod tests {
     #[test]
     fn larger_cache_never_hits_less_sequential() {
         // On a sequential read sweep, a bigger cache can only do better.
-        let sweep: Vec<(CacheCommand, Address)> =
-            (0..2048).map(|i| (CacheCommand::Read, addr(i % 512))).collect();
+        let sweep: Vec<(CacheCommand, Address)> = (0..2048)
+            .map(|i| (CacheCommand::Read, addr(i % 512)))
+            .collect();
         let mut hits_prev = 0;
         for cap in [32u32, 128, 512, 2048] {
             let mut c = Cache::new(CacheConfig::psi_with_capacity(cap));

@@ -1,10 +1,9 @@
 //! Per-area cache statistics, the raw material of Tables 3–5.
 
 use psi_core::{Area, AREA_COUNT};
-use serde::{Deserialize, Serialize};
 
 /// Hit/miss counters for one memory area and the three cache commands.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AreaCacheCounters {
     /// Read commands issued.
     pub reads: u64,
@@ -58,7 +57,10 @@ impl AreaCacheCounters {
 }
 
 /// Aggregate statistics of one cache simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Backed entirely by fixed-size arrays of counters, so it is `Copy`:
+/// snapshotting a run's statistics is a bit copy, never a heap clone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     per_area: [AreaCacheCounters; AREA_COUNT],
     /// Total stall time beyond the 200 ns cycle, in nanoseconds.
@@ -107,8 +109,7 @@ impl CacheStats {
         let total = self.total().accesses().max(1) as f64;
         let mut out = [0.0; AREA_COUNT];
         for area in Area::ALL {
-            out[area.index()] =
-                self.per_area[area.index()].accesses() as f64 * 100.0 / total;
+            out[area.index()] = self.per_area[area.index()].accesses() as f64 * 100.0 / total;
         }
         out
     }
@@ -123,8 +124,7 @@ impl CacheStats {
     /// reports 50–75%).
     pub fn write_stack_share_pct(&self) -> Option<f64> {
         let t = self.total();
-        (t.all_writes() > 0)
-            .then(|| t.write_stacks as f64 * 100.0 / t.all_writes() as f64)
+        (t.all_writes() > 0).then(|| t.write_stacks as f64 * 100.0 / t.all_writes() as f64)
     }
 
     /// Merges another run's statistics into this one.

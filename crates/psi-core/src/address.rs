@@ -6,7 +6,6 @@
 //! a physical location through a hardware translation table
 //! (modelled in `psi-mem`).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of distinct memory areas.
@@ -16,9 +15,7 @@ pub const AREA_COUNT: usize = 5;
 ///
 /// The heap holds instruction code and rewritable heap vectors and is
 /// shared by all processes; the four stacks are per process.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Area {
     /// Instruction code and heap vectors; shared by all processes.
@@ -83,9 +80,7 @@ impl fmt::Display for Area {
 /// Two bits of the logical address select the process, so at most four
 /// processes exist simultaneously; this matches what the WINDOW
 /// workload needs (user process + I/O service processes).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u8);
 
 impl ProcessId {
@@ -135,9 +130,7 @@ impl fmt::Display for ProcessId {
 /// assert_eq!(a.process().get(), 1);
 /// assert_eq!(a.offset_by(2).offset(), 125);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Address(u32);
 
 const OFFSET_BITS: u32 = 27;
@@ -153,11 +146,7 @@ impl Address {
     /// Panics if `offset` does not fit in 27 bits.
     pub fn new(process: ProcessId, area: Area, offset: u32) -> Address {
         assert!(offset <= OFFSET_MASK, "offset {offset} out of range");
-        Address(
-            ((process.get() as u32) << PROC_SHIFT)
-                | ((area as u32) << AREA_SHIFT)
-                | offset,
-        )
+        Address(((process.get() as u32) << PROC_SHIFT) | ((area as u32) << AREA_SHIFT) | offset)
     }
 
     /// Address in the shared heap area (the heap belongs to process 0's
@@ -224,13 +213,7 @@ impl Address {
 
 impl fmt::Debug for Address {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}:{:#x}",
-            self.process(),
-            self.area(),
-            self.offset()
-        )
+        write!(f, "{}:{}:{:#x}", self.process(), self.area(), self.offset())
     }
 }
 

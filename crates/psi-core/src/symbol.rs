@@ -1,6 +1,5 @@
 //! Interned atom and functor names.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -9,9 +8,7 @@ use std::fmt;
 /// The data part of an `Atom` word carries a `SymbolId`; a `Functor`
 /// word packs a `SymbolId` (24 bits) with an arity (8 bits), so symbol
 /// ids are limited to 24 bits.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SymbolId(u32);
 
 impl SymbolId {

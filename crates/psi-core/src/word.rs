@@ -335,7 +335,12 @@ mod tests {
     #[test]
     fn pointer_roundtrip() {
         let a = Address::new(ProcessId::new(2), Area::GlobalStack, 555);
-        for w in [Word::reference(a), Word::list(a), Word::vect(a), Word::heap_vect(a)] {
+        for w in [
+            Word::reference(a),
+            Word::list(a),
+            Word::vect(a),
+            Word::heap_vect(a),
+        ] {
             assert_eq!(w.address_value(), Some(a), "{w:?}");
         }
         assert_eq!(Word::int(5).address_value(), None);

@@ -153,11 +153,7 @@ impl Builtin {
     /// The arity of this built-in.
     pub fn arity(self) -> u8 {
         match self {
-            Builtin::True
-            | Builtin::Fail
-            | Builtin::Nl
-            | Builtin::Yield
-            | Builtin::Halt => 0,
+            Builtin::True | Builtin::Fail | Builtin::Nl | Builtin::Yield | Builtin::Halt => 0,
             Builtin::Var
             | Builtin::Nonvar
             | Builtin::Atom

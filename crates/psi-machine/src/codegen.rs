@@ -142,8 +142,7 @@ impl CodeImage {
     pub fn compile_query(&mut self, goal: &Term) -> Result<QueryCode> {
         self.query_counter += 1;
         let name = format!("$query{}", self.query_counter);
-        let vars: Vec<String> =
-            goal.variables().into_iter().map(str::to_owned).collect();
+        let vars: Vec<String> = goal.variables().into_iter().map(str::to_owned).collect();
         if vars.len() > 255 {
             return Err(PsiError::Compile {
                 detail: "query has more than 255 variables".into(),
@@ -221,7 +220,7 @@ impl CodeImage {
         // word's full tag).
         if let Term::Struct(_, args) = head {
             for arg in args {
-                let w = self.encode_term(arg, &mut ctx, true)?;
+                let w = self.encode_term(arg, &mut ctx)?;
                 body.push(w);
             }
         }
@@ -284,18 +283,13 @@ impl CodeImage {
             return Ok(());
         }
         for arg in args {
-            let w = self.encode_term(arg, ctx, false)?;
+            let w = self.encode_term(arg, ctx)?;
             body.push(w);
         }
         Ok(())
     }
 
-    fn encode_term(
-        &mut self,
-        term: &Term,
-        ctx: &mut ClauseCtx,
-        in_head: bool,
-    ) -> Result<Word> {
+    fn encode_term(&mut self, term: &Term, ctx: &mut ClauseCtx) -> Result<Word> {
         Ok(match term {
             Term::Atom(a) if a == "[]" => Word::nil(),
             Term::Atom(a) => {
@@ -310,9 +304,9 @@ impl CodeImage {
                 let base = self.heap.len();
                 self.heap.push(Word::undef());
                 self.heap.push(Word::undef());
-                let car = self.encode_term(&args[0], ctx, in_head)?;
+                let car = self.encode_term(&args[0], ctx)?;
                 self.heap[base] = car;
-                let cdr = self.encode_term(&args[1], ctx, in_head)?;
+                let cdr = self.encode_term(&args[1], ctx)?;
                 self.heap[base + 1] = cdr;
                 Word::code_list(base as u32)
             }
@@ -324,15 +318,13 @@ impl CodeImage {
                 }
                 let id = self.symbols.intern(f);
                 let base = self.heap.len();
-                self.heap.push(Word::functor(psi_core::Functor::new(
-                    id,
-                    args.len() as u8,
-                )));
+                self.heap
+                    .push(Word::functor(psi_core::Functor::new(id, args.len() as u8)));
                 for _ in args {
                     self.heap.push(Word::undef());
                 }
                 for (i, arg) in args.iter().enumerate() {
-                    let w = self.encode_term(arg, ctx, in_head)?;
+                    let w = self.encode_term(arg, ctx)?;
                     self.heap[base + 1 + i] = w;
                 }
                 Word::code_vect(base as u32)

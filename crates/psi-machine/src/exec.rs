@@ -73,12 +73,7 @@ impl Machine {
 
     /// Instruction fetch from the heap area (the dominant heap traffic
     /// of Table 4).
-    pub(crate) fn fetch_code(
-        &mut self,
-        m: InterpModule,
-        op: BranchOp,
-        off: u32,
-    ) -> Result<Word> {
+    pub(crate) fn fetch_code(&mut self, m: InterpModule, op: BranchOp, off: u32) -> Result<Word> {
         self.micro(m, op, true);
         self.wf.touch_read(WfField::Source1, WfMode::Direct10);
         let w = self.bus.read(self.heap_addr(off));
@@ -117,11 +112,7 @@ impl Machine {
     }
 
     /// A read that dispatches on the tag of the fetched word.
-    pub(crate) fn mem_read_dispatch(
-        &mut self,
-        m: InterpModule,
-        addr: Address,
-    ) -> Result<Word> {
+    pub(crate) fn mem_read_dispatch(&mut self, m: InterpModule, addr: Address) -> Result<Word> {
         self.micro(m, BranchOp::IfTag, true);
         self.wf.touch_read(WfField::Source1, WfMode::Direct10);
         self.wf.touch_read(WfField::Source2, WfMode::Direct00);
@@ -228,7 +219,9 @@ impl Machine {
             .iter()
             .filter_map(|&e| self.procs[self.cur].envs[e].buffer)
             .collect();
-        let buf = (0..2).find(|b| !used.contains(b)).expect("a buffer is free");
+        let buf = (0..2)
+            .find(|b| !used.contains(b))
+            .expect("a buffer is free");
         Ok(Some(buf))
     }
 
@@ -283,20 +276,29 @@ impl Machine {
 
     pub(crate) fn handle_user_call(&mut self, goal: Word, code_ptr: u32) -> Result<Flow> {
         let (pred, nargs) = goal.goal_value().expect("Goal word");
-        let (args, next_off) =
-            self.build_args(InterpModule::Control, code_ptr + 1, nargs)?;
-        self.user_calls += 1;
-        // Predicate-table lookup and register save: the call overhead
-        // the paper blames for PSI's slowness on simple programs
-        // (§3.1: "more execution management information to be
-        // stacked").
-        self.alu_step(InterpModule::Control);
-        self.alu_step(InterpModule::Control);
-        self.micro_cond(InterpModule::Control, true);
-        // Dispatch through the predicate table (indirect jump).
-        self.micro(InterpModule::Control, BranchOp::GotoJr1, false);
-        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
-        self.call_predicate(pred, &args, next_off)
+        // Build the arguments into the reusable scratch buffer (taken
+        // out of `self` so `build_args` can borrow `self` mutably, put
+        // back on every exit path).
+        let mut args = std::mem::take(&mut self.scratch_args);
+        args.clear();
+        let flow = (|| {
+            let next_off =
+                self.build_args(InterpModule::Control, code_ptr + 1, nargs, &mut args)?;
+            self.user_calls += 1;
+            // Predicate-table lookup and register save: the call overhead
+            // the paper blames for PSI's slowness on simple programs
+            // (§3.1: "more execution management information to be
+            // stacked").
+            self.alu_step(InterpModule::Control);
+            self.alu_step(InterpModule::Control);
+            self.micro_cond(InterpModule::Control, true);
+            // Dispatch through the predicate table (indirect jump).
+            self.micro(InterpModule::Control, BranchOp::GotoJr1, false);
+            self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+            self.call_predicate(pred, &args, next_off)
+        })();
+        self.scratch_args = args;
+        flow
     }
 
     /// Calls `pred` with `args`; `next_off` is the caller's resume
@@ -321,7 +323,7 @@ impl Machine {
         // continuation through when the environment is not protected
         // by newer choice points (§2.2 tail recursion optimization).
         let is_last = self.peek_is_end_body(next_off);
-        let act = self.procs[self.cur].envs[cur_env].clone();
+        let act = self.procs[self.cur].envs[cur_env];
         let (cont_code, cont_env) = if is_last
             && self.config.tail_recursion_opt
             && self.procs[self.cur].cps.len() == act.entry_cps
@@ -335,7 +337,7 @@ impl Machine {
         };
 
         if nclauses > 1 {
-            self.push_choice_point(pred, 1, args.to_vec(), cont_code, cont_env, barrier)?;
+            self.push_choice_point(pred, 1, args, cont_code, cont_env, barrier)?;
         }
         if self.enter_clause(pred, 0, args, cont_code, cont_env, barrier)? {
             Ok(Flow::Continue)
@@ -358,7 +360,7 @@ impl Machine {
     /// Discards an activation at a deterministic last call: frees its
     /// buffer and reclaims its stack space when it sits on top.
     fn discard_env(&mut self, env_id: usize) -> Result<()> {
-        let act = self.procs[self.cur].envs[env_id].clone();
+        let act = self.procs[self.cur].envs[env_id];
         if act.buffer.is_some() {
             // The locals die with the activation; the buffer is simply
             // released — this is exactly the saving TRO buys.
@@ -388,7 +390,7 @@ impl Machine {
             return Ok(());
         }
         let base = self.procs[self.cur].ctl_top;
-        let act = self.procs[self.cur].envs[env_id].clone();
+        let act = self.procs[self.cur].envs[env_id];
         let payloads = [
             0, // kind = environment
             act.cont_code,
@@ -415,7 +417,7 @@ impl Machine {
         &mut self,
         pred: u32,
         next_clause: usize,
-        args: Vec<Word>,
+        args: &[Word],
         cont_code: u32,
         cont_env: Option<usize>,
         barrier: usize,
@@ -424,11 +426,28 @@ impl Machine {
         // local stack (§2.2: buffers are used "when no local frame
         // have to be saved into the local stack").
         self.flush_all_buffers()?;
-        let p = &self.procs[self.cur];
+        // Park the goal arguments in the copy-on-backtrack arena; the
+        // choice point records only their extent. The arena is
+        // truncated back when the choice point is popped.
+        let arena_grows = {
+            let p = &self.procs[self.cur];
+            p.arg_arena.len() + args.len() > p.arg_arena.capacity()
+        };
+        if arena_grows {
+            self.hot_allocs += 1;
+        }
+        let cps_grow = self.procs[self.cur].cps.len() == self.procs[self.cur].cps.capacity();
+        if cps_grow {
+            self.hot_allocs += 1;
+        }
+        let p = &mut self.procs[self.cur];
+        let args_start = p.arg_arena.len() as u32;
+        p.arg_arena.extend_from_slice(args);
         let cp = ChoicePoint {
             pred,
             next_clause,
-            args,
+            args_start,
+            args_len: args.len() as u8,
             cont_code,
             cont_env,
             barrier,
@@ -478,8 +497,7 @@ impl Machine {
         // Clause entry microsubroutine: header decode, local frame
         // allocation, WF buffer setup.
         self.micro(InterpModule::Control, BranchOp::Gosub, false);
-        let header =
-            self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, cc.addr)?;
+        let header = self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, cc.addr)?;
         debug_assert_eq!(header.tag(), Tag::ClauseHead);
         self.alu_step(InterpModule::Control);
         self.alu_step(InterpModule::Control);
@@ -499,6 +517,9 @@ impl Machine {
             cut_barrier: barrier,
             entry_cps: self.procs[self.cur].cps.len(),
         };
+        if self.procs[self.cur].envs.len() == self.procs[self.cur].envs.capacity() {
+            self.hot_allocs += 1;
+        }
         {
             let p = &mut self.procs[self.cur];
             p.local_top += cc.nlocals as u32;
@@ -537,6 +558,17 @@ impl Machine {
     /// Restores the newest choice point and retries its next clause.
     /// Returns `false` when the process has no alternatives left.
     pub(crate) fn backtrack(&mut self) -> Result<bool> {
+        // The retried clause's arguments are replayed out of the
+        // argument arena through a reusable scratch buffer (the arena
+        // itself may shrink while the clause is entered).
+        let mut cp_args = std::mem::take(&mut self.scratch_cp_args);
+        let result = self.backtrack_loop(&mut cp_args);
+        cp_args.clear();
+        self.scratch_cp_args = cp_args;
+        result
+    }
+
+    fn backtrack_loop(&mut self, cp_args: &mut Vec<Word>) -> Result<bool> {
         loop {
             if self.procs[self.cur].cps.is_empty() {
                 return Ok(false);
@@ -551,7 +583,13 @@ impl Machine {
             // "Control information for the current execution is held
             // in a register file"), so shallow backtracking re-reads
             // only the clause-alternative word from memory.
-            let cp = self.procs[self.cur].cps.last().expect("nonempty").clone();
+            let cp = *self.procs[self.cur].cps.last().expect("nonempty");
+            {
+                let p = &self.procs[self.cur];
+                let start = cp.args_start as usize;
+                cp_args.clear();
+                cp_args.extend_from_slice(&p.arg_arena[start..start + cp.args_len as usize]);
+            }
             self.mem_read(InterpModule::Control, self.ctl_addr(cp.ctl_addr + 2))?;
             self.wf.touch_read(WfField::Source1, WfMode::Direct00);
             // Unwind the trail (Table 2 "trail" module).
@@ -588,8 +626,7 @@ impl Machine {
                 }
                 // Keep the backing store honest: discarded cells must
                 // not be readable.
-                let (lt, gt, ct, tt) =
-                    (p.local_top, p.global_top, p.ctl_top, p.trail_top);
+                let (lt, gt, ct, tt) = (p.local_top, p.global_top, p.ctl_top, p.trail_top);
                 self.bus.memory_mut().truncate(pid, Area::LocalStack, lt);
                 self.bus.memory_mut().truncate(pid, Area::GlobalStack, gt);
                 self.bus.memory_mut().truncate(pid, Area::ControlStack, ct);
@@ -600,9 +637,11 @@ impl Machine {
             let nclauses = self.image.predicate(cp.pred).clauses.len();
             let clause_idx = cp.next_clause;
             if clause_idx + 1 >= nclauses {
-                // Last alternative: pop the choice point (trust).
+                // Last alternative: pop the choice point (trust) and
+                // give its arena extent back.
                 let p = &mut self.procs[self.cur];
                 p.cps.pop();
+                p.arg_arena.truncate(cp.args_start as usize);
                 if cp.ctl_addr + CONTROL_FRAME_WORDS == p.ctl_top {
                     p.ctl_top = cp.ctl_addr;
                 }
@@ -624,7 +663,7 @@ impl Machine {
             if self.enter_clause(
                 cp.pred,
                 clause_idx,
-                &cp.args,
+                cp_args,
                 cp.cont_code,
                 cp.cont_env,
                 cp.barrier,
@@ -643,6 +682,7 @@ impl Machine {
             self.micro(InterpModule::Cut, BranchOp::IfCond, true);
             let cp = self.procs[self.cur].cps.pop().expect("nonempty");
             let p = &mut self.procs[self.cur];
+            p.arg_arena.truncate(cp.args_start as usize);
             if cp.ctl_addr + CONTROL_FRAME_WORDS == p.ctl_top {
                 p.ctl_top = cp.ctl_addr;
             }
@@ -656,7 +696,7 @@ impl Machine {
 
     pub(crate) fn handle_return(&mut self) -> Result<Flow> {
         let env = self.procs[self.cur].regs.env;
-        let act = self.procs[self.cur].envs[env].clone();
+        let act = self.procs[self.cur].envs[env];
         let Some(cont_env) = act.cont_env else {
             // The query activation finished: a solution.
             self.micro(InterpModule::Control, BranchOp::Return, false);
@@ -708,17 +748,19 @@ impl Machine {
     // ------------------------------------------------------- arguments
 
     /// Builds the argument vector of a goal whose argument words start
-    /// at `off`. Returns the values and the offset just past the
-    /// arguments.
+    /// at `off` into `args` (cleared first — normally one of the
+    /// machine's reusable scratch buffers). Returns the offset just
+    /// past the arguments.
     pub(crate) fn build_args(
         &mut self,
         m: InterpModule,
         off: u32,
         nargs: u8,
-    ) -> Result<(Vec<Word>, u32)> {
-        let mut args = Vec::with_capacity(nargs as usize);
+        args: &mut Vec<Word>,
+    ) -> Result<u32> {
+        args.clear();
         if nargs == 0 {
-            return Ok((args, off));
+            return Ok(off);
         }
         let first = self.fetch_code(m, BranchOp::CaseTag, off)?;
         if first.tag() == Tag::Packed {
@@ -731,7 +773,7 @@ impl Machine {
                 let w = self.build_packed_arg(m, tag3, payload)?;
                 args.push(w);
             }
-            return Ok((args, off + 1));
+            return Ok(off + 1);
         }
         let w = self.build_arg(m, first)?;
         args.push(w);
@@ -740,7 +782,7 @@ impl Machine {
             let w = self.build_arg(m, word)?;
             args.push(w);
         }
-        Ok((args, off + nargs as u32))
+        Ok(off + nargs as u32)
     }
 
     fn build_packed_arg(&mut self, m: InterpModule, tag3: u8, payload: u8) -> Result<Word> {
@@ -832,17 +874,23 @@ impl Machine {
             detail: format!("corrupt builtin id {id}"),
         })?;
         // Argument fetching for built-ins is the paper's get_arg
-        // module (Table 2).
-        let (args, next_off) = self.build_args(InterpModule::GetArg, code_ptr + 1, nargs)?;
-        self.builtin_calls += 1;
-        self.procs[self.cur].regs.code_ptr = next_off;
-        // Built-in dispatch: microsubroutine call through the builtin
-        // jump table.
-        self.micro(InterpModule::GetArg, BranchOp::CaseOpcode, true);
-        self.micro(InterpModule::Builtin, BranchOp::Gosub, false);
-        let flow = self.exec_builtin(b, &args)?;
-        self.micro(InterpModule::Builtin, BranchOp::Return, false);
-        Ok(flow)
+        // module (Table 2). Arguments go through the same reusable
+        // scratch buffer as user calls (the two never nest).
+        let mut args = std::mem::take(&mut self.scratch_args);
+        let flow = (|| {
+            let next_off = self.build_args(InterpModule::GetArg, code_ptr + 1, nargs, &mut args)?;
+            self.builtin_calls += 1;
+            self.procs[self.cur].regs.code_ptr = next_off;
+            // Built-in dispatch: microsubroutine call through the builtin
+            // jump table.
+            self.micro(InterpModule::GetArg, BranchOp::CaseOpcode, true);
+            self.micro(InterpModule::Builtin, BranchOp::Gosub, false);
+            let flow = self.exec_builtin(b, &args)?;
+            self.micro(InterpModule::Builtin, BranchOp::Return, false);
+            Ok(flow)
+        })();
+        self.scratch_args = args;
+        flow
     }
 
     fn exec_builtin(&mut self, b: Builtin, args: &[Word]) -> Result<Flow> {
@@ -870,8 +918,12 @@ impl Machine {
                 self.micro_seq(InterpModule::Builtin, true);
                 self.unify(args[0], Word::int(v))?
             }
-            Builtin::Lt | Builtin::Gt | Builtin::Le | Builtin::Ge
-            | Builtin::ArithEq | Builtin::ArithNe => {
+            Builtin::Lt
+            | Builtin::Gt
+            | Builtin::Le
+            | Builtin::Ge
+            | Builtin::ArithEq
+            | Builtin::ArithNe => {
                 let a = self.eval_arith(args[0])?;
                 let bv = self.eval_arith(args[1])?;
                 self.micro_cond(InterpModule::Builtin, true);
@@ -888,8 +940,7 @@ impl Machine {
             }
             Builtin::TermEq => self.term_identical(args[0], args[1])?,
             Builtin::TermNe => !self.term_identical(args[0], args[1])?,
-            Builtin::Var | Builtin::Nonvar | Builtin::Atom | Builtin::Atomic
-            | Builtin::Integer => {
+            Builtin::Var | Builtin::Nonvar | Builtin::Atom | Builtin::Atomic | Builtin::Integer => {
                 let (v, unbound) = self.deref(InterpModule::Builtin, args[0])?;
                 self.micro(InterpModule::Builtin, BranchOp::IfTag, true);
                 self.wf.touch_read(WfField::Source2, WfMode::Direct00);
@@ -897,9 +948,7 @@ impl Machine {
                 match b {
                     Builtin::Var => is_var,
                     Builtin::Nonvar => !is_var,
-                    Builtin::Atom => {
-                        !is_var && matches!(v.tag(), Tag::Atom | Tag::Nil)
-                    }
+                    Builtin::Atom => !is_var && matches!(v.tag(), Tag::Atom | Tag::Nil),
                     Builtin::Atomic => !is_var && v.tag().is_atomic_value(),
                     _ => !is_var && v.tag() == Tag::Int,
                 }
@@ -966,8 +1015,9 @@ impl Machine {
                     })
                 }
             };
-            return Ok(self.unify(args[1], name_w)?
-                && self.unify(args[2], Word::int(arity as i32))?);
+            return Ok(
+                self.unify(args[1], name_w)? && self.unify(args[2], Word::int(arity as i32))?
+            );
         }
         // Construct.
         let (name, _) = self.deref(InterpModule::Builtin, args[1])?;
@@ -1018,8 +1068,7 @@ impl Machine {
                 if !(1..=2).contains(&n) {
                     return Ok(false);
                 }
-                let v =
-                    self.read_value(InterpModule::Builtin, ptr.offset_by(n as u32 - 1))?;
+                let v = self.read_value(InterpModule::Builtin, ptr.offset_by(n as u32 - 1))?;
                 self.unify(args[2], v)
             }
             _ => Ok(false),
@@ -1037,11 +1086,7 @@ impl Machine {
         // Heap vectors live in the shared heap area (§4.2: "Only the
         // program WINDOW uses data of the heap vector type").
         let base = self.heap_top;
-        self.mem_write(
-            InterpModule::Builtin,
-            self.heap_addr(base),
-            Word::int(n),
-        )?;
+        self.mem_write(InterpModule::Builtin, self.heap_addr(base), Word::int(n))?;
         for i in 0..n as u32 {
             self.mem_write(
                 InterpModule::Builtin,
@@ -1088,11 +1133,7 @@ impl Machine {
                 // Destructive heap write — the WINDOW workload's heap
                 // write traffic (Table 3/4).
                 let (v, unbound) = self.deref(InterpModule::Builtin, args[2])?;
-                let stored = if unbound.is_some() {
-                    Word::int(0)
-                } else {
-                    v
-                };
+                let stored = if unbound.is_some() { Word::int(0) } else { v };
                 self.mem_write(InterpModule::Builtin, cell, stored)?;
                 Ok(true)
             }

@@ -62,10 +62,7 @@ impl Machine {
                         }
                         _ => {
                             let tail = self.decode_quiet(cur, depth + 1)?;
-                            return Ok(elems
-                                .into_iter()
-                                .rev()
-                                .fold(tail, |t, h| Term::cons(h, t)));
+                            return Ok(elems.into_iter().rev().fold(tail, |t, h| Term::cons(h, t)));
                         }
                     }
                     if elems.len() as u32 > MAX_DEPTH {

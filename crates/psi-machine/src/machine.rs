@@ -99,7 +99,11 @@ impl fmt::Display for Solution {
 
 /// A snapshot of every measured quantity after a run — the raw
 /// material for all of the paper's tables.
-#[derive(Debug, Clone)]
+///
+/// Every field is an exact event counter (no floats), so two runs can
+/// be compared for bit-identity with `==` — the parallel suite runner
+/// relies on this to prove it changes nothing in Tables 2–7.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineStats {
     /// Total microinstruction steps.
     pub steps: u64,
@@ -169,7 +173,11 @@ pub(crate) struct Regs {
 
 /// A clause activation (the PSI keeps the current one in the WF and
 /// saves it to the control stack as necessary, §2.1).
-#[derive(Debug, Clone)]
+///
+/// All fields are scalar, so the struct is `Copy`: the execution
+/// engine snapshots activations by value instead of heap-cloning them
+/// on every call, return and backtrack.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Activation {
     pub locals_base: u32,
     pub nlocals: u16,
@@ -189,11 +197,21 @@ pub(crate) struct Activation {
 }
 
 /// A choice point (10-word control frame on the real machine).
-#[derive(Debug, Clone)]
+///
+/// The goal arguments live in the per-process [`Proc::arg_arena`]
+/// (copy-on-backtrack arena): the choice point records only their
+/// `(start, len)` extent, which keeps the struct `Copy` and the hot
+/// loop free of per-choice-point heap allocation. Arena space is
+/// reclaimed exactly when the choice point is popped (cut, trust, or
+/// exhaustion), mirroring the machine's own control-stack discipline.
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct ChoicePoint {
     pub pred: u32,
     pub next_clause: usize,
-    pub args: Vec<Word>,
+    /// First argument word in the owning process's `arg_arena`.
+    pub args_start: u32,
+    /// Number of argument words (predicate arity fits in a byte).
+    pub args_len: u8,
     pub cont_code: u32,
     pub cont_env: Option<usize>,
     pub barrier: usize,
@@ -223,8 +241,26 @@ pub(crate) struct Proc {
     pub trail_top: u32,
     /// Env ids currently holding a WF frame buffer, oldest first.
     pub buffered: Vec<usize>,
+    /// Saved goal arguments of all live choice points, in stack
+    /// order. Each [`ChoicePoint`] owns the `args_start..+args_len`
+    /// slice; the arena is truncated back whenever its choice point is
+    /// popped.
+    pub arg_arena: Vec<Word>,
     pub query: Option<QueryState>,
 }
+
+/// Pre-reserved capacities for the per-process control structures.
+/// Generous enough that none of the paper's workloads ever grows them
+/// mid-run — the hot loop then performs zero host heap allocation
+/// (asserted by [`Machine::hot_path_alloc_count`] in tests). Growth
+/// past a reservation still works; it is merely counted.
+const ENVS_RESERVE: usize = 512;
+const CPS_RESERVE: usize = 512;
+const BUFFERED_RESERVE: usize = 8;
+const ARG_ARENA_RESERVE: usize = 4096;
+/// Scratch argument buffers: predicate arity fits in a `u8`, so 256
+/// words can never be outgrown.
+const ARGS_RESERVE: usize = 256;
 
 impl Proc {
     fn new(pid: ProcessId) -> Proc {
@@ -235,13 +271,14 @@ impl Proc {
                 code_ptr: 0,
                 env: 0,
             },
-            envs: Vec::new(),
-            cps: Vec::new(),
+            envs: Vec::with_capacity(ENVS_RESERVE),
+            cps: Vec::with_capacity(CPS_RESERVE),
             local_top: 0,
             global_top: 0,
             ctl_top: 0,
             trail_top: 0,
-            buffered: Vec::new(),
+            buffered: Vec::with_capacity(BUFFERED_RESERVE),
+            arg_arena: Vec::with_capacity(ARG_ARENA_RESERVE),
             query: None,
         }
     }
@@ -279,6 +316,15 @@ pub struct Machine {
     pub(crate) user_calls: u64,
     pub(crate) builtin_calls: u64,
     pub(crate) arith: ArithSyms,
+    /// Reusable buffer for goal-argument construction (taken with
+    /// `mem::take` around calls that need `&mut self`).
+    pub(crate) scratch_args: Vec<Word>,
+    /// Reusable buffer for replaying choice-point arguments out of the
+    /// argument arena on backtracking.
+    pub(crate) scratch_cp_args: Vec<Word>,
+    /// Host heap (re)allocations taken by the interpreter hot path —
+    /// see [`Machine::hot_path_alloc_count`].
+    pub(crate) hot_allocs: u64,
 }
 
 /// Internal control-flow outcome of dispatching one goal.
@@ -330,6 +376,9 @@ impl Machine {
             user_calls: 0,
             builtin_calls: 0,
             arith,
+            scratch_args: Vec::with_capacity(ARGS_RESERVE),
+            scratch_cp_args: Vec::with_capacity(ARGS_RESERVE),
+            hot_allocs: 0,
         };
         machine.sync_code()?;
         Ok(machine)
@@ -421,6 +470,10 @@ impl Machine {
     }
 
     fn reset_run_state(&mut self) {
+        // A fresh run records a fresh trace: drop entries left over
+        // from a previous query so a PMMS replay sees one monotonic
+        // run instead of an ever-growing concatenation.
+        let _ = self.bus.take_trace();
         for p in 0..self.procs.len() {
             let pid = self.procs[p].pid;
             for area in [
@@ -461,10 +514,21 @@ impl Machine {
             modules: self.tally.modules,
             branches: self.tally.branches,
             wf: *self.wf.stats(),
-            cache: self.bus.cache_stats().clone(),
+            // `CacheStats` is `Copy` (fixed per-area arrays), so the
+            // snapshot is a plain bit copy — no per-run heap clone.
+            cache: *self.bus.cache_stats(),
             user_calls: self.user_calls,
             builtin_calls: self.builtin_calls,
         }
+    }
+
+    /// Host heap (re)allocations performed by the interpreter hot path
+    /// since load: growth of the activation stack, the choice-point
+    /// stack, the argument arena, or the argument scratch buffers.
+    /// Stays zero on the paper's workloads because those structures
+    /// are pre-reserved — the regression tests assert exactly that.
+    pub fn hot_path_alloc_count(&self) -> u64 {
+        self.hot_allocs
     }
 
     /// Text written by `write/1`, `nl/0` and `tab/1`.
@@ -473,9 +537,20 @@ impl Machine {
     }
 
     /// Takes the recorded memory trace (requires
-    /// [`MachineConfig::trace_memory`]).
+    /// [`MachineConfig::trace_memory`] or
+    /// [`Machine::set_trace_memory`]). Returns an empty vector when
+    /// tracing is disabled — non-tracing runs buffer nothing.
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
         self.bus.take_trace()
+    }
+
+    /// Enables or disables COLLECT-style memory tracing at runtime.
+    /// Tracing is off by default ([`MachineConfig::psi`]); while off,
+    /// the memory bus records nothing and pays only a branch per
+    /// access. Disabling discards any recorded entries.
+    pub fn set_trace_memory(&mut self, enabled: bool) {
+        self.config.trace_memory = enabled;
+        self.bus.set_trace_enabled(enabled);
     }
 
     /// The compiled code image (for inspection and tooling).
@@ -517,19 +592,31 @@ impl Machine {
     }
 
     fn capture_solution(&mut self) -> Result<Solution> {
+        // Take the query state out instead of cloning it (decoding
+        // needs `&mut self`); put it back before returning.
         let q = self.procs[self.cur]
             .query
-            .clone()
+            .take()
             .expect("solution only arises from a query");
         let mut bindings = Vec::new();
+        let mut failed = None;
         for (name, cell) in q.vars.iter().zip(&q.cells) {
             if name.starts_with('_') {
                 continue;
             }
-            let term = self.decode_cell(*cell)?;
-            bindings.push((name.clone(), term));
+            match self.decode_cell(*cell) {
+                Ok(term) => bindings.push((name.clone(), term)),
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
         }
-        Ok(Solution::new(bindings))
+        self.procs[self.cur].query = Some(q);
+        match failed {
+            Some(e) => Err(e),
+            None => Ok(Solution::new(bindings)),
+        }
     }
 
     // -------------------------------------------------------- main loop

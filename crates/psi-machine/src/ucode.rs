@@ -11,12 +11,11 @@
 //! * whether the step also performed **data manipulation** (§4.4
 //!   reports ≈50% of branching steps manipulate data).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The component modules of the firmware interpreter (Table 2
 /// columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum InterpModule {
     /// Call/return management, frame handling, clause selection.
@@ -70,7 +69,7 @@ impl fmt::Display for InterpModule {
 
 /// The 16 branch-field operations of Table 7, three instruction
 /// types (§4.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum BranchOp {
     /// (1) Type 1, no operation.
@@ -169,7 +168,7 @@ impl fmt::Display for BranchOp {
 }
 
 /// Per-module step counts (Table 2).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ModuleTally {
     counts: [u64; 6],
 }
@@ -197,7 +196,7 @@ impl ModuleTally {
 }
 
 /// Per-operation branch-field counts (Table 7).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BranchTally {
     counts: [u64; 16],
     with_data: u64,
@@ -245,7 +244,7 @@ impl BranchTally {
 }
 
 /// The combined microstep tally the machine updates on every step.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MicroTally {
     /// Per-module counts (Table 2).
     pub modules: ModuleTally,

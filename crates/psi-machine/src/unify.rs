@@ -123,10 +123,7 @@ impl Machine {
                             if af != bf {
                                 return Ok(false);
                             }
-                            let arity = af
-                                .functor_value()
-                                .map(|f| f.arity)
-                                .unwrap_or(0);
+                            let arity = af.functor_value().map(|f| f.arity).unwrap_or(0);
                             for i in (1..=arity as u32).rev() {
                                 let aa = self.read_value(InterpModule::Unify, ap.offset_by(i))?;
                                 let ba = self.read_value(InterpModule::Unify, bp.offset_by(i))?;
@@ -172,10 +169,8 @@ impl Machine {
                         if ap != bp {
                             let acar = self.read_value(InterpModule::Builtin, ap)?;
                             let bcar = self.read_value(InterpModule::Builtin, bp)?;
-                            let acdr =
-                                self.read_value(InterpModule::Builtin, ap.offset_by(1))?;
-                            let bcdr =
-                                self.read_value(InterpModule::Builtin, bp.offset_by(1))?;
+                            let acdr = self.read_value(InterpModule::Builtin, ap.offset_by(1))?;
+                            let bcdr = self.read_value(InterpModule::Builtin, bp.offset_by(1))?;
                             work.push((acdr, bcdr));
                             work.push((acar, bcar));
                         }
@@ -189,13 +184,10 @@ impl Machine {
                             if af != bf {
                                 return Ok(false);
                             }
-                            let arity =
-                                af.functor_value().map(|f| f.arity).unwrap_or(0);
+                            let arity = af.functor_value().map(|f| f.arity).unwrap_or(0);
                             for i in (1..=arity as u32).rev() {
-                                let aa =
-                                    self.read_value(InterpModule::Builtin, ap.offset_by(i))?;
-                                let ba =
-                                    self.read_value(InterpModule::Builtin, bp.offset_by(i))?;
+                                let aa = self.read_value(InterpModule::Builtin, ap.offset_by(i))?;
+                                let ba = self.read_value(InterpModule::Builtin, bp.offset_by(i))?;
                                 work.push((aa, ba));
                             }
                         }

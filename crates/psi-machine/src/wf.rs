@@ -11,7 +11,6 @@
 //! modes, which [`WfStats`] accumulates.
 
 use psi_core::Word;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Total WF capacity in words.
@@ -26,7 +25,7 @@ pub const TRAIL_BUFFER_BASE: u32 = 0xC0;
 pub const CONSTANT_BASE: u32 = 0x3C0;
 
 /// A WF addressing mode (Table 6 rows).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum WfMode {
     /// (1) Direct access to WF00–0F, the dual-port first 16 words.
@@ -91,7 +90,7 @@ impl fmt::Display for WfMode {
 
 /// Which microinstruction field performed the access (Table 6
 /// columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum WfField {
     /// Source 1 — controls ALU input 1; all seven modes available.
@@ -123,7 +122,7 @@ impl WfField {
 }
 
 /// Dynamic frequency of WF access modes per field (Table 6).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WfStats {
     counts: [[u64; 7]; 3],
     wfar1_auto: u64,
@@ -166,12 +165,12 @@ impl WfStats {
         let covered: u64 = WfField::ALL
             .iter()
             .flat_map(|f| {
-                WfMode::ALL.iter().filter_map(move |m| {
-                    (m.is_direct()
-                        || *m == WfMode::IndWfar1
-                        || *m == WfMode::BasePdrCdr)
-                        .then(|| self.count(*f, *m))
-                })
+                WfMode::ALL
+                    .iter()
+                    .filter(|m| {
+                        m.is_direct() || **m == WfMode::IndWfar1 || **m == WfMode::BasePdrCdr
+                    })
+                    .map(move |m| self.count(*f, *m))
             })
             .sum();
         covered as f64 * 100.0 / t

@@ -35,7 +35,10 @@ fn facts_and_unification() {
     assert_eq!(first("p(1).", "p(X)"), Some("X = 1".into()));
     assert_eq!(first("p(1).", "p(2)"), None);
     assert_eq!(first("p(a, b).", "p(a, X)"), Some("X = b".into()));
-    assert_eq!(first("p(f(g(1), h)).", "p(f(X, h))"), Some("X = g(1)".into()));
+    assert_eq!(
+        first("p(f(g(1), h)).", "p(f(X, h))"),
+        Some("X = g(1)".into())
+    );
 }
 
 #[test]
@@ -52,11 +55,7 @@ fn append_forward_and_backward() {
     let splits = all(APPEND, "app(X, Y, [1,2])", 10);
     assert_eq!(
         splits,
-        vec![
-            "X = [], Y = [1,2]",
-            "X = [1], Y = [2]",
-            "X = [1,2], Y = []",
-        ]
+        vec!["X = [], Y = [1,2]", "X = [1], Y = [2]", "X = [1,2], Y = []",]
     );
 }
 
@@ -331,11 +330,7 @@ all4(A, B, C, D) :-
         assert_ne!(vals[3], vals[0], "{s}");
     }
     // The 4-clique variant needs four colors, so three must fail.
-    let clique = all(
-        src,
-        "all4(A, B, C, D), A \\== C, B \\== D",
-        100,
-    );
+    let clique = all(src, "all4(A, B, C, D), A \\== C, B \\== D", 100);
     assert!(clique.is_empty());
 }
 
@@ -366,8 +361,12 @@ fn uncached_machine_runs_slower() {
     let program = Program::parse(APPEND).unwrap();
     let mut cached = Machine::load(&program, MachineConfig::psi()).unwrap();
     let mut uncached = Machine::load(&program, MachineConfig::psi_uncached()).unwrap();
-    cached.solve("app([1,2,3,4,5,6,7,8,9,10], [11], X)", 1).unwrap();
-    uncached.solve("app([1,2,3,4,5,6,7,8,9,10], [11], X)", 1).unwrap();
+    cached
+        .solve("app([1,2,3,4,5,6,7,8,9,10], [11], X)", 1)
+        .unwrap();
+    uncached
+        .solve("app([1,2,3,4,5,6,7,8,9,10], [11], X)", 1)
+        .unwrap();
     let tc = cached.stats();
     let tn = uncached.stats();
     assert_eq!(tc.steps, tn.steps, "same computation");

@@ -4,12 +4,11 @@
 use crate::{AddressTranslation, Memory};
 use psi_cache::{Cache, CacheCommand, CacheConfig, CacheStats};
 use psi_core::{Address, Result, Word};
-use serde::{Deserialize, Serialize};
 
 /// One traced memory access: the microstep at which it happened, the
 /// cache command, and the logical address. This is exactly what the
 /// paper's COLLECT tool dumped for PMMS to replay (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Microinstruction step index at which the access occurred.
     pub step: u64,
@@ -88,7 +87,25 @@ impl MemBus {
 
     /// Enables trace recording (COLLECT mode).
     pub fn enable_trace(&mut self) {
-        self.trace = Some(Vec::new());
+        self.set_trace_enabled(true);
+    }
+
+    /// Enables or disables trace recording. Disabling drops any
+    /// recorded entries and returns the bus to the zero-cost path: a
+    /// non-tracing bus pays only one branch per access.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.trace.is_none() {
+                self.trace = Some(Vec::new());
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Whether trace recording is currently enabled.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Takes the recorded trace, leaving recording enabled.

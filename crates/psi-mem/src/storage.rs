@@ -135,11 +135,16 @@ mod tests {
         let mut m = Memory::new();
         m.write(addr(Area::LocalStack, 0), Word::int(1)).unwrap();
         m.write(addr(Area::GlobalStack, 0), Word::int(2)).unwrap();
-        let other =
-            Address::new(ProcessId::new(1), Area::LocalStack, 0);
+        let other = Address::new(ProcessId::new(1), Area::LocalStack, 0);
         assert!(m.read(other).is_err(), "processes are independent too");
-        assert_eq!(m.read(addr(Area::LocalStack, 0)).unwrap().int_value(), Some(1));
-        assert_eq!(m.read(addr(Area::GlobalStack, 0)).unwrap().int_value(), Some(2));
+        assert_eq!(
+            m.read(addr(Area::LocalStack, 0)).unwrap().int_value(),
+            Some(1)
+        );
+        assert_eq!(
+            m.read(addr(Area::GlobalStack, 0)).unwrap().int_value(),
+            Some(2)
+        );
     }
 
     #[test]
@@ -148,7 +153,10 @@ mod tests {
         assert!(m.write(addr(Area::TrailStack, 15), Word::nil()).is_ok());
         assert!(matches!(
             m.write(addr(Area::TrailStack, 16), Word::nil()),
-            Err(PsiError::StackOverflow { area: "trail", limit: 16 })
+            Err(PsiError::StackOverflow {
+                area: "trail",
+                limit: 16
+            })
         ));
     }
 
@@ -156,11 +164,15 @@ mod tests {
     fn truncate_pops() {
         let mut m = Memory::new();
         for i in 0..8 {
-            m.write(addr(Area::ControlStack, i), Word::int(i as i32)).unwrap();
+            m.write(addr(Area::ControlStack, i), Word::int(i as i32))
+                .unwrap();
         }
         m.truncate(ProcessId::ZERO, Area::ControlStack, 3);
         assert_eq!(m.extent(ProcessId::ZERO, Area::ControlStack), 3);
         assert!(m.read(addr(Area::ControlStack, 3)).is_err());
-        assert_eq!(m.read(addr(Area::ControlStack, 2)).unwrap().int_value(), Some(2));
+        assert_eq!(
+            m.read(addr(Area::ControlStack, 2)).unwrap().int_value(),
+            Some(2)
+        );
     }
 }

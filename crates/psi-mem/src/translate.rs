@@ -86,6 +86,9 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(t.translate(a), first);
         }
-        assert_eq!(t.footprint_words(), PAGE_WORDS as u64 * t.mapped_pages() as u64);
+        assert_eq!(
+            t.footprint_words(),
+            PAGE_WORDS as u64 * t.mapped_pages() as u64
+        );
     }
 }

@@ -26,19 +26,17 @@ pub fn wf_mode_table(stats: &WfStats, steps: u64) -> Vec<WfModeRow> {
     WfMode::ALL
         .iter()
         .map(|&mode| {
-            let fields = [WfField::Source1, WfField::Source2, WfField::Destination]
-                .map(|field| {
-                    // Source 2 only reaches the dual-port area; other
-                    // impossible combinations simply never occur.
-                    let available = !(field == WfField::Source2 && mode != WfMode::Direct00);
-                    if !available {
-                        return None;
-                    }
-                    let share = stats.mode_share_pct(field, mode);
-                    let rate = stats.count(field, mode) as f64 * 100.0
-                        / steps.max(1) as f64;
-                    Some((share, rate))
-                });
+            let fields = [WfField::Source1, WfField::Source2, WfField::Destination].map(|field| {
+                // Source 2 only reaches the dual-port area; other
+                // impossible combinations simply never occur.
+                let available = !(field == WfField::Source2 && mode != WfMode::Direct00);
+                if !available {
+                    return None;
+                }
+                let share = stats.mode_share_pct(field, mode);
+                let rate = stats.count(field, mode) as f64 * 100.0 / steps.max(1) as f64;
+                Some((share, rate))
+            });
             WfModeRow { mode, fields }
         })
         .collect()

@@ -15,7 +15,12 @@ use psi_mem::TraceEntry;
 /// Replays a trace through a cache configuration, advancing the cache
 /// clock by the actual inter-access step gaps, and returns the final
 /// statistics plus the total simulated time in nanoseconds.
-pub fn replay(trace: &[TraceEntry], config: CacheConfig, cycle_ns: u64, total_steps: u64) -> (CacheStats, u64) {
+pub fn replay(
+    trace: &[TraceEntry],
+    config: CacheConfig,
+    cycle_ns: u64,
+    total_steps: u64,
+) -> (CacheStats, u64) {
     let mut cache = Cache::new(config);
     let mut stall = 0u64;
     let mut prev_step = 0u64;
@@ -26,7 +31,7 @@ pub fn replay(trace: &[TraceEntry], config: CacheConfig, cycle_ns: u64, total_st
         stall += cache.access(e.command, e.address).stall_ns;
     }
     let time = total_steps * cycle_ns + stall;
-    (cache.stats().clone(), time)
+    (*cache.stats(), time)
 }
 
 /// The paper's Figure 1 metric:
@@ -47,29 +52,64 @@ pub fn improvement_ratio_pct(
 /// Figure 1: improvement ratio at each capacity (8 W – 8 KW by powers
 /// of two, "other specifications are same with the cache memory of
 /// the PSI").
-pub fn capacity_sweep(
+pub fn capacity_sweep(trace: &[TraceEntry], cycle_ns: u64, total_steps: u64) -> Vec<(u32, f64)> {
+    capacity_sweep_parallel(trace, cycle_ns, total_steps, 1)
+}
+
+/// [`capacity_sweep`] with each capacity replayed on its own scoped
+/// worker thread (up to `threads` at once; 1 = serial). Every replay
+/// drives an independent [`Cache`], so the result is identical to the
+/// serial sweep, just wall-clock faster.
+pub fn capacity_sweep_parallel(
     trace: &[TraceEntry],
     cycle_ns: u64,
     total_steps: u64,
+    threads: usize,
 ) -> Vec<(u32, f64)> {
-    let mut out = Vec::new();
-    let mut cap = 8u32;
-    while cap <= 8192 {
+    let caps: Vec<u32> = (0..11).map(|i| 8u32 << i).collect(); // 8 .. 8192
+    let ratio = |cap: u32| {
         let config = CacheConfig::psi_with_capacity(cap);
-        out.push((cap, improvement_ratio_pct(trace, config, cycle_ns, total_steps)));
-        cap *= 2;
+        (
+            cap,
+            improvement_ratio_pct(trace, config, cycle_ns, total_steps),
+        )
+    };
+    let threads = threads.clamp(1, caps.len());
+    if threads <= 1 {
+        return caps.into_iter().map(ratio).collect();
     }
-    out
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(u32, f64)>> = vec![None; caps.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&cap) = caps.get(i) else { return done };
+                        done.push((i, ratio(cap)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every capacity replayed"))
+        .collect()
 }
 
 /// §4.2 associativity study: improvement ratios with two 4K-word sets
 /// (2-way, 8 KW) versus one 4K-word set (direct-mapped, 4 KW). The
 /// paper found the single set "only 3% lower".
-pub fn associativity_study(
-    trace: &[TraceEntry],
-    cycle_ns: u64,
-    total_steps: u64,
-) -> (f64, f64) {
+pub fn associativity_study(trace: &[TraceEntry], cycle_ns: u64, total_steps: u64) -> (f64, f64) {
     let two = improvement_ratio_pct(trace, CacheConfig::psi_two_set_8k(), cycle_ns, total_steps);
     let one = improvement_ratio_pct(
         trace,
@@ -82,14 +122,14 @@ pub fn associativity_study(
 
 /// §4.2 write-policy study: improvement ratios under store-in versus
 /// store-through. The paper found store-in "8% higher".
-pub fn policy_study(
-    trace: &[TraceEntry],
-    cycle_ns: u64,
-    total_steps: u64,
-) -> (f64, f64) {
+pub fn policy_study(trace: &[TraceEntry], cycle_ns: u64, total_steps: u64) -> (f64, f64) {
     let store_in = improvement_ratio_pct(trace, CacheConfig::psi(), cycle_ns, total_steps);
-    let store_through =
-        improvement_ratio_pct(trace, CacheConfig::psi_store_through(), cycle_ns, total_steps);
+    let store_through = improvement_ratio_pct(
+        trace,
+        CacheConfig::psi_store_through(),
+        cycle_ns,
+        total_steps,
+    );
     (store_in, store_through)
 }
 
@@ -113,7 +153,11 @@ mod tests {
                 address: Address::new(
                     ProcessId::ZERO,
                     Area::Heap,
-                    if i % 17 == 0 { (i * 97 % 4096) as u32 } else { (i % 64) as u32 },
+                    if i % 17 == 0 {
+                        (i * 97 % 4096) as u32
+                    } else {
+                        (i % 64) as u32
+                    },
                 ),
             })
             .collect()
@@ -134,7 +178,10 @@ mod tests {
         assert_eq!(sweep.len(), 11); // 8 .. 8192
         let first = sweep.first().unwrap().1;
         let last = sweep.last().unwrap().1;
-        assert!(last >= first, "bigger cache must not hurt: {first} vs {last}");
+        assert!(
+            last >= first,
+            "bigger cache must not hurt: {first} vs {last}"
+        );
         assert!(last > 0.0, "a cache must help this trace");
         // Monotone non-decreasing within noise for this regular trace.
         for w in sweep.windows(2) {

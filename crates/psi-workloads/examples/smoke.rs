@@ -3,21 +3,41 @@ use psi_workloads::{runner, suite};
 use std::time::Instant;
 
 fn main() {
-    println!("{:<18} {:>12} {:>10} {:>10} {:>8} {:>8} {:>8}  wall", "name", "steps", "psi_ms", "dec_ms", "ratio", "paper", "acc%");
+    println!(
+        "{:<18} {:>12} {:>10} {:>10} {:>8} {:>8} {:>8}  wall",
+        "name", "steps", "psi_ms", "dec_ms", "ratio", "paper", "acc%"
+    );
     for e in suite::table1_suite() {
         let t0 = Instant::now();
         let psi = match runner::run_on_psi(&e.workload, MachineConfig::psi()) {
-            Ok(r) => r, Err(err) => { println!("{:<18} PSI ERR {err}", e.workload.name); continue }
+            Ok(r) => r,
+            Err(err) => {
+                println!("{:<18} PSI ERR {err}", e.workload.name);
+                continue;
+            }
         };
         let dec = match runner::run_on_dec(&e.workload) {
-            Ok(r) => r, Err(err) => { println!("{:<18} DEC ERR {err}", e.workload.name); continue }
+            Ok(r) => r,
+            Err(err) => {
+                println!("{:<18} DEC ERR {err}", e.workload.name);
+                continue;
+            }
         };
         let agree = psi.solutions == dec.solutions;
         let psi_ms = psi.stats.time_ms();
         let dec_ms = dec.time_ns as f64 / 1e6;
-        println!("{:<18} {:>12} {:>10.2} {:>10.2} {:>8.2} {:>8.2} {:>8.1}  {:?} agree={}",
-            e.workload.name, psi.stats.steps, psi_ms, dec_ms, dec_ms/psi_ms, e.paper_ratio(),
-            psi.stats.memory_access_rate_pct(), t0.elapsed(), agree);
+        println!(
+            "{:<18} {:>12} {:>10.2} {:>10.2} {:>8.2} {:>8.2} {:>8.1}  {:?} agree={}",
+            e.workload.name,
+            psi.stats.steps,
+            psi_ms,
+            dec_ms,
+            dec_ms / psi_ms,
+            e.paper_ratio(),
+            psi.stats.memory_access_rate_pct(),
+            t0.elapsed(),
+            agree
+        );
     }
     println!("--- hardware suite (PSI only) ---");
     for w in suite::hardware_suite() {
@@ -25,9 +45,15 @@ fn main() {
         match runner::run_on_psi(&w, MachineConfig::psi()) {
             Ok(r) => {
                 let s = &r.stats;
-                println!("{:<14} steps={:<10} hit={:.1}% access={:.1}% builtin_share={:.1}% {:?}",
-                    w.name, s.steps, s.cache.hit_ratio_pct().unwrap_or(0.0),
-                    s.memory_access_rate_pct(), s.builtin_call_share_pct(), t0.elapsed());
+                println!(
+                    "{:<14} steps={:<10} hit={:.1}% access={:.1}% builtin_share={:.1}% {:?}",
+                    w.name,
+                    s.steps,
+                    s.cache.hit_ratio_pct().unwrap_or(0.0),
+                    s.memory_access_rate_pct(),
+                    s.builtin_call_share_pct(),
+                    t0.elapsed()
+                );
             }
             Err(err) => println!("{:<14} ERR {err}", w.name),
         }

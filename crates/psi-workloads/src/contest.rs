@@ -169,13 +169,21 @@ safe(Q, D, [P|Ps]) :-
 
 /// (7) `8 queens (1)` — first solution.
 pub fn queens_first(n: i32) -> Workload {
-    Workload::new("8 queens (1)", QUEENS.to_owned(), format!("queens({n}, Qs)"))
+    Workload::new(
+        "8 queens (1)",
+        QUEENS.to_owned(),
+        format!("queens({n}, Qs)"),
+    )
 }
 
 /// (8) `8 queens (all)` — all solutions (92 for n = 8).
 pub fn queens_all(n: i32) -> Workload {
-    Workload::new("8 queens (all)", QUEENS.to_owned(), format!("queens({n}, Qs)"))
-        .exhaustive()
+    Workload::new(
+        "8 queens (all)",
+        QUEENS.to_owned(),
+        format!("queens({n}, Qs)"),
+    )
+    .exhaustive()
 }
 
 /// (9) `reverse function` — accumulator ("function-style") reverse,

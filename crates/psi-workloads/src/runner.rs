@@ -69,6 +69,88 @@ pub fn run_on_psi_machine(w: &Workload, config: MachineConfig) -> Result<(PsiRun
     Ok((run, machine))
 }
 
+/// Default worker count for [`run_suite_parallel`]: the machine's
+/// available parallelism, or 1 if it cannot be determined.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of scoped worker threads and
+/// returns the results **in input order** — the output is
+/// deterministic regardless of scheduling. Work is handed out through
+/// a shared atomic cursor, so long items do not serialize behind short
+/// ones.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let n = items.len();
+    let threads = threads.clamp(1, n.max(1));
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, (slot, item)) in slots.iter_mut().zip(items).enumerate() {
+            *slot = Some(f(i, item));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut done = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return done;
+                            }
+                            done.push((i, f(i, &items[i])));
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, value) in handle.join().expect("suite worker panicked") {
+                    slots[i] = Some(value);
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed"))
+        .collect()
+}
+
+/// Runs a whole suite on the PSI simulator in parallel, one fresh
+/// [`Machine`] per workload, with [`default_parallelism`] workers.
+///
+/// Results come back ordered by workload index and are bit-identical
+/// to running each workload serially through [`run_on_psi`]: every
+/// workload gets its own machine, so no simulator state is shared
+/// between threads and the event counts feeding Tables 2–7 are
+/// unaffected by the parallelism.
+pub fn run_suite_parallel(workloads: &[Workload], config: &MachineConfig) -> Vec<Result<PsiRun>> {
+    run_suite_parallel_with(workloads, config, default_parallelism())
+}
+
+/// [`run_suite_parallel`] with an explicit worker count (1 = serial).
+pub fn run_suite_parallel_with(
+    workloads: &[Workload],
+    config: &MachineConfig,
+    threads: usize,
+) -> Vec<Result<PsiRun>> {
+    par_map(workloads, threads, |_, w| run_on_psi(w, config.clone()))
+}
+
 /// Runs a workload on the DEC-10 baseline.
 ///
 /// # Errors

@@ -191,8 +191,7 @@ mod tests {
 
     #[test]
     fn hardware_suite_matches_table_rows() {
-        let names: Vec<String> =
-            hardware_suite().iter().map(|w| w.name.clone()).collect();
+        let names: Vec<String> = hardware_suite().iter().map(|w| w.name.clone()).collect();
         assert_eq!(
             names,
             vec![

@@ -25,7 +25,10 @@ fn main() -> Result<(), psi_core::PsiError> {
 
     println!("\nFigure 1 — improvement ratio vs capacity:");
     for (cap, ratio) in pmms::capacity_sweep(&trace, 200, steps) {
-        println!("  {cap:>5} words: {ratio:>6.1}%  {}", "#".repeat((ratio / 2.0).max(0.0) as usize));
+        println!(
+            "  {cap:>5} words: {ratio:>6.1}%  {}",
+            "#".repeat((ratio / 2.0).max(0.0) as usize)
+        );
     }
 
     let (two, one) = pmms::associativity_study(&trace, 200, steps);

@@ -17,10 +17,19 @@ fn main() -> Result<(), psi_core::PsiError> {
 
     let psi_ms = psi.stats.time_ms();
     let dec_ms = dec.time_ns as f64 / 1e6;
-    println!("\nPSI : {:>8.2} ms  ({} microsteps, {:.1} KLIPS)",
-        psi_ms, psi.stats.steps, psi.stats.lips() / 1e3);
-    println!("DEC : {:>8.2} ms  ({} WAM instructions, {} choice points)",
-        dec_ms, dec.stats.instructions, dec.stats.choice_points);
-    println!("DEC/PSI ratio: {:.2}  (paper Table 1 row 7: 1.01)", dec_ms / psi_ms);
+    println!(
+        "\nPSI : {:>8.2} ms  ({} microsteps, {:.1} KLIPS)",
+        psi_ms,
+        psi.stats.steps,
+        psi.stats.lips() / 1e3
+    );
+    println!(
+        "DEC : {:>8.2} ms  ({} WAM instructions, {} choice points)",
+        dec_ms, dec.stats.instructions, dec.stats.choice_points
+    );
+    println!(
+        "DEC/PSI ratio: {:.2}  (paper Table 1 row 7: 1.01)",
+        dec_ms / psi_ms
+    );
     Ok(())
 }

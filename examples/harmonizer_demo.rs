@@ -18,9 +18,14 @@ fn main() -> Result<(), psi_core::PsiError> {
     let s = &run.stats;
     let m = s.modules.percentages();
     println!("\nwhy the paper groups HARMONIZER with the unify-heavy programs:");
-    println!("  unify module share : {:.1}% of steps (paper Table 2: 46.4%)", m[1]);
+    println!(
+        "  unify module share : {:.1}% of steps (paper Table 2: 46.4%)",
+        m[1]
+    );
     println!("  trail module share : {:.1}% of steps", m[2]);
-    println!("  cache hit ratio    : {:.1}%  (paper Table 5: 98.4%)",
-        s.cache.hit_ratio_pct().unwrap_or(0.0));
+    println!(
+        "  cache hit ratio    : {:.1}%  (paper Table 5: 98.4%)",
+        s.cache.hit_ratio_pct().unwrap_or(0.0)
+    );
     Ok(())
 }

@@ -29,9 +29,18 @@ fn main() -> Result<(), psi_core::PsiError> {
     println!("\nmachine measurements (the paper's raw material):");
     println!("  microsteps        : {}", stats.steps);
     println!("  simulated time    : {:.3} ms", stats.time_ms());
-    println!("  speed             : {:.1} KLIPS (paper target: 30)", stats.lips() / 1e3);
-    println!("  cache hit ratio   : {:.1} %", stats.cache.hit_ratio_pct().unwrap_or(0.0));
-    println!("  memory access rate: {:.1} % of steps", stats.memory_access_rate_pct());
+    println!(
+        "  speed             : {:.1} KLIPS (paper target: 30)",
+        stats.lips() / 1e3
+    );
+    println!(
+        "  cache hit ratio   : {:.1} %",
+        stats.cache.hit_ratio_pct().unwrap_or(0.0)
+    );
+    println!(
+        "  memory access rate: {:.1} % of steps",
+        stats.memory_access_rate_pct()
+    );
     let m = stats.modules.percentages();
     println!(
         "  module mix        : control {:.0}% / unify {:.0}% / built {:.0}%",

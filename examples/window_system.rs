@@ -8,7 +8,10 @@ use psi_machine::MachineConfig;
 use psi_workloads::{runner, window};
 
 fn main() -> Result<(), psi_core::PsiError> {
-    println!("{:<10} {:>10} {:>12} {:>14}", "variant", "steps", "hit ratio", "builtin calls");
+    println!(
+        "{:<10} {:>10} {:>12} {:>14}",
+        "variant", "steps", "hit ratio", "builtin calls"
+    );
     for level in 1..=3 {
         let w = window::window(level);
         let run = runner::run_on_psi(&w, MachineConfig::psi())?;

@@ -9,8 +9,7 @@ use psi::psi_workloads::{contest, harmonizer, parsers, puzzle, runner, suite};
 fn assert_engines_agree(w: &psi::psi_workloads::Workload) {
     let psi_run = runner::run_on_psi(w, MachineConfig::psi())
         .unwrap_or_else(|e| panic!("{} on PSI: {e}", w.name));
-    let dec_run =
-        runner::run_on_dec(w).unwrap_or_else(|e| panic!("{} on DEC: {e}", w.name));
+    let dec_run = runner::run_on_dec(w).unwrap_or_else(|e| panic!("{} on DEC: {e}", w.name));
     assert_eq!(
         psi_run.solutions, dec_run.solutions,
         "{}: engines disagree",
@@ -111,7 +110,10 @@ fn paper_qualitative_claims_hold() {
     let psi = runner::run_on_psi(&harm, MachineConfig::psi()).unwrap();
     let dec = runner::run_on_dec(&harm).unwrap();
     let harm_ratio = (dec.time_ns as f64) / (psi.stats.time_ns as f64);
-    assert!(harm_ratio > 1.0, "PSI must win harmonizer ({harm_ratio:.2})");
+    assert!(
+        harm_ratio > 1.0,
+        "PSI must win harmonizer ({harm_ratio:.2})"
+    );
 
     let lcp = parsers::lcp(2);
     let psi = runner::run_on_psi(&lcp, MachineConfig::psi()).unwrap();

@@ -1,15 +1,52 @@
-//! Property-based tests (proptest) over the core invariants: both
-//! engines agree on randomized programs, sorting/reversing match Rust
-//! reference implementations, the cache model obeys its invariants
-//! against a naive reference simulator, and machine state is restored
-//! across backtracking.
+//! Property-based tests over the core invariants: both engines agree
+//! on randomized programs, sorting/reversing match Rust reference
+//! implementations, the cache model obeys its invariants against a
+//! naive reference simulator, and machine state is restored across
+//! backtracking.
+//!
+//! The cases are driven by a small deterministic xorshift PRNG instead
+//! of an external property-testing crate so the suite builds offline;
+//! every failure message includes the case seed for replay.
 
-use proptest::prelude::*;
 use psi::dec10::{DecConfig, DecMachine};
 use psi::kl0::Program;
 use psi::psi_cache::{Cache, CacheCommand, CacheConfig};
 use psi::psi_core::{Address, Area, ProcessId};
 use psi::psi_machine::{Machine, MachineConfig};
+
+/// xorshift64* — tiny, deterministic, good enough for test-case
+/// generation.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform value in `lo..hi`.
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i32
+    }
+
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn vec_i32(&mut self, len_lo: usize, len_hi: usize, lo: i32, hi: i32) -> Vec<i32> {
+        let n = self.range_usize(len_lo, len_hi);
+        (0..n).map(|_| self.range_i32(lo, hi)).collect()
+    }
+}
 
 fn int_list(xs: &[i32]) -> String {
     let parts: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
@@ -30,92 +67,174 @@ nrev([], []).
 nrev([H|T], R) :- nrev(T, RT), app(RT, [H], R).
 ";
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Quicksort on the PSI equals Rust's sort; both engines agree.
-    #[test]
-    fn sorting_matches_reference(xs in prop::collection::vec(-50i32..50, 0..14)) {
-        let program = Program::parse(SORT_SRC).unwrap();
+/// Quicksort on the PSI equals Rust's sort; both engines agree.
+#[test]
+fn sorting_matches_reference() {
+    let program = Program::parse(SORT_SRC).unwrap();
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed);
+        let xs = rng.vec_i32(0, 14, -50, 50);
         let goal = format!("qsort({}, S)", int_list(&xs));
 
         let mut psi = Machine::load(&program, MachineConfig::psi()).unwrap();
         let psi_sols = psi.solve(&goal, 1).unwrap();
 
         let mut expected = xs.clone();
-        expected.sort();
+        expected.sort_unstable();
         // Prolog qsort keeps duplicates; compare rendered lists.
-        prop_assert_eq!(
+        assert_eq!(
             psi_sols[0].to_string(),
-            format!("S = {}", int_list(&expected))
+            format!("S = {}", int_list(&expected)),
+            "seed {seed}"
         );
 
         let mut dec = DecMachine::load(&program, DecConfig::dec2060()).unwrap();
         let dec_sols = dec.solve(&goal, 1).unwrap();
-        prop_assert_eq!(psi_sols[0].to_string(), dec_sols[0].to_string());
+        assert_eq!(
+            psi_sols[0].to_string(),
+            dec_sols[0].to_string(),
+            "seed {seed}"
+        );
     }
+}
 
-    /// nreverse is an involution and matches Rust's reverse.
-    #[test]
-    fn nreverse_matches_reference(xs in prop::collection::vec(-9i32..9, 0..12)) {
-        let program = Program::parse(SORT_SRC).unwrap();
+/// nreverse is an involution and matches Rust's reverse.
+#[test]
+fn nreverse_matches_reference() {
+    let program = Program::parse(SORT_SRC).unwrap();
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed ^ 0xdead);
+        let xs = rng.vec_i32(0, 12, -9, 9);
         let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
         let sols = m.solve(&format!("nrev({}, R)", int_list(&xs)), 1).unwrap();
         let mut expected = xs.clone();
         expected.reverse();
-        prop_assert_eq!(sols[0].to_string(), format!("R = {}", int_list(&expected)));
+        assert_eq!(
+            sols[0].to_string(),
+            format!("R = {}", int_list(&expected)),
+            "seed {seed}"
+        );
     }
+}
 
-    /// append splits enumerate exactly n+1 ways and re-concatenate.
-    #[test]
-    fn append_enumeration_is_complete(xs in prop::collection::vec(0i32..9, 0..8)) {
-        let program = Program::parse(SORT_SRC).unwrap();
+/// append splits enumerate exactly n+1 ways and re-concatenate.
+#[test]
+fn append_enumeration_is_complete() {
+    let program = Program::parse(SORT_SRC).unwrap();
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed ^ 0xbeef);
+        let xs = rng.vec_i32(0, 8, 0, 9);
         let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
-        let sols = m.solve(&format!("app(X, Y, {})", int_list(&xs)), 50).unwrap();
-        prop_assert_eq!(sols.len(), xs.len() + 1);
+        let sols = m
+            .solve(&format!("app(X, Y, {})", int_list(&xs)), 50)
+            .unwrap();
+        assert_eq!(sols.len(), xs.len() + 1, "seed {seed}");
     }
+}
 
-    /// member/2 finds exactly the distinct positions, in order.
-    #[test]
-    fn member_enumerates_in_order(xs in prop::collection::vec(0i32..5, 1..10)) {
-        let src = "
+/// member/2 finds exactly the distinct positions, in order.
+#[test]
+fn member_enumerates_in_order() {
+    let src = "
 member(X, [X|_]).
 member(X, [_|T]) :- member(X, T).
 ";
-        let program = Program::parse(src).unwrap();
+    let program = Program::parse(src).unwrap();
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed ^ 0xfeed);
+        let xs = rng.vec_i32(1, 10, 0, 5);
         let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
-        let sols = m.solve(&format!("member(M, {})", int_list(&xs)), 100).unwrap();
-        prop_assert_eq!(sols.len(), xs.len());
+        let sols = m
+            .solve(&format!("member(M, {})", int_list(&xs)), 100)
+            .unwrap();
+        assert_eq!(sols.len(), xs.len(), "seed {seed}");
         for (s, x) in sols.iter().zip(&xs) {
-            prop_assert_eq!(s.to_string(), format!("M = {x}"));
+            assert_eq!(s.to_string(), format!("M = {x}"), "seed {seed}");
         }
     }
+}
 
-    /// Arithmetic on the PSI matches Rust arithmetic.
-    #[test]
-    fn arithmetic_matches_rust(a in -500i32..500, b in -500i32..500, c in 1i32..50) {
-        let program = Program::parse("").unwrap();
+/// Arithmetic on the PSI matches Rust arithmetic.
+#[test]
+fn arithmetic_matches_rust() {
+    let program = Program::parse("").unwrap();
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed ^ 0xa51);
+        let a = rng.range_i32(-500, 500);
+        let b = rng.range_i32(-500, 500);
+        let c = rng.range_i32(1, 50);
         let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
         let goal = format!("X is ({a} + {b}) * 2 - {a} // {c}");
         let sols = m.solve(&goal, 1).unwrap();
         let expected = (a.wrapping_add(b)).wrapping_mul(2).wrapping_sub(a / c);
-        prop_assert_eq!(sols[0].to_string(), format!("X = {expected}"));
+        assert_eq!(
+            sols[0].to_string(),
+            format!("X = {expected}"),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Backtracking restores bindings: after exhausting a two-way
-    /// choice, a later alternative sees unbound variables again.
-    #[test]
-    fn trail_restoration(v in 0i32..100) {
-        let src = format!("
+/// Backtracking restores bindings: after exhausting a two-way choice,
+/// a later alternative sees unbound variables again.
+#[test]
+fn trail_restoration() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::new(seed ^ 0x7a11);
+        let v = rng.range_i32(0, 100);
+        let src = format!(
+            "
 p(X) :- q(X), X > {v}.
 q({v}).
 q(V) :- V is {v} + 1.
-");
+"
+        );
         let program = Program::parse(&src).unwrap();
         let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
         let sols = m.solve("p(X)", 5).unwrap();
-        prop_assert_eq!(sols.len(), 1);
-        prop_assert_eq!(sols[0].to_string(), format!("X = {}", v + 1));
+        assert_eq!(sols.len(), 1, "seed {seed}");
+        assert_eq!(sols[0].to_string(), format!("X = {}", v + 1), "seed {seed}");
+    }
+}
+
+/// Backtrack-heavy exhaustive enumeration fully restores machine
+/// state: re-running the same goal on the same machine yields
+/// byte-identical solutions and an identical incremental step count.
+/// This is the regression guard for the copy-on-backtrack argument
+/// arena in the execution engine: a stale arena entry, a leaked
+/// activation, or an unrestored stack top would make the second pass
+/// diverge.
+#[test]
+fn backtracking_restores_machine_state() {
+    let program = Program::parse(SORT_SRC).unwrap();
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(seed ^ 0xac3a);
+        let xs = rng.vec_i32(1, 9, 0, 9);
+        let goal = format!("app(X, Y, {})", int_list(&xs));
+        let mut m = Machine::load(&program, MachineConfig::psi()).unwrap();
+
+        let first: Vec<String> = m
+            .solve(&goal, 64)
+            .unwrap()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let steps_first = m.stats().steps;
+
+        m.reset_measurement();
+        let second: Vec<String> = m
+            .solve(&goal, 64)
+            .unwrap()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let steps_second = m.stats().steps;
+
+        assert_eq!(first, second, "seed {seed}: solutions diverged on re-run");
+        assert_eq!(
+            steps_first, steps_second,
+            "seed {seed}: step counts diverged on re-run (state not restored)"
+        );
     }
 }
 
@@ -167,37 +286,43 @@ impl ReferenceCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Our cache's hit/miss decisions match the reference model for
-    /// arbitrary access patterns (reads and write-stacks both allocate,
-    /// so the reference treats them identically).
-    #[test]
-    fn cache_matches_reference_model(
-        offsets in prop::collection::vec(0u32..512, 1..300),
-        cap_exp in 3u32..10,
-    ) {
+/// Our cache's hit/miss decisions match the reference model for
+/// arbitrary access patterns (reads and write-stacks both allocate,
+/// so the reference treats them identically).
+#[test]
+fn cache_matches_reference_model() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed ^ 0xcac4e);
+        let cap_exp = 3 + (rng.next_u64() % 7) as u32;
+        let n = rng.range_usize(1, 300);
+        let offsets: Vec<u32> = (0..n).map(|_| (rng.next_u64() % 512) as u32).collect();
         let config = CacheConfig::psi_with_capacity(1 << cap_exp);
         let mut ours = Cache::new(config);
         let mut reference = ReferenceCache::new(&config);
         for (i, off) in offsets.iter().enumerate() {
             let addr = Address::new(ProcessId::ZERO, Area::Heap, *off);
-            let cmd = if i % 4 == 3 { CacheCommand::WriteStack } else { CacheCommand::Read };
+            let cmd = if i % 4 == 3 {
+                CacheCommand::WriteStack
+            } else {
+                CacheCommand::Read
+            };
             let out = ours.access(cmd, addr);
             let expected = reference.access(addr);
-            prop_assert_eq!(out.hit, expected, "access {} at {}", i, addr);
+            assert_eq!(out.hit, expected, "seed {seed}: access {i} at {addr}");
         }
         let t = ours.stats().total();
-        prop_assert_eq!(t.accesses(), offsets.len() as u64);
+        assert_eq!(t.accesses(), offsets.len() as u64, "seed {seed}");
     }
+}
 
-    /// Store-in never performs worse than store-through on total
-    /// stall time (the §4.2 claim, universally).
-    #[test]
-    fn store_in_dominates_store_through(
-        offsets in prop::collection::vec(0u32..256, 1..200),
-    ) {
+/// Store-in never performs worse than store-through on total stall
+/// time (the §4.2 claim, universally).
+#[test]
+fn store_in_dominates_store_through() {
+    for seed in 0..32u64 {
+        let mut rng = Rng::new(seed ^ 0x570e);
+        let n = rng.range_usize(1, 200);
+        let offsets: Vec<u32> = (0..n).map(|_| (rng.next_u64() % 256) as u32).collect();
         let mk = |policy_through: bool| {
             let config = if policy_through {
                 CacheConfig::psi_store_through()
@@ -208,12 +333,16 @@ proptest! {
             let mut stall = 0;
             for (i, off) in offsets.iter().enumerate() {
                 let addr = Address::new(ProcessId::ZERO, Area::LocalStack, *off);
-                let cmd = if i % 2 == 0 { CacheCommand::WriteStack } else { CacheCommand::Read };
+                let cmd = if i % 2 == 0 {
+                    CacheCommand::WriteStack
+                } else {
+                    CacheCommand::Read
+                };
                 c.advance(200);
                 stall += c.access(cmd, addr).stall_ns;
             }
             stall
         };
-        prop_assert!(mk(false) <= mk(true));
+        assert!(mk(false) <= mk(true), "seed {seed}");
     }
 }
