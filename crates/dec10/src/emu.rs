@@ -295,8 +295,10 @@ impl DecMachine {
         }
         loop {
             if self.stats.instructions > self.config.instruction_budget {
-                return Err(PsiError::StepBudgetExceeded {
-                    budget: self.config.instruction_budget,
+                return Err(PsiError::ResourceExhausted {
+                    resource: psi_core::Resource::Steps,
+                    limit: self.config.instruction_budget,
+                    consumed: self.stats.instructions,
                 });
             }
             self.stats.instructions += 1;

@@ -202,7 +202,7 @@ fn instruction_budget() {
     let mut m = DecMachine::load(&program, config).unwrap();
     assert!(matches!(
         m.solve("loop", 1),
-        Err(PsiError::StepBudgetExceeded { .. })
+        Err(PsiError::ResourceExhausted { .. })
     ));
 }
 

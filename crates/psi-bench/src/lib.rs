@@ -5,38 +5,52 @@
 //! rows the paper reports, side by side with the paper's values
 //! (from [`psi_workloads::suite::paper`]). The binaries in `src/bin`
 //! print one report each; EXPERIMENTS.md archives their output.
+//!
+//! The regenerators are fault-isolated: suites run through the
+//! governed runner ([`psi_workloads::runner::run_suite_governed`]),
+//! so a workload that fails, exhausts a budget, or panics degrades
+//! into an annotated row while every remaining row is still
+//! regenerated. On the default (unlimited) configuration every row
+//! is ok and the reports are byte-identical to a serial run.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use psi_machine::{InterpModule, MachineConfig, MachineStats};
 use psi_workloads::runner::{
-    default_parallelism, par_map, run_on_dec, run_on_psi, run_on_psi_machine, run_suite_parallel,
+    default_parallelism, par_map_catch, run_on_dec, run_on_psi, run_on_psi_machine,
+    run_suite_governed, SuiteOptions, SuiteReport,
 };
 use psi_workloads::suite::{self, paper};
 use psi_workloads::{parsers, window, Workload};
 use std::fmt::Write as _;
 
-fn run_psi(w: &Workload) -> MachineStats {
+/// Runs one workload on the PSI machine, containing failure to this
+/// row.
+fn try_run_psi(w: &Workload) -> Result<MachineStats, String> {
     run_on_psi(w, MachineConfig::psi())
-        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-        .stats
+        .map(|r| r.stats)
+        .map_err(|e| e.to_string())
 }
 
-/// Runs a suite through [`run_suite_parallel`] and unwraps each run,
-/// preserving workload order. Rendering afterwards stays serial, so
-/// report text is identical to a serial run.
-fn run_suite(workloads: &[Workload]) -> Vec<psi_workloads::runner::PsiRun> {
-    run_suite_parallel(workloads, &MachineConfig::psi())
-        .into_iter()
-        .zip(workloads)
-        .map(|(r, w)| r.unwrap_or_else(|e| panic!("{}: {e}", w.name)))
-        .collect()
+/// Runs a suite through the governed parallel runner. Rendering
+/// afterwards stays serial, so report text is identical to a serial
+/// run whenever every row is ok; failed rows degrade into annotated
+/// lines instead of aborting the report.
+fn run_suite(workloads: &[Workload]) -> SuiteReport {
+    run_suite_governed(workloads, &MachineConfig::psi(), &SuiteOptions::default())
+}
+
+/// Renders the standard annotation for a row whose workload did not
+/// complete.
+fn unavailable_row(out: &mut String, name: &str, width: usize, reason: &str) {
+    let _ = writeln!(out, "{name:<width$} (row unavailable: {reason})");
 }
 
 /// Table 1: execution time of the nineteen benchmark programs on both
 /// machines, with the paper's DEC/PSI ratios for comparison.
 pub fn table1_report() -> String {
+    use psi_workloads::runner::{DecRun, PsiRun};
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -49,32 +63,45 @@ pub fn table1_report() -> String {
     );
     // Both engines for all nineteen rows in parallel; the rows are
     // rendered in suite order afterwards, so the report text matches
-    // the serial version byte for byte.
+    // the serial version byte for byte. Panics and engine errors are
+    // contained per row.
     let entries = suite::table1_suite();
-    let runs = par_map(&entries, default_parallelism(), |_, e| {
-        let psi = run_on_psi(&e.workload, MachineConfig::psi())
-            .unwrap_or_else(|err| panic!("{}: {err}", e.workload.name));
-        let dec =
-            run_on_dec(&e.workload).unwrap_or_else(|err| panic!("{}: {err}", e.workload.name));
-        (psi, dec)
-    });
-    for (e, (psi, dec)) in entries.iter().zip(runs) {
-        assert_eq!(
-            psi.solutions, dec.solutions,
-            "{}: engines disagree",
-            e.workload.name
-        );
-        let psi_ms = psi.stats.time_ms();
-        let dec_ms = dec.time_ns as f64 / 1e6;
-        let _ = writeln!(
-            out,
-            "{:<20} {:>10.2} {:>10.2} {:>9.2} {:>11.2}",
-            format!("({}) {}", e.index, e.workload.name),
-            psi_ms,
-            dec_ms,
-            dec_ms / psi_ms,
-            e.paper_ratio()
-        );
+    let runs = par_map_catch(
+        &entries,
+        default_parallelism(),
+        |_, e| -> Result<(PsiRun, DecRun), String> {
+            let psi = run_on_psi(&e.workload, MachineConfig::psi())
+                .map_err(|err| format!("{}: {err}", e.workload.name))?;
+            let dec =
+                run_on_dec(&e.workload).map_err(|err| format!("{}: {err}", e.workload.name))?;
+            Ok((psi, dec))
+        },
+    );
+    for (e, slot) in entries.iter().zip(runs) {
+        let label = format!("({}) {}", e.index, e.workload.name);
+        let run = slot
+            .map_err(|panic_msg| format!("panicked: {panic_msg}"))
+            .and_then(|r| r);
+        match run {
+            Ok((psi, dec)) => {
+                if psi.solutions != dec.solutions {
+                    unavailable_row(&mut out, &label, 20, "engines disagree on solutions");
+                    continue;
+                }
+                let psi_ms = psi.stats.time_ms();
+                let dec_ms = dec.time_ns as f64 / 1e6;
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>10.2} {:>10.2} {:>9.2} {:>11.2}",
+                    label,
+                    psi_ms,
+                    dec_ms,
+                    dec_ms / psi_ms,
+                    e.paper_ratio()
+                );
+            }
+            Err(reason) => unavailable_row(&mut out, &label, 20, &reason),
+        }
     }
     out
 }
@@ -93,21 +120,26 @@ pub fn table2_report() -> String {
         "program", "control", "unify", "trail", "get_arg", "cut", "built"
     );
     let workloads = suite::table2_suite();
-    let runs = run_suite(&workloads);
-    for (i, (w, run)) in workloads.iter().zip(&runs).enumerate() {
-        let stats = &run.stats;
-        let pct = stats.modules.percentages();
-        let _ = writeln!(
-            out,
-            "{:<14} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
-            w.name,
-            pct[InterpModule::Control.index()],
-            pct[InterpModule::Unify.index()],
-            pct[InterpModule::Trail.index()],
-            pct[InterpModule::GetArg.index()],
-            pct[InterpModule::Cut.index()],
-            pct[InterpModule::Builtin.index()],
-        );
+    let report = run_suite(&workloads);
+    for (i, (w, row)) in workloads.iter().zip(&report.rows).enumerate() {
+        match row.run() {
+            Some(run) => {
+                let stats = &run.stats;
+                let pct = stats.modules.percentages();
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+                    w.name,
+                    pct[InterpModule::Control.index()],
+                    pct[InterpModule::Unify.index()],
+                    pct[InterpModule::Trail.index()],
+                    pct[InterpModule::GetArg.index()],
+                    pct[InterpModule::Cut.index()],
+                    pct[InterpModule::Builtin.index()],
+                );
+            }
+            None => unavailable_row(&mut out, &w.name, 14, &row.describe()),
+        }
         let (pname, prow) = paper::TABLE2[i];
         let _ = writeln!(
             out,
@@ -121,18 +153,20 @@ pub fn table2_report() -> String {
             prow[5],
         );
         // §3.2 built-in call shares for window and BUP.
-        if w.name.starts_with("window") || w.name.starts_with("BUP") {
-            let _ = writeln!(
-                out,
-                "{:<14} built-in call share: {:.1}% (paper: {}%)",
-                "",
-                stats.builtin_call_share_pct(),
-                if w.name.starts_with("window") {
-                    82.0
-                } else {
-                    65.0
-                }
-            );
+        if let Some(run) = row.run() {
+            if w.name.starts_with("window") || w.name.starts_with("BUP") {
+                let _ = writeln!(
+                    out,
+                    "{:<14} built-in call share: {:.1}% (paper: {}%)",
+                    "",
+                    run.stats.builtin_call_share_pct(),
+                    if w.name.starts_with("window") {
+                        82.0
+                    } else {
+                        65.0
+                    }
+                );
+            }
         }
     }
     out
@@ -140,16 +174,25 @@ pub fn table2_report() -> String {
 
 /// The seven Table 3–5 workloads, run once (in parallel) and shared by
 /// all three reports — the serial version recomputed the whole suite
-/// per table.
-fn hardware_stats() -> &'static [(String, MachineStats)] {
+/// per table. A row that fails is memoized as its failure reason so
+/// each table annotates it without rerunning.
+fn hardware_stats() -> &'static [(String, Result<MachineStats, String>)] {
     use std::sync::OnceLock;
-    static STATS: OnceLock<Vec<(String, MachineStats)>> = OnceLock::new();
+    static STATS: OnceLock<Vec<(String, Result<MachineStats, String>)>> = OnceLock::new();
     STATS.get_or_init(|| {
         let workloads = suite::hardware_suite();
-        run_suite(&workloads)
-            .into_iter()
+        let report = run_suite(&workloads);
+        report
+            .rows
+            .iter()
             .zip(&workloads)
-            .map(|(run, w)| (w.name.clone(), run.stats))
+            .map(|(row, w)| {
+                let stats = match row.run() {
+                    Some(run) => Ok(run.stats.clone()),
+                    None => Err(row.describe()),
+                };
+                (w.name.clone(), stats)
+            })
             .collect()
     })
 }
@@ -167,7 +210,14 @@ pub fn table3_report() -> String {
         "{:<14} {:>7} {:>12} {:>7} {:>12} {:>7}   (paper total)",
         "program", "read", "write-stack", "write", "write-total", "total"
     );
-    for (i, (name, s)) in hardware_stats().iter().enumerate() {
+    for (i, (name, stats)) in hardware_stats().iter().enumerate() {
+        let s = match stats {
+            Ok(s) => s,
+            Err(reason) => {
+                unavailable_row(&mut out, name, 14, reason);
+                continue;
+            }
+        };
         let steps = s.steps.max(1) as f64;
         let t = s.cache.total();
         let read = t.reads as f64 * 100.0 / steps;
@@ -185,14 +235,21 @@ pub fn table3_report() -> String {
             paper::TABLE3[i].1[4],
         );
     }
-    let (_, s) = &hardware_stats()[4]; // BUP (memoized, not a rerun)
-    let _ = writeln!(
-        out,
-        "\nread:write ratio (BUP) = {:.2} (paper: about 3:1); \
-         write-stack share of writes = {:.0}% (paper: 50-75%)",
-        s.cache.read_write_ratio().unwrap_or(0.0),
-        s.cache.write_stack_share_pct().unwrap_or(0.0),
-    );
+    match &hardware_stats()[4].1 {
+        // BUP (memoized, not a rerun)
+        Ok(s) => {
+            let _ = writeln!(
+                out,
+                "\nread:write ratio (BUP) = {:.2} (paper: about 3:1); \
+                 write-stack share of writes = {:.0}% (paper: 50-75%)",
+                s.cache.read_write_ratio().unwrap_or(0.0),
+                s.cache.write_stack_share_pct().unwrap_or(0.0),
+            );
+        }
+        Err(reason) => {
+            let _ = writeln!(out, "\n(BUP observations unavailable: {reason})");
+        }
+    }
     out
 }
 
@@ -205,19 +262,24 @@ pub fn table4_report() -> String {
         "{:<14} {:>7} {:>8} {:>7} {:>8} {:>7}",
         "program", "heap", "global", "local", "control", "trail"
     );
-    for (i, (name, s)) in hardware_stats().iter().enumerate() {
-        let shares = s.cache.area_shares_pct();
-        use psi_core::Area;
-        let _ = writeln!(
-            out,
-            "{:<14} {:>7.1} {:>8.1} {:>7.1} {:>8.1} {:>7.1}",
-            name,
-            shares[Area::Heap.index()],
-            shares[Area::GlobalStack.index()],
-            shares[Area::LocalStack.index()],
-            shares[Area::ControlStack.index()],
-            shares[Area::TrailStack.index()],
-        );
+    for (i, (name, stats)) in hardware_stats().iter().enumerate() {
+        match stats {
+            Ok(s) => {
+                let shares = s.cache.area_shares_pct();
+                use psi_core::Area;
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>7.1} {:>8.1} {:>7.1} {:>8.1} {:>7.1}",
+                    name,
+                    shares[Area::Heap.index()],
+                    shares[Area::GlobalStack.index()],
+                    shares[Area::LocalStack.index()],
+                    shares[Area::ControlStack.index()],
+                    shares[Area::TrailStack.index()],
+                );
+            }
+            Err(reason) => unavailable_row(&mut out, name, 14, reason),
+        }
         let p = paper::TABLE4[i].1;
         let _ = writeln!(
             out,
@@ -238,19 +300,24 @@ pub fn table5_report() -> String {
         "program", "heap", "global", "local", "control", "trail", "total"
     );
     use psi_core::Area;
-    for (i, (name, s)) in hardware_stats().iter().enumerate() {
-        let hit = |a: Area| s.cache.area(a).hit_ratio_pct().unwrap_or(100.0);
-        let _ = writeln!(
-            out,
-            "{:<14} {:>7.1} {:>8.1} {:>7.1} {:>8.1} {:>7.1} {:>7.1}",
-            name,
-            hit(Area::Heap),
-            hit(Area::GlobalStack),
-            hit(Area::LocalStack),
-            hit(Area::ControlStack),
-            hit(Area::TrailStack),
-            s.cache.hit_ratio_pct().unwrap_or(100.0),
-        );
+    for (i, (name, stats)) in hardware_stats().iter().enumerate() {
+        match stats {
+            Ok(s) => {
+                let hit = |a: Area| s.cache.area(a).hit_ratio_pct().unwrap_or(100.0);
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>7.1} {:>8.1} {:>7.1} {:>8.1} {:>7.1} {:>7.1}",
+                    name,
+                    hit(Area::Heap),
+                    hit(Area::GlobalStack),
+                    hit(Area::LocalStack),
+                    hit(Area::ControlStack),
+                    hit(Area::TrailStack),
+                    s.cache.hit_ratio_pct().unwrap_or(100.0),
+                );
+            }
+            Err(reason) => unavailable_row(&mut out, name, 14, reason),
+        }
         let p = paper::TABLE5[i].1;
         let _ = writeln!(
             out,
@@ -266,13 +333,19 @@ pub fn table5_report() -> String {
 pub fn table6_report() -> String {
     let mut out = String::new();
     let w = parsers::bup(2);
-    let stats = run_psi(&w);
-    let rows = psi_tools::map::wf_mode_table(&stats.wf, stats.steps);
-    let rates = psi_tools::map::wf_field_rates(&stats.wf, stats.steps);
     let _ = writeln!(
         out,
         "Table 6: Dynamic frequency of the Work File access modes (%), program BUP"
     );
+    let stats = match try_run_psi(&w) {
+        Ok(stats) => stats,
+        Err(reason) => {
+            unavailable_row(&mut out, &w.name, 12, &reason);
+            return out;
+        }
+    };
+    let rows = psi_tools::map::wf_mode_table(&stats.wf, stats.steps);
+    let rates = psi_tools::map::wf_field_rates(&stats.wf, stats.steps);
     let _ = writeln!(
         out,
         "{:<12} {:>16} {:>16} {:>16}",
@@ -323,7 +396,11 @@ pub fn table7_report() -> String {
         window::window(1),
         psi_workloads::puzzle::eight_puzzle(6),
     ];
-    let stats: Vec<MachineStats> = par_map(&workloads, default_parallelism(), |_, w| run_psi(w));
+    let stats: Vec<Result<MachineStats, String>> =
+        par_map_catch(&workloads, default_parallelism(), |_, w| try_run_psi(w))
+            .into_iter()
+            .map(|slot| slot.map_err(|p| format!("panicked: {p}")).and_then(|r| r))
+            .collect();
     let _ = writeln!(
         out,
         "Table 7: Dynamic frequency of branch operations in microprogram steps (%)"
@@ -333,32 +410,55 @@ pub fn table7_report() -> String {
         "{:<22} {:>7} {:>7} {:>9}   paper(BUP, window, 8puz)",
         "operation", "BUP", "window", "8 puzzle"
     );
+    for (w, s) in workloads.iter().zip(&stats) {
+        if let Err(reason) = s {
+            unavailable_row(&mut out, &w.name, 22, reason);
+        }
+    }
     let tables: Vec<_> = stats
         .iter()
-        .map(|s| psi_tools::map::branch_table(&s.branches))
+        .map(|s| {
+            s.as_ref()
+                .ok()
+                .map(|s| psi_tools::map::branch_table(&s.branches))
+        })
         .collect();
+    // A failed workload renders as "-" in its column; the other
+    // columns still regenerate.
+    let share = |t: &Option<Vec<psi_tools::map::BranchRow>>, i: usize, width: usize| match t {
+        Some(rows) => format!("{:>width$.1}", rows[i].share_pct),
+        None => format!("{:>width$}", "-"),
+    };
     for (i, row) in paper::TABLE7.iter().enumerate().take(16) {
         let p = row.1;
+        let label = tables
+            .iter()
+            .flatten()
+            .next()
+            .map(|rows| rows[i].op.label())
+            .unwrap_or(row.0);
         let _ = writeln!(
             out,
-            "{:<22} {:>7.1} {:>7.1} {:>9.1}   ({:.1}, {:.1}, {:.2})",
-            tables[0][i].op.label(),
-            tables[0][i].share_pct,
-            tables[1][i].share_pct,
-            tables[2][i].share_pct,
+            "{:<22} {} {} {}   ({:.1}, {:.1}, {:.2})",
+            label,
+            share(&tables[0], i, 7),
+            share(&tables[1], i, 7),
+            share(&tables[2], i, 9),
             p[0],
             p[1],
             p[2],
         );
     }
     for (w, s) in workloads.iter().zip(&stats) {
-        let _ = writeln!(
-            out,
-            "{:<14} branch share = {:.1}% (paper: 77-83%), with data = {:.1}% (paper: ~50%)",
-            w.name,
-            s.branches.branch_share_pct(),
-            s.branches.with_data_share_pct(),
-        );
+        if let Ok(s) = s {
+            let _ = writeln!(
+                out,
+                "{:<14} branch share = {:.1}% (paper: 77-83%), with data = {:.1}% (paper: ~50%)",
+                w.name,
+                s.branches.branch_share_pct(),
+                s.branches.with_data_share_pct(),
+            );
+        }
     }
     out
 }
@@ -371,13 +471,19 @@ pub fn figure1_report() -> String {
     let mut config = MachineConfig::psi();
     config.trace_memory = true;
     let w = window::window(1);
-    let (run, mut machine) = run_on_psi_machine(&w, config).expect("window workload runs");
-    let trace = machine.take_trace();
-    let steps = run.stats.steps;
     let _ = writeln!(
         out,
         "Figure 1: Performance improvement ratios against the cache memory size"
     );
+    let (run, mut machine) = match run_on_psi_machine(&w, config) {
+        Ok(pair) => pair,
+        Err(e) => {
+            unavailable_row(&mut out, &w.name, 12, &e.to_string());
+            return out;
+        }
+    };
+    let trace = machine.take_trace();
+    let steps = run.stats.steps;
     let _ = writeln!(
         out,
         "(trace: {}, {} accesses, {} steps)",
@@ -427,7 +533,7 @@ pub fn ablation_report() -> String {
         "configuration", "steps", "time_ms", "local%"
     );
     // The full workload × feature grid runs in parallel; rendering
-    // preserves grid order.
+    // preserves grid order and contains failures per cell.
     let mut grid = Vec::new();
     for w in [psi_workloads::contest::nreverse(30), parsers::bup(2)] {
         for (label, tro, fb) in [
@@ -439,24 +545,34 @@ pub fn ablation_report() -> String {
             grid.push((w.clone(), label, tro, fb));
         }
     }
-    let runs = par_map(&grid, default_parallelism(), |_, (w, _, tro, fb)| {
+    let runs = par_map_catch(&grid, default_parallelism(), |_, (w, _, tro, fb)| {
         let mut config = MachineConfig::psi();
         config.tail_recursion_opt = *tro;
         config.frame_buffering = *fb;
         run_on_psi(w, config)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-            .stats
+            .map(|r| r.stats)
+            .map_err(|e| e.to_string())
     });
-    for ((w, label, _, _), stats) in grid.iter().zip(&runs) {
-        let local = stats.cache.area_shares_pct()[psi_core::Area::LocalStack.index()];
-        let _ = writeln!(
-            out,
-            "{:<34} {:>10} {:>10.2} {:>10.1}",
-            format!("{} / {}", w.name, label),
-            stats.steps,
-            stats.time_ms(),
-            local,
-        );
+    for ((w, label, _, _), slot) in grid.iter().zip(&runs) {
+        let cell = format!("{} / {}", w.name, label);
+        match slot
+            .as_ref()
+            .map_err(|p| format!("panicked: {p}"))
+            .and_then(|r| r.clone())
+        {
+            Ok(stats) => {
+                let local = stats.cache.area_shares_pct()[psi_core::Area::LocalStack.index()];
+                let _ = writeln!(
+                    out,
+                    "{:<34} {:>10} {:>10.2} {:>10.1}",
+                    cell,
+                    stats.steps,
+                    stats.time_ms(),
+                    local,
+                );
+            }
+            Err(reason) => unavailable_row(&mut out, &cell, 34, &reason),
+        }
     }
     out
 }

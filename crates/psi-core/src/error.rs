@@ -5,6 +5,45 @@ use std::fmt;
 /// Convenience alias for results carrying a [`PsiError`].
 pub type Result<T> = std::result::Result<T, PsiError>;
 
+/// A governed resource that a budget can exhaust during execution.
+///
+/// Budgets are configured per machine (see `MachineConfig::limits` in
+/// `psi-machine`) and checked periodically by the dispatch loop, so an
+/// exhausted run stops with a typed, recoverable error instead of
+/// spinning forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Resource {
+    /// Microinstruction steps (PSI) or emulated instructions (DEC-10).
+    Steps,
+    /// Heap-area words (loaded code plus runtime heap vectors).
+    HeapWords,
+    /// Local-stack words of one process.
+    LocalWords,
+    /// Global-stack words of one process.
+    GlobalWords,
+    /// Control-stack words of one process.
+    ControlWords,
+    /// Trail words of one process.
+    TrailWords,
+    /// Wall-clock milliseconds since the run started.
+    WallClockMs,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Resource::Steps => "steps",
+            Resource::HeapWords => "heap words",
+            Resource::LocalWords => "local-stack words",
+            Resource::GlobalWords => "global-stack words",
+            Resource::ControlWords => "control-stack words",
+            Resource::TrailWords => "trail words",
+            Resource::WallClockMs => "wall-clock ms",
+        })
+    }
+}
+
 /// Errors raised by the simulated machines and their front ends.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -39,10 +78,27 @@ pub enum PsiError {
         /// A description of the failure.
         detail: String,
     },
-    /// The execution exceeded the configured step budget.
-    StepBudgetExceeded {
-        /// The budget that was exceeded, in microinstruction steps.
-        budget: u64,
+    /// A configured resource budget was exhausted. This error is
+    /// recoverable by design: the machine that raised it remains
+    /// loaded and reusable, and the next `solve` starts from a clean
+    /// run state.
+    ResourceExhausted {
+        /// The budget that ran out.
+        resource: Resource,
+        /// The configured limit.
+        limit: u64,
+        /// The amount actually consumed when the governor noticed
+        /// (may exceed `limit` by up to one check interval).
+        consumed: u64,
+    },
+    /// A worker thread panicked while running an isolated task; the
+    /// panic was contained by the suite runner and surfaced as this
+    /// per-task error instead of aborting the whole suite.
+    WorkerPanic {
+        /// What the worker was doing (workload name and goal).
+        context: String,
+        /// The panic payload, rendered to text.
+        detail: String,
     },
     /// A syntax error from the KL0 reader.
     Syntax {
@@ -78,8 +134,16 @@ impl fmt::Display for PsiError {
             PsiError::EvalError { detail } => {
                 write!(f, "arithmetic evaluation error: {detail}")
             }
-            PsiError::StepBudgetExceeded { budget } => {
-                write!(f, "execution exceeded step budget of {budget}")
+            PsiError::ResourceExhausted {
+                resource,
+                limit,
+                consumed,
+            } => write!(
+                f,
+                "resource budget exhausted: {consumed} {resource} consumed (limit {limit})"
+            ),
+            PsiError::WorkerPanic { context, detail } => {
+                write!(f, "worker panicked running {context}: {detail}")
             }
             PsiError::Syntax {
                 line,
@@ -117,7 +181,15 @@ mod tests {
             PsiError::EvalError {
                 detail: "division by zero".into(),
             },
-            PsiError::StepBudgetExceeded { budget: 10 },
+            PsiError::ResourceExhausted {
+                resource: Resource::Steps,
+                limit: 10,
+                consumed: 12,
+            },
+            PsiError::WorkerPanic {
+                context: "workload 'nreverse' (goal nrev([1], R))".into(),
+                detail: "index out of bounds".into(),
+            },
             PsiError::Syntax {
                 line: 3,
                 column: 7,
@@ -132,6 +204,25 @@ mod tests {
             assert!(!msg.is_empty());
             assert!(!msg.ends_with('.'), "{msg}");
             assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn every_resource_displays_distinctly() {
+        let all = [
+            Resource::Steps,
+            Resource::HeapWords,
+            Resource::LocalWords,
+            Resource::GlobalWords,
+            Resource::ControlWords,
+            Resource::TrailWords,
+            Resource::WallClockMs,
+        ];
+        let labels: Vec<String> = all.iter().map(|r| r.to_string()).collect();
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
         }
     }
 

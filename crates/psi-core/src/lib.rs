@@ -33,7 +33,7 @@ mod tag;
 mod word;
 
 pub use address::{Address, Area, ProcessId, AREA_COUNT};
-pub use error::{PsiError, Result};
+pub use error::{PsiError, Resource, Result};
 pub use symbol::{SymbolId, SymbolTable};
 pub use tag::Tag;
 pub use word::{Functor, Word};

@@ -53,6 +53,8 @@ pub mod wf;
 
 pub use builtins::Builtin;
 pub use codegen::{ClauseCode, CodeImage, Predicate, QueryCode};
-pub use machine::{Machine, MachineConfig, MachineStats, Solution};
+pub use machine::{
+    Machine, MachineConfig, MachineStats, ResourceLimits, Solution, GOVERNOR_INTERVAL,
+};
 pub use ucode::{BranchOp, BranchTally, InterpModule, MicroTally, ModuleTally};
 pub use wf::{WfField, WfMode, WfStats, WorkFile};

@@ -5,9 +5,85 @@ use crate::ucode::{BranchOp, BranchTally, InterpModule, MicroTally, ModuleTally}
 use crate::wf::{WfStats, WorkFile};
 use kl0::{LoweredProgram, Program, Term};
 use psi_cache::{CacheConfig, CacheStats};
-use psi_core::{Address, Area, ProcessId, PsiError, Result, SymbolId, Word};
+use psi_core::{Address, Area, ProcessId, PsiError, Resource, Result, SymbolId, Word};
 use psi_mem::{MemBus, TraceEntry};
 use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-run resource budgets, all unlimited by default.
+///
+/// The paper's 1985 measurements ran unbounded, so the default
+/// (`ResourceLimits::unlimited`) reproduces Tables 1–7 verbatim: no
+/// budget ever fires and the event counters are untouched. A
+/// long-lived engine sets limits so a nonterminating or runaway query
+/// returns a typed [`psi_core::PsiError::ResourceExhausted`] instead
+/// of spinning forever — and the machine stays loaded and reusable
+/// afterwards (the next solve starts from a clean run state).
+///
+/// Budgets are enforced by the dispatch loop's periodic governor
+/// (every [`GOVERNOR_INTERVAL`] goal dispatches), so the hot path pays
+/// only a counter decrement per dispatch and exhaustion may be
+/// detected up to one interval late; the error's `consumed` field
+/// reports the exact count. Word budgets apply to each process's own
+/// stack areas; the heap budget covers the shared heap (loaded code
+/// plus runtime heap vectors). Setup work outside the dispatch loop
+/// (loading, query compilation, [`Machine::spawn_background`]) is
+/// bounded by program size and is not metered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum microinstruction steps per run (one `solve` or
+    /// `run_session` call).
+    pub max_steps: Option<u64>,
+    /// Maximum heap-area words (includes the loaded code image).
+    pub max_heap_words: Option<u32>,
+    /// Maximum local-stack words of any one process.
+    pub max_local_words: Option<u32>,
+    /// Maximum global-stack words of any one process.
+    pub max_global_words: Option<u32>,
+    /// Maximum control-stack words of any one process.
+    pub max_control_words: Option<u32>,
+    /// Maximum trail words of any one process.
+    pub max_trail_words: Option<u32>,
+    /// Wall-clock deadline per run, measured from the start of the
+    /// solve (a per-workload watchdog when set by the suite runner).
+    pub deadline: Option<Duration>,
+}
+
+impl ResourceLimits {
+    /// No budgets at all — the paper's unbounded configuration.
+    pub fn unlimited() -> ResourceLimits {
+        ResourceLimits::default()
+    }
+
+    /// Is any budget configured?
+    pub fn any_set(&self) -> bool {
+        self.max_steps.is_some()
+            || self.max_heap_words.is_some()
+            || self.max_local_words.is_some()
+            || self.max_global_words.is_some()
+            || self.max_control_words.is_some()
+            || self.max_trail_words.is_some()
+            || self.deadline.is_some()
+    }
+
+    /// Sets the per-run step budget.
+    pub fn with_max_steps(mut self, steps: u64) -> ResourceLimits {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Sets the per-run wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> ResourceLimits {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Goal dispatches between two governor checks. Small enough that a
+/// tight `loop :- loop.` is caught within a few thousand microsteps,
+/// large enough that the per-dispatch cost is one counter decrement
+/// and a never-taken branch.
+pub const GOVERNOR_INTERVAL: u32 = 256;
 
 /// Configuration of the simulated machine.
 #[derive(Debug, Clone)]
@@ -17,8 +93,8 @@ pub struct MachineConfig {
     pub cache: Option<CacheConfig>,
     /// Microinstruction cycle time in nanoseconds (§2.3: 200 ns).
     pub cycle_ns: u64,
-    /// Abort execution after this many microsteps.
-    pub step_budget: u64,
+    /// Per-run resource budgets (default: unlimited, as in the paper).
+    pub limits: ResourceLimits,
     /// Enable the WF frame-buffer pair (§2.2). Disable for ablation.
     pub frame_buffering: bool,
     /// Enable tail recursion optimization (§2.2). Disable for
@@ -30,12 +106,12 @@ pub struct MachineConfig {
 
 impl MachineConfig {
     /// The machine as shipped: PSI cache, 200 ns cycle, TRO and frame
-    /// buffering on.
+    /// buffering on, no resource budgets.
     pub fn psi() -> MachineConfig {
         MachineConfig {
             cache: Some(CacheConfig::psi()),
             cycle_ns: 200,
-            step_budget: 4_000_000_000,
+            limits: ResourceLimits::unlimited(),
             frame_buffering: true,
             tail_recursion_opt: true,
             trace_memory: false,
@@ -325,6 +401,15 @@ pub struct Machine {
     /// Host heap (re)allocations taken by the interpreter hot path —
     /// see [`Machine::hot_path_alloc_count`].
     pub(crate) hot_allocs: u64,
+    /// Step count at the start of the current run; budgets meter the
+    /// delta, not the machine-lifetime total.
+    pub(crate) run_base_steps: u64,
+    /// When the current run started (armed only when a wall-clock
+    /// deadline is configured, so unlimited runs never read the
+    /// clock).
+    pub(crate) run_started: Option<Instant>,
+    /// Dispatches left until the next governor check.
+    pub(crate) governor_countdown: u32,
 }
 
 /// Internal control-flow outcome of dispatching one goal.
@@ -379,6 +464,9 @@ impl Machine {
             scratch_args: Vec::with_capacity(ARGS_RESERVE),
             scratch_cp_args: Vec::with_capacity(ARGS_RESERVE),
             hot_allocs: 0,
+            run_base_steps: 0,
+            run_started: None,
+            governor_countdown: GOVERNOR_INTERVAL,
         };
         machine.sync_code()?;
         Ok(machine)
@@ -400,10 +488,22 @@ impl Machine {
     /// Prior run state (stacks) is discarded; loaded code and
     /// accumulated statistics are kept.
     ///
+    /// `max_solutions == 0` requests nothing and does nothing: the
+    /// goal is still parsed and compiled (so syntax and compile errors
+    /// surface), but no execution happens — zero microsteps are
+    /// charged, prior run state is left untouched, and the result is
+    /// an empty solution list. Runtime conditions (undefined
+    /// predicates, budget exhaustion) are therefore *not* detected
+    /// with a zero request.
+    ///
+    /// A [`psi_core::PsiError::ResourceExhausted`] return (when
+    /// [`MachineConfig::limits`] sets budgets) leaves the machine
+    /// reusable: the next solve starts from a clean run state.
+    ///
     /// # Errors
     ///
     /// Propagates syntax errors in the goal, undefined-predicate and
-    /// budget errors during execution.
+    /// resource-budget errors during execution.
     pub fn solve(&mut self, goal_src: &str, max_solutions: usize) -> Result<Vec<Solution>> {
         let goal = kl0::parser::parse_term(goal_src)?;
         self.solve_term(&goal, max_solutions)
@@ -417,6 +517,11 @@ impl Machine {
     pub fn solve_term(&mut self, goal: &Term, max_solutions: usize) -> Result<Vec<Solution>> {
         let qc = self.image.compile_query(goal)?;
         self.sync_code()?;
+        if max_solutions == 0 {
+            // Zero solutions requested: validated above, nothing to
+            // execute (see the `solve` contract).
+            return Ok(Vec::new());
+        }
         self.reset_run_state();
         self.start_query(0, &qc)?;
         self.run(max_solutions)
@@ -488,6 +593,12 @@ impl Machine {
         self.procs.truncate(1);
         self.procs[0] = Proc::new(ProcessId::ZERO);
         self.cur = 0;
+        // Arm the resource governor for the new run: budgets meter
+        // this run only, and the clock is read only when a deadline is
+        // actually configured.
+        self.run_base_steps = self.tally.steps();
+        self.run_started = self.config.limits.deadline.map(|_| Instant::now());
+        self.governor_countdown = GOVERNOR_INTERVAL;
     }
 
     /// Resets all measurement state (step tallies, WF stats, cache
@@ -501,6 +612,9 @@ impl Machine {
         self.user_calls = 0;
         self.builtin_calls = 0;
         self.output.clear();
+        // The step counters restart from zero; rebase the step budget
+        // so a mid-run reset cannot underflow the consumed delta.
+        self.run_base_steps = 0;
     }
 
     /// A snapshot of all measured quantities.
@@ -690,10 +804,14 @@ impl Machine {
     /// Fetches and dispatches the goal word at the current code
     /// pointer.
     fn dispatch(&mut self) -> Result<Flow> {
-        if self.tally.steps() > self.config.step_budget {
-            return Err(PsiError::StepBudgetExceeded {
-                budget: self.config.step_budget,
-            });
+        // Resource governor, off the hot path: one decrement and a
+        // predictable branch per dispatch; the actual budget
+        // comparisons (and the clock read, when a deadline is armed)
+        // run once every GOVERNOR_INTERVAL dispatches.
+        self.governor_countdown -= 1;
+        if self.governor_countdown == 0 {
+            self.governor_countdown = GOVERNOR_INTERVAL;
+            self.check_budgets()?;
         }
         let code_ptr = self.procs[self.cur].regs.code_ptr;
         let w = self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, code_ptr)?;
@@ -706,5 +824,58 @@ impl Machine {
                 detail: format!("corrupt code word ({other}) at heap:{code_ptr:#x}"),
             }),
         }
+    }
+
+    /// Compares every configured budget against current consumption.
+    /// Cold: called once per [`GOVERNOR_INTERVAL`] dispatches. With
+    /// the default unlimited config every comparison is a `None`
+    /// check and the wall clock is never read.
+    #[cold]
+    fn check_budgets(&self) -> Result<()> {
+        let limits = &self.config.limits;
+        let exhausted = |resource, limit: u64, consumed: u64| {
+            Err(PsiError::ResourceExhausted {
+                resource,
+                limit,
+                consumed,
+            })
+        };
+        if let Some(max) = limits.max_steps {
+            let consumed = self.tally.steps().saturating_sub(self.run_base_steps);
+            if consumed > max {
+                return exhausted(Resource::Steps, max, consumed);
+            }
+        }
+        if let Some(max) = limits.max_heap_words {
+            if self.heap_top > max {
+                return exhausted(Resource::HeapWords, max as u64, self.heap_top as u64);
+            }
+        }
+        for p in &self.procs {
+            let areas = [
+                (limits.max_local_words, p.local_top, Resource::LocalWords),
+                (limits.max_global_words, p.global_top, Resource::GlobalWords),
+                (limits.max_control_words, p.ctl_top, Resource::ControlWords),
+                (limits.max_trail_words, p.trail_top, Resource::TrailWords),
+            ];
+            for (limit, top, resource) in areas {
+                if let Some(max) = limit {
+                    if top > max {
+                        return exhausted(resource, max as u64, top as u64);
+                    }
+                }
+            }
+        }
+        if let (Some(deadline), Some(started)) = (limits.deadline, self.run_started) {
+            let elapsed = started.elapsed();
+            if elapsed >= deadline {
+                return exhausted(
+                    Resource::WallClockMs,
+                    deadline.as_millis() as u64,
+                    elapsed.as_millis() as u64,
+                );
+            }
+        }
+        Ok(())
     }
 }

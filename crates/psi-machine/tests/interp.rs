@@ -2,7 +2,7 @@
 //! PSI, plus sanity checks on the measured statistics.
 
 use kl0::Program;
-use psi_core::PsiError;
+use psi_core::{PsiError, Resource};
 use psi_machine::{Machine, MachineConfig};
 
 fn machine(src: &str) -> Machine {
@@ -217,12 +217,52 @@ fn undefined_predicate_is_an_error() {
 fn step_budget_is_enforced() {
     let program = Program::parse("loop :- loop.").unwrap();
     let mut config = MachineConfig::psi();
-    config.step_budget = 10_000;
+    config.limits.max_steps = Some(10_000);
     let mut m = Machine::load(&program, config).unwrap();
-    assert!(matches!(
-        m.solve("loop", 1),
-        Err(PsiError::StepBudgetExceeded { .. })
-    ));
+    match m.solve("loop", 1) {
+        Err(PsiError::ResourceExhausted {
+            resource: Resource::Steps,
+            limit,
+            consumed,
+        }) => {
+            assert_eq!(limit, 10_000);
+            assert!(consumed > limit, "consumed {consumed} <= limit {limit}");
+        }
+        other => panic!("expected step exhaustion, got {other:?}"),
+    }
+}
+
+/// Budgets meter each run separately: a second solve on the same
+/// machine gets a fresh step allowance instead of inheriting the
+/// consumption of the first.
+#[test]
+fn step_budget_is_per_run() {
+    let program = Program::parse(APPEND).unwrap();
+    let mut config = MachineConfig::psi();
+    config.limits.max_steps = Some(100_000);
+    let mut m = Machine::load(&program, config).unwrap();
+    for _ in 0..8 {
+        let sols = m.solve("app([1,2,3], [4], X)", 1).expect("within budget");
+        assert_eq!(sols[0].to_string(), "X = [1,2,3,4]");
+    }
+}
+
+#[test]
+fn zero_solutions_requested_returns_immediately() {
+    let mut m = machine(APPEND);
+    let before = m.stats();
+    let sols = m.solve("app([1,2], [3], X)", 0).expect("no-op solve");
+    assert!(sols.is_empty());
+    assert_eq!(
+        m.stats().steps,
+        before.steps,
+        "a zero-solution request must charge zero microsteps"
+    );
+    // Still a syntax check: a malformed goal errors even with 0.
+    assert!(m.solve("app([1,", 0).is_err());
+    // And the machine is untouched: a real solve still works.
+    let sols = m.solve("app([1], [2], X)", 1).expect("solve");
+    assert_eq!(sols[0].to_string(), "X = [1,2]");
 }
 
 #[test]

@@ -45,6 +45,12 @@ pub fn improvement_ratio_pct(
 ) -> f64 {
     let miss_extra = config.miss_extra_ns();
     let (_, tc) = replay(trace, config, cycle_ns, total_steps);
+    if tc == 0 {
+        // An empty trace of a zero-step run has no execution time to
+        // improve; without this guard the 0/0 below would yield NaN
+        // and poison the Figure 1 output.
+        return 0.0;
+    }
     let tnc = total_steps * cycle_ns + trace.len() as u64 * miss_extra;
     (tnc as f64 / tc as f64 - 1.0) * 100.0
 }
@@ -194,6 +200,20 @@ mod tests {
         let t = trace(4000);
         let (two, one) = associativity_study(&t, 200, 20_000);
         assert!(two >= one - 0.5, "two={two} one={one}");
+    }
+
+    /// Regression: an empty trace with `total_steps == 0` used to
+    /// divide 0 by 0 and return NaN, which then propagated into the
+    /// Figure 1 report. It must be a finite, neutral 0.0.
+    #[test]
+    fn empty_trace_with_zero_steps_yields_zero_not_nan() {
+        let ratio = improvement_ratio_pct(&[], CacheConfig::psi(), 200, 0);
+        assert!(ratio.is_finite(), "got {ratio}");
+        assert_eq!(ratio, 0.0);
+        let sweep = capacity_sweep(&[], 200, 0);
+        assert!(sweep.iter().all(|(_, r)| r.is_finite() && *r == 0.0));
+        let (two, one) = associativity_study(&[], 200, 0);
+        assert_eq!((two, one), (0.0, 0.0));
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Demonstrates the resource governor and the fault-isolated suite
+//! runner end to end:
+//!
+//! ```sh
+//! cargo run --release --example governor_demo
+//! ```
+//!
+//! A nonterminating goal is stopped by a step budget and by a
+//! wall-clock watchdog, the same machine then solves a real goal,
+//! and a governed suite run contains an injected panic to its row.
+
+use psi::kl0::Program;
+use psi::psi_machine::{Machine, MachineConfig, ResourceLimits};
+use psi::psi_workloads::runner::{run_on_psi, run_suite_governed_with_runner, SuiteOptions};
+use psi::psi_workloads::suite::table1_suite;
+use std::time::Duration;
+
+fn main() {
+    let program = Program::parse(
+        "spin :- spin.\n\
+         app([], L, L).\n\
+         app([H|T], L, [H|R]) :- app(T, L, R).",
+    )
+    .expect("demo program parses");
+
+    // 1. A step budget turns a runaway goal into a typed error.
+    let mut config = MachineConfig::psi();
+    config.limits = ResourceLimits::unlimited().with_max_steps(100_000);
+    let mut machine = Machine::load(&program, config).expect("loads");
+    match machine.solve("spin", 1) {
+        Err(e) => println!("step budget:  {e}"),
+        Ok(_) => println!("step budget:  unexpectedly solved"),
+    }
+
+    // 2. The machine stays reusable after exhaustion.
+    match machine.solve("app([1,2], [3], X)", 1) {
+        Ok(solutions) => println!(
+            "reuse:        X = {} (machine survived exhaustion)",
+            solutions[0].binding("X").expect("X is bound")
+        ),
+        Err(e) => println!("reuse:        failed: {e}"),
+    }
+
+    // 3. A wall-clock deadline stops the same spin cooperatively.
+    let mut config = MachineConfig::psi();
+    config.limits = ResourceLimits::unlimited().with_deadline(Duration::from_millis(25));
+    let mut machine = Machine::load(&program, config).expect("loads");
+    match machine.solve("spin", 1) {
+        Err(e) => println!("watchdog:     {e}"),
+        Ok(_) => println!("watchdog:     unexpectedly solved"),
+    }
+
+    // 4. A governed suite contains an injected panic to its row.
+    let workloads: Vec<_> = table1_suite()
+        .into_iter()
+        .take(5)
+        .map(|e| e.workload)
+        .collect();
+    let report = run_suite_governed_with_runner(
+        &workloads,
+        &MachineConfig::psi(),
+        &SuiteOptions::default(),
+        |w, c| {
+            if w.name == "tree traversing" {
+                panic!("injected fault for the demo");
+            }
+            run_on_psi(w, c)
+        },
+    );
+    println!("suite:        {}", report.summary());
+    for row in &report.rows {
+        println!("  ({}) {:<16} {}", row.index + 1, row.name, row.describe());
+    }
+}

@@ -1,0 +1,217 @@
+//! Fault isolation end to end: resource budgets must turn runaway
+//! executions into typed, recoverable errors; the governed suite
+//! runner must contain a bad workload to its own row while every
+//! other row stays bit-identical to a serial run. Both properties
+//! protect the paper's tables — a single divergent workload may cost
+//! one row, never the report.
+
+use psi::kl0::Program;
+use psi::psi_core::{PsiError, Resource};
+use psi::psi_machine::{Machine, MachineConfig, ResourceLimits};
+use psi::psi_workloads::runner::{
+    run_on_psi, run_suite_governed_with_runner, Outcome, SuiteOptions,
+};
+use psi::psi_workloads::suite::table1_suite;
+use psi::psi_workloads::Workload;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+/// A program with one nonterminating predicate, one predicate that
+/// grows a structure forever, and one well-behaved predicate — so a
+/// single machine can be driven into each failure mode and then shown
+/// to still work.
+const MIXED: &str = "spin :- spin.\n\
+                     grow(L) :- grow([x|L]).\n\
+                     app([], L, L).\n\
+                     app([H|T], L, [H|R]) :- app(T, L, R).";
+
+fn machine_with(limits: ResourceLimits) -> Machine {
+    let program = Program::parse(MIXED).expect("parses");
+    let mut config = MachineConfig::psi();
+    config.limits = limits;
+    Machine::load(&program, config).expect("loads")
+}
+
+/// A nonterminating goal must come back as a typed step exhaustion
+/// within one governor interval's slack of the configured budget —
+/// not hang, not panic.
+#[test]
+fn nonterminating_goal_exhausts_step_budget() {
+    let limit = 200_000u64;
+    let mut machine = machine_with(ResourceLimits::unlimited().with_max_steps(limit));
+    match machine.solve("spin", 1) {
+        Err(PsiError::ResourceExhausted {
+            resource: Resource::Steps,
+            limit: l,
+            consumed,
+        }) => {
+            assert_eq!(l, limit);
+            assert!(consumed >= limit, "consumed {consumed} < limit {limit}");
+            // The governor checks periodically, so exhaustion may land
+            // late — but only by a bounded overshoot.
+            assert!(
+                consumed < limit * 2,
+                "governor let the run overshoot: {consumed} vs {limit}"
+            );
+        }
+        other => panic!("expected step exhaustion, got {other:?}"),
+    }
+}
+
+/// After a `ResourceExhausted` the machine is reusable: the next
+/// `solve` starts from a clean run state and computes the right
+/// answer with the same budget still in force.
+#[test]
+fn machine_survives_exhaustion_and_solves_again() {
+    let mut machine = machine_with(ResourceLimits::unlimited().with_max_steps(100_000));
+    assert!(matches!(
+        machine.solve("spin", 1),
+        Err(PsiError::ResourceExhausted { .. })
+    ));
+    let solutions = machine
+        .solve("app([1,2], [3], X)", 1)
+        .expect("fresh goal solves after exhaustion");
+    assert_eq!(solutions[0].binding("X").unwrap().to_string(), "[1,2,3]");
+}
+
+/// The wall-clock deadline is a cooperative watchdog inside the
+/// governor: a spinning goal must stop soon after the deadline with a
+/// typed wall-clock exhaustion.
+#[test]
+fn wall_clock_deadline_stops_a_spinning_goal() {
+    let mut machine =
+        machine_with(ResourceLimits::unlimited().with_deadline(Duration::from_millis(20)));
+    let started = Instant::now();
+    match machine.solve("spin", 1) {
+        Err(PsiError::ResourceExhausted {
+            resource: Resource::WallClockMs,
+            ..
+        }) => {}
+        other => panic!("expected wall-clock exhaustion, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "watchdog took far too long to fire"
+    );
+    // And the machine still works afterwards.
+    let solutions = machine.solve("app([], [9], X)", 1).expect("solves");
+    assert_eq!(solutions[0].binding("X").unwrap().to_string(), "[9]");
+}
+
+/// A goal that grows a structure without bound must trip a word
+/// budget (which area fills first is an interpreter detail — any
+/// non-step, non-clock resource is correct), and the machine must
+/// stay reusable.
+#[test]
+fn unbounded_structure_growth_trips_a_word_budget() {
+    let mut limits = ResourceLimits::unlimited();
+    limits.max_heap_words = Some(1 << 20);
+    limits.max_global_words = Some(1 << 16);
+    limits.max_local_words = Some(1 << 16);
+    // Backstop so a miscounted budget fails the test instead of
+    // hanging it.
+    limits.max_steps = Some(50_000_000);
+    let mut machine = machine_with(limits);
+    match machine.solve("grow([])", 1) {
+        Err(PsiError::ResourceExhausted {
+            resource, consumed, ..
+        }) => {
+            assert!(
+                !matches!(resource, Resource::Steps | Resource::WallClockMs),
+                "expected a word budget, got {resource} ({consumed} consumed)"
+            );
+        }
+        other => panic!("expected word-budget exhaustion, got {other:?}"),
+    }
+    let solutions = machine.solve("app([1], [2], X)", 1).expect("solves");
+    assert_eq!(solutions[0].binding("X").unwrap().to_string(), "[1,2]");
+}
+
+/// The headline containment property: inject a panic into exactly one
+/// Table 1 workload and run the full 19-row suite in parallel. The
+/// poisoned row must report `Panicked` with its workload context, and
+/// the other 18 rows must complete with stats bit-identical to
+/// serial, un-governed runs.
+#[test]
+fn injected_panic_costs_one_row_and_preserves_the_rest() {
+    let workloads: Vec<Workload> = table1_suite().into_iter().map(|e| e.workload).collect();
+    let poisoned = "quick sort";
+    let config = MachineConfig::psi();
+    let options = SuiteOptions {
+        threads: 4,
+        deadline: None,
+        max_retries: 0,
+    };
+    let report = run_suite_governed_with_runner(&workloads, &config, &options, |w, c| {
+        if w.name == poisoned {
+            panic!("injected fault");
+        }
+        run_on_psi(w, c)
+    });
+
+    assert_eq!(report.rows.len(), workloads.len());
+    assert_eq!(report.ok_count(), workloads.len() - 1);
+    assert_eq!(report.panicked_count(), 1);
+    assert_eq!(
+        report.summary(),
+        format!(
+            "{} ok, 0 exhausted, 0 timed out, 0 failed, 1 panicked",
+            workloads.len() - 1
+        )
+    );
+
+    for (w, row) in workloads.iter().zip(&report.rows) {
+        if w.name == poisoned {
+            match &row.outcome {
+                Outcome::Panicked { detail } => {
+                    assert!(detail.contains(poisoned), "context missing: {detail}");
+                    assert!(
+                        detail.contains("injected fault"),
+                        "payload missing: {detail}"
+                    );
+                }
+                other => panic!("poisoned row should panic, got {}", other.label()),
+            }
+            continue;
+        }
+        let governed = row
+            .run()
+            .unwrap_or_else(|| panic!("{} should be ok", w.name));
+        let serial = run_on_psi(w, config.clone()).expect("serial run succeeds");
+        assert_eq!(serial.solutions, governed.solutions, "{}", w.name);
+        // MachineStats is integer counters throughout, so `==` is
+        // bit-identity.
+        assert_eq!(serial.stats, governed.stats, "{}", w.name);
+    }
+}
+
+/// Retries are bounded and only spent on transient outcomes: a
+/// workload that times out on every attempt is retried exactly
+/// `max_retries` times and then reported `TimedOut`.
+#[test]
+fn timeouts_are_retried_a_bounded_number_of_times() {
+    let workloads = vec![Workload::new("always-late", String::new(), "g".into())];
+    let config = MachineConfig::psi();
+    let options = SuiteOptions {
+        threads: 1,
+        deadline: Some(Duration::from_millis(5)),
+        max_retries: 2,
+    };
+    let calls = AtomicU32::new(0);
+    let report = run_suite_governed_with_runner(&workloads, &config, &options, |_, c| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        Err(PsiError::ResourceExhausted {
+            resource: Resource::WallClockMs,
+            limit: c.limits.deadline.map(|d| d.as_millis() as u64).unwrap_or(0),
+            consumed: 6,
+        })
+    });
+    let row = &report.rows[0];
+    assert!(
+        matches!(row.outcome, Outcome::TimedOut { .. }),
+        "{:?}",
+        row.outcome
+    );
+    assert_eq!(row.attempts, 3, "max_retries=2 means 3 attempts");
+    assert_eq!(calls.load(Ordering::Relaxed), 3);
+}
