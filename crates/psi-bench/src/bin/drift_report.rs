@@ -1,0 +1,28 @@
+//! Regenerates every archived table/figure and diffs it cell-by-cell
+//! against EXPERIMENTS.md, exiting nonzero on unexplained drift.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin drift_report
+//! [path-to-EXPERIMENTS.md]`.
+
+use psi_bench::drift::{drift_against, Tolerance};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md").into());
+    let markdown = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("drift_report: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = drift_against(&markdown, Tolerance::EXACT);
+    print!("{}", report.render());
+    if report.has_drift() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

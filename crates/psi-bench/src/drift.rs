@@ -1,0 +1,448 @@
+//! Drift detection between the archived reports in EXPERIMENTS.md and
+//! freshly regenerated ones.
+//!
+//! EXPERIMENTS.md stores the verbatim output of every generator binary
+//! in a fenced code block under a `## Table N — ...` / `## Figure 1 —
+//! ...` / `## Ablation — ...` heading. A byte-compare of those blocks
+//! is brittle (one shifted column re-flows a whole row) and
+//! uninformative (it cannot say *which* measurement moved). This
+//! module instead pairs each archived line with its regenerated
+//! counterpart, extracts the numeric cells, and reports **per-cell
+//! deltas**: which section, which line, which column, archived vs
+//! regenerated value, relative change.
+//!
+//! The wall-clock "Regeneration performance" section is deliberately
+//! not tracked — it measures the host, not the simulator. Everything
+//! the simulator produces is deterministic, so the default tolerance
+//! is [`Tolerance::EXACT`]: any cell that moves is drift until a
+//! change to the model explains it and the archive is regenerated.
+//!
+//! The `drift_report` binary runs [`drift_against`] on the repo's
+//! EXPERIMENTS.md and exits nonzero on drift; CI runs it so an
+//! unexplained change to any archived measurement fails the build.
+
+use crate::{
+    ablation_report, figure1_report, table1_report, table2_report, table3_report, table4_report,
+    table5_report, table6_report, table7_report,
+};
+use std::fmt::Write as _;
+
+/// A report generator paired with its archive key.
+pub type TrackedSection = (&'static str, fn() -> String);
+
+/// The archived sections the drift pass tracks, each with the
+/// generator that regenerates it. Keys match the EXPERIMENTS.md
+/// heading text before the em dash.
+pub const TRACKED_SECTIONS: [TrackedSection; 9] = [
+    ("Table 1", table1_report as fn() -> String),
+    ("Table 2", table2_report as fn() -> String),
+    ("Table 3", table3_report as fn() -> String),
+    ("Table 4", table4_report as fn() -> String),
+    ("Table 5", table5_report as fn() -> String),
+    ("Table 6", table6_report as fn() -> String),
+    ("Table 7", table7_report as fn() -> String),
+    ("Figure 1", figure1_report as fn() -> String),
+    ("Ablation", ablation_report as fn() -> String),
+];
+
+/// How far a regenerated cell may sit from its archived value before
+/// it counts as drift: `|archived - regenerated| <= abs + rel *
+/// |archived|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute slack, in the cell's own unit.
+    pub abs: f64,
+    /// Relative slack, as a fraction of the archived value.
+    pub rel: f64,
+}
+
+impl Tolerance {
+    /// No slack at all — the simulator is deterministic, so the
+    /// archives must reproduce to the printed digit.
+    pub const EXACT: Tolerance = Tolerance { abs: 0.0, rel: 0.0 };
+
+    /// Does the pair of values sit within this tolerance?
+    pub fn allows(self, archived: f64, regenerated: f64) -> bool {
+        (archived - regenerated).abs() <= self.abs + self.rel * archived.abs()
+    }
+}
+
+impl Default for Tolerance {
+    fn default() -> Tolerance {
+        Tolerance::EXACT
+    }
+}
+
+/// One numeric cell that moved between the archive and the
+/// regenerated report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDelta {
+    /// 1-based line number inside the section's fenced block.
+    pub line: usize,
+    /// 1-based index of the numeric cell within that line.
+    pub cell: usize,
+    /// The value the archive records.
+    pub archived: f64,
+    /// The value the regenerator produces now.
+    pub regenerated: f64,
+}
+
+impl CellDelta {
+    /// Relative change in percent, guarded so a zero archived value
+    /// never produces 0/0 = NaN.
+    pub fn rel_delta_pct(&self) -> f64 {
+        let diff = self.regenerated - self.archived;
+        if self.archived != 0.0 {
+            diff * 100.0 / self.archived
+        } else if diff == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(diff)
+        }
+    }
+}
+
+/// The drift findings for one tracked section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionDrift {
+    /// The section key ("Table 1", ..., "Figure 1", "Ablation").
+    pub section: String,
+    /// How many numeric cells were compared.
+    pub cells: usize,
+    /// Cells whose values moved beyond the tolerance.
+    pub deltas: Vec<CellDelta>,
+    /// Structural mismatches: differing line counts, differing cell
+    /// counts on a line, or non-numeric text that changed.
+    pub shape: Vec<String>,
+}
+
+impl SectionDrift {
+    /// True when nothing in the section drifted.
+    pub fn is_clean(&self) -> bool {
+        self.deltas.is_empty() && self.shape.is_empty()
+    }
+}
+
+/// A whole drift run: one [`SectionDrift`] per tracked section found
+/// in the archive, plus the tracked sections the archive is missing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftReport {
+    /// Per-section findings, in [`TRACKED_SECTIONS`] order.
+    pub sections: Vec<SectionDrift>,
+    /// Tracked sections with no archived block in the document.
+    pub missing: Vec<String>,
+}
+
+impl DriftReport {
+    /// True when any section drifted or is missing from the archive.
+    pub fn has_drift(&self) -> bool {
+        !self.missing.is_empty() || self.sections.iter().any(|s| !s.is_clean())
+    }
+
+    /// Total numeric cells compared across all sections.
+    pub fn cells(&self) -> usize {
+        self.sections.iter().map(|s| s.cells).sum()
+    }
+
+    /// Renders the human-readable drift report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "drift report: {} sections, {} numeric cells compared",
+            self.sections.len(),
+            self.cells()
+        );
+        for s in &self.sections {
+            if s.is_clean() {
+                let _ = writeln!(out, "  {:<10} ok ({} cells)", s.section, s.cells);
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<10} DRIFT ({} of {} cells, {} shape mismatches)",
+                s.section,
+                s.deltas.len(),
+                s.cells,
+                s.shape.len()
+            );
+            for d in &s.deltas {
+                let _ = writeln!(
+                    out,
+                    "    line {:>3} cell {:>2}: archived {} -> regenerated {} ({:+.2}%)",
+                    d.line,
+                    d.cell,
+                    d.archived,
+                    d.regenerated,
+                    d.rel_delta_pct()
+                );
+            }
+            for m in &s.shape {
+                let _ = writeln!(out, "    {m}");
+            }
+        }
+        for m in &self.missing {
+            let _ = writeln!(out, "  {m:<10} MISSING from the archive");
+        }
+        if self.has_drift() {
+            let _ = writeln!(
+                out,
+                "DRIFT DETECTED — regenerate the archive or explain the change"
+            );
+        } else {
+            let _ = writeln!(out, "no drift: archives match the regenerated reports");
+        }
+        out
+    }
+}
+
+/// Extracts every `(heading, first fenced block)` pair from a
+/// markdown document. The heading key is the `## ` text up to the em
+/// dash, so `## Table 3 — cache command rate` archives under
+/// "Table 3". Only the first fenced block after each heading counts;
+/// prose and later blocks are ignored.
+pub fn archived_blocks(markdown: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    let mut block: Option<String> = None;
+    for line in markdown.lines() {
+        if let Some(buf) = &mut block {
+            if line.trim_end() == "```" {
+                let body = block.take().expect("block is open");
+                if let Some(section) = current.take() {
+                    out.push((section, body));
+                }
+            } else {
+                buf.push_str(line);
+                buf.push('\n');
+            }
+        } else if let Some(rest) = line.strip_prefix("## ") {
+            current = Some(rest.split(" —").next().unwrap_or(rest).trim().to_string());
+        } else if line.trim_end().starts_with("```") {
+            block = Some(String::new());
+        }
+    }
+    out
+}
+
+/// Splits a report line into its numeric cells and a text skeleton
+/// (the line with every numeric cell replaced by `#`, whitespace
+/// collapsed). Tokens are trimmed of surrounding punctuation before
+/// parsing, so `(19.9)`, `23.1%` and `100.0/` all yield cells while
+/// labels, dashes and bar glyphs stay in the skeleton.
+fn split_cells(line: &str) -> (Vec<f64>, String) {
+    let mut cells = Vec::new();
+    let mut skeleton = String::new();
+    for token in line.split_whitespace() {
+        let trimmed = token.trim_matches(|c: char| !(c.is_ascii_digit() || "+-.".contains(c)));
+        let parsed = if trimmed.contains(|c: char| c.is_ascii_digit()) {
+            trimmed.parse::<f64>().ok()
+        } else {
+            None
+        };
+        if !skeleton.is_empty() {
+            skeleton.push(' ');
+        }
+        match parsed {
+            Some(v) => {
+                cells.push(v);
+                skeleton.push('#');
+            }
+            None => skeleton.push_str(token),
+        }
+    }
+    (cells, skeleton)
+}
+
+/// Compares one archived block against its regenerated report,
+/// cell by cell.
+pub fn compare_section(
+    section: &str,
+    archived: &str,
+    regenerated: &str,
+    tolerance: Tolerance,
+) -> SectionDrift {
+    let mut drift = SectionDrift {
+        section: section.to_string(),
+        cells: 0,
+        deltas: Vec::new(),
+        shape: Vec::new(),
+    };
+    let old: Vec<&str> = archived.lines().map(str::trim_end).collect();
+    let new: Vec<&str> = regenerated.lines().map(str::trim_end).collect();
+    if old.len() != new.len() {
+        drift.shape.push(format!(
+            "line count differs: archived {} lines, regenerated {}",
+            old.len(),
+            new.len()
+        ));
+    }
+    for (i, (a, r)) in old.iter().zip(&new).enumerate() {
+        let line = i + 1;
+        let (cells_a, skel_a) = split_cells(a);
+        let (cells_r, skel_r) = split_cells(r);
+        if skel_a != skel_r {
+            drift.shape.push(format!(
+                "line {line}: text differs\n      archived:    {a}\n      regenerated: {r}"
+            ));
+        }
+        if cells_a.len() != cells_r.len() {
+            drift.shape.push(format!(
+                "line {line}: cell count differs ({} vs {})",
+                cells_a.len(),
+                cells_r.len()
+            ));
+            continue;
+        }
+        drift.cells += cells_a.len();
+        for (j, (&va, &vr)) in cells_a.iter().zip(&cells_r).enumerate() {
+            if !tolerance.allows(va, vr) {
+                drift.deltas.push(CellDelta {
+                    line,
+                    cell: j + 1,
+                    archived: va,
+                    regenerated: vr,
+                });
+            }
+        }
+    }
+    drift
+}
+
+/// Regenerates every tracked report and diffs it against the archived
+/// blocks of `markdown` (an EXPERIMENTS.md document).
+pub fn drift_against(markdown: &str, tolerance: Tolerance) -> DriftReport {
+    let blocks = archived_blocks(markdown);
+    let mut report = DriftReport {
+        sections: Vec::new(),
+        missing: Vec::new(),
+    };
+    for (name, regenerate) in TRACKED_SECTIONS {
+        match blocks.iter().find(|(key, _)| key == name) {
+            Some((_, archived)) => {
+                report
+                    .sections
+                    .push(compare_section(name, archived, &regenerate(), tolerance));
+            }
+            None => report.missing.push(name.to_string()),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "# title\n\n## Table 9 — synthetic\n\nprose\n\n```\nTable 9: things (%)\nprogram   a   b\nfoo      1.5  20\nbar      0.0   7\n```\n\n**Assessment.** words.\n\n## Untracked\n\n```\nwall clock 1.23s\n```\n";
+
+    #[test]
+    fn archived_blocks_pair_headings_with_their_first_fence() {
+        let blocks = archived_blocks(DOC);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].0, "Table 9");
+        assert!(blocks[0].1.starts_with("Table 9: things"));
+        assert!(blocks[0].1.ends_with("bar      0.0   7\n"));
+        assert_eq!(blocks[1].0, "Untracked");
+    }
+
+    #[test]
+    fn identical_blocks_are_clean() {
+        let block = &archived_blocks(DOC)[0].1;
+        let drift = compare_section("Table 9", block, block, Tolerance::EXACT);
+        assert!(drift.is_clean(), "{drift:?}");
+        // the header's "9" and "(%)"-free cells: 9, then 1.5 20 0.0 7.
+        assert_eq!(drift.cells, 5);
+    }
+
+    #[test]
+    fn a_perturbed_cell_is_flagged_with_its_delta() {
+        let block = archived_blocks(DOC)[0].1.clone();
+        let perturbed = block.replace("1.5", "1.8");
+        let drift = compare_section("Table 9", &perturbed, &block, Tolerance::EXACT);
+        assert_eq!(drift.deltas.len(), 1);
+        let d = &drift.deltas[0];
+        assert_eq!((d.line, d.cell), (3, 1));
+        assert_eq!(d.archived, 1.8);
+        assert_eq!(d.regenerated, 1.5);
+        assert!((d.rel_delta_pct() - (-16.666_666)).abs() < 1e-3);
+        assert!(drift.shape.is_empty(), "numbers moved, text did not");
+    }
+
+    #[test]
+    fn zero_valued_cells_never_produce_nan_deltas() {
+        let d = CellDelta {
+            line: 1,
+            cell: 1,
+            archived: 0.0,
+            regenerated: 0.0,
+        };
+        assert_eq!(d.rel_delta_pct(), 0.0);
+        let d = CellDelta {
+            archived: 0.0,
+            regenerated: 0.5,
+            ..d
+        };
+        assert!(d.rel_delta_pct().is_infinite() && d.rel_delta_pct() > 0.0);
+        assert!(!d.rel_delta_pct().is_nan());
+    }
+
+    #[test]
+    fn textual_and_structural_drift_is_reported_as_shape() {
+        let block = archived_blocks(DOC)[0].1.clone();
+        let renamed = block.replace("bar", "baz");
+        let drift = compare_section("Table 9", &renamed, &block, Tolerance::EXACT);
+        assert!(drift.deltas.is_empty());
+        assert_eq!(drift.shape.len(), 1, "{:?}", drift.shape);
+
+        let truncated: String = block.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let drift = compare_section("Table 9", &truncated, &block, Tolerance::EXACT);
+        assert!(!drift.is_clean());
+        assert!(drift.shape[0].contains("line count differs"));
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_drift_only() {
+        let tol = Tolerance {
+            abs: 0.0,
+            rel: 0.01,
+        };
+        assert!(tol.allows(100.0, 100.9));
+        assert!(!tol.allows(100.0, 101.1));
+        assert!(Tolerance::EXACT.allows(0.0, 0.0));
+        assert!(!Tolerance::EXACT.allows(0.0, f64::EPSILON));
+    }
+
+    /// The acceptance test: perturb one cell of a really regenerated
+    /// report and the drift pass must flag exactly that cell.
+    #[test]
+    fn drift_report_flags_a_perturbed_figure1_cell() {
+        let fresh = figure1_report();
+        let perturbed = fresh.replace("8192", "9192");
+        assert_ne!(fresh, perturbed, "the capacity column must be present");
+        let drift = compare_section("Figure 1", &perturbed, &fresh, Tolerance::EXACT);
+        assert!(
+            drift
+                .deltas
+                .iter()
+                .any(|d| d.archived == 9192.0 && d.regenerated == 8192.0),
+            "{drift:?}"
+        );
+        let clean = compare_section("Figure 1", &fresh, &fresh, Tolerance::EXACT);
+        assert!(clean.is_clean());
+    }
+
+    /// Every tracked section has an archived block in the repo's
+    /// EXPERIMENTS.md, so the drift binary really guards them all.
+    #[test]
+    fn experiments_md_archives_every_tracked_section() {
+        let markdown = include_str!("../../../EXPERIMENTS.md");
+        let blocks = archived_blocks(markdown);
+        for (name, _) in TRACKED_SECTIONS {
+            assert!(
+                blocks.iter().any(|(key, _)| key == name),
+                "{name} has no archived block"
+            );
+        }
+    }
+}

@@ -12,9 +12,16 @@
 //! into an annotated row while every remaining row is still
 //! regenerated. On the default (unlimited) configuration every row
 //! is ok and the reports are byte-identical to a serial run.
+//!
+//! The [`drift`] module closes the loop: it re-runs every generator
+//! and diffs the output cell-by-cell against the blocks archived in
+//! EXPERIMENTS.md (the `drift_report` binary exits nonzero on
+//! unexplained drift, and CI runs it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod drift;
 
 use psi_machine::{InterpModule, MachineConfig, MachineStats};
 use psi_workloads::runner::{

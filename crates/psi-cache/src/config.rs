@@ -186,4 +186,29 @@ mod tests {
     fn invalid_capacity_panics() {
         CacheConfig::psi_with_capacity(4);
     }
+
+    /// Derived geometry for every configuration the tests use: the
+    /// `tiny()` harness cache is 4 sets (not 2 — 32 words / 4-word
+    /// blocks / 2 ways), the Figure 1 minimum is a single set, and the
+    /// store-through variant keeps the PSI geometry.
+    #[test]
+    fn derived_geometry_of_test_configs() {
+        let tiny = CacheConfig {
+            capacity_words: 32,
+            ..CacheConfig::psi()
+        };
+        assert_eq!(tiny.blocks(), 8);
+        assert_eq!(tiny.sets(), 4);
+        assert_eq!(tiny.ways, 2);
+        tiny.assert_valid();
+
+        let minimum = CacheConfig::psi_with_capacity(8);
+        assert_eq!(minimum.blocks(), 2);
+        assert_eq!(minimum.sets(), 1);
+
+        let st = CacheConfig::psi_store_through();
+        assert_eq!(st.blocks(), 2048);
+        assert_eq!(st.sets(), 1024);
+        assert_eq!(st.ways, 2);
+    }
 }

@@ -23,6 +23,26 @@ impl CacheCommand {
     pub fn is_write(self) -> bool {
         matches!(self, CacheCommand::Write | CacheCommand::WriteStack)
     }
+
+    /// A stable numeric code, used as the payload of cache-access
+    /// observability events ([`psi_core::ObsEvent::cache_access`]).
+    pub fn code(self) -> u32 {
+        match self {
+            CacheCommand::Read => 0,
+            CacheCommand::Write => 1,
+            CacheCommand::WriteStack => 2,
+        }
+    }
+
+    /// Decodes a [`CacheCommand::code`]; `None` for unknown codes.
+    pub fn from_code(code: u32) -> Option<CacheCommand> {
+        match code {
+            0 => Some(CacheCommand::Read),
+            1 => Some(CacheCommand::Write),
+            2 => Some(CacheCommand::WriteStack),
+            _ => None,
+        }
+    }
 }
 
 /// The result of one cache access.
@@ -143,7 +163,7 @@ impl Cache {
                     // Allocate without read-in: the block is claimed and
                     // dirtied but memory is never consulted, so the push
                     // completes within the cycle.
-                    stall += self.allocate_block(base, ways, tag, true, false);
+                    stall += self.allocate_block(base, ways, tag, true, false, 0);
                 } else {
                     stall += self.fetch_block(base, ways, tag, true);
                 }
@@ -156,7 +176,7 @@ impl Cache {
                 if let Some(w) = hit_way {
                     self.touch(base + w);
                 }
-                stall += self.wait_for_memory();
+                stall += self.wait_for_memory(stall);
                 self.occupy_memory_after(stall);
                 self.stats.through_writes += 1;
             }
@@ -191,17 +211,28 @@ impl Cache {
         self.lines[idx].last_used = self.stamp;
     }
 
-    /// Waits until main memory is free; returns the wait in ns.
-    fn wait_for_memory(&self) -> u64 {
-        self.mem_free_at_ns.saturating_sub(self.now_ns)
+    /// Waits until main memory is free, measured from this access's
+    /// current stall point (`now_ns + stall_so_far`); returns the
+    /// extra wait in ns.
+    fn wait_for_memory(&self, stall_so_far: u64) -> u64 {
+        self.mem_free_at_ns
+            .saturating_sub(self.now_ns + stall_so_far)
     }
 
+    /// Marks main memory busy for `memory_busy_ns` beyond this
+    /// access's current stall point. Every memory operation — block
+    /// fetch, write-back, through-write — occupies memory this way, so
+    /// a following operation queues behind it via
+    /// [`Cache::wait_for_memory`].
     fn occupy_memory_after(&mut self, stall_so_far: u64) {
         self.mem_free_at_ns = self.now_ns + stall_so_far + self.config.memory_busy_ns;
     }
 
     /// Picks a victim way in the set, writing back a dirty victim.
-    /// Returns the stall incurred.
+    /// `stall_so_far` is the stall the access has already accumulated,
+    /// so the write-back queues behind any transfer the same access
+    /// started (e.g. its own block fetch). Returns the extra stall
+    /// incurred here.
     fn allocate_block(
         &mut self,
         base: usize,
@@ -209,6 +240,7 @@ impl Cache {
         tag: u32,
         dirty: bool,
         fetched: bool,
+        stall_so_far: u64,
     ) -> u64 {
         let mut victim = 0usize;
         let mut best = u64::MAX;
@@ -228,8 +260,8 @@ impl Cache {
         if line.valid && line.dirty {
             // The dirty victim must be stored before the set entry can
             // be reused; the store occupies memory behind the access.
-            stall += self.wait_for_memory();
-            self.occupy_memory_after(stall);
+            stall += self.wait_for_memory(stall_so_far);
+            self.occupy_memory_after(stall_so_far + stall);
             self.stats.writebacks += 1;
         }
         if fetched {
@@ -246,9 +278,15 @@ impl Cache {
 
     /// Fetches a block from memory into the set. Returns the stall.
     fn fetch_block(&mut self, base: usize, ways: usize, tag: u32, dirty: bool) -> u64 {
-        let mut stall = self.wait_for_memory();
+        let mut stall = self.wait_for_memory(0);
         stall += self.config.miss_extra_ns();
-        stall += self.allocate_block(base, ways, tag, dirty, true);
+        // The block transfer keeps main memory busy beyond the
+        // processor's own miss stall (spec (f)): a back-to-back miss,
+        // a write-back, or a through-write racing this fetch queues
+        // behind it. Omitting this under-counted clustered-miss
+        // stalls.
+        self.occupy_memory_after(stall);
+        stall += self.allocate_block(base, ways, tag, dirty, true, stall);
         stall
     }
 
@@ -287,7 +325,7 @@ mod tests {
     }
 
     fn tiny() -> Cache {
-        // 2 sets x 2 ways x 4-word blocks = 32 words.
+        // 4 sets x 2 ways x 4-word blocks = 32 words.
         Cache::new(CacheConfig::psi_with_capacity(32))
     }
 
@@ -366,6 +404,7 @@ mod tests {
             ..CacheConfig::psi_store_through()
         });
         c.access(CacheCommand::Read, addr(0)); // make it resident
+        c.advance(10_000); // drain the block fetch's memory occupancy
         let w1 = c.access(CacheCommand::Write, addr(0));
         let w2 = c.access(CacheCommand::Write, addr(1));
         assert_eq!(w1.stall_ns, 0, "buffer empty");
@@ -374,6 +413,73 @@ mod tests {
         c.advance(10_000);
         let w3 = c.access(CacheCommand::Write, addr(2));
         assert_eq!(w3.stall_ns, 0);
+    }
+
+    /// Regression: `fetch_block` used to leave `mem_free_at_ns`
+    /// untouched, so the block transfer of a miss never occupied main
+    /// memory and an immediately following miss paid only its own
+    /// transfer stall. The second of two back-to-back misses must also
+    /// wait out the first fetch's remaining occupancy.
+    #[test]
+    fn back_to_back_misses_queue_on_memory() {
+        let mut c = tiny();
+        let m1 = c.access(CacheCommand::Read, addr(0));
+        let m2 = c.access(CacheCommand::Read, addr(4));
+        assert_eq!(m1.stall_ns, 600, "first miss: transfer only");
+        assert_eq!(
+            m2.stall_ns,
+            600 + 600,
+            "second miss: residual occupancy + transfer"
+        );
+        // Enough computation time between misses drains the occupancy.
+        c.advance(10_000);
+        let m3 = c.access(CacheCommand::Read, addr(8));
+        assert_eq!(m3.stall_ns, 600, "drained: transfer only");
+        // Hit ratios are untouched by the timing fix: three accesses,
+        // three misses, exactly three block fetches.
+        assert_eq!(c.stats().total().accesses(), 3);
+        assert_eq!(c.stats().total().hits(), 0);
+        assert_eq!(c.stats().block_fetches, 3);
+    }
+
+    /// Regression: a through-write racing a just-issued block fetch
+    /// must queue behind the fetch's memory occupancy.
+    #[test]
+    fn through_write_queues_behind_block_fetch() {
+        let mut c = Cache::new(CacheConfig {
+            capacity_words: 32,
+            ..CacheConfig::psi_store_through()
+        });
+        let miss = c.access(CacheCommand::Read, addr(0));
+        assert_eq!(miss.stall_ns, 600);
+        let w = c.access(CacheCommand::Write, addr(0));
+        assert!(
+            w.stall_ns > 0,
+            "write must wait for the in-flight fetch, got {}",
+            w.stall_ns
+        );
+    }
+
+    /// A dirty eviction behind the same access's block fetch queues
+    /// its write-back after the fetch instead of re-waiting the stale
+    /// pre-fetch period (the old code double-counted the initial wait
+    /// and never serialized the write-back behind the fetch).
+    #[test]
+    fn dirty_eviction_queues_writeback_behind_own_fetch() {
+        let mut c = tiny();
+        // Dirty both ways of set 0 without any fetch traffic.
+        c.access(CacheCommand::WriteStack, addr(0));
+        c.access(CacheCommand::WriteStack, addr(16));
+        c.advance(10_000);
+        // Store-in write miss in set 0: fetches the new block and must
+        // write back the LRU dirty victim behind that fetch.
+        let out = c.access(CacheCommand::Write, addr(32));
+        assert_eq!(c.stats().writebacks, 1);
+        assert!(
+            out.stall_ns > 600,
+            "write-back must add stall beyond the fetch, got {}",
+            out.stall_ns
+        );
     }
 
     #[test]
@@ -396,7 +502,7 @@ mod tests {
         let mut c = tiny();
         let time = c.run_trace(&trace, 200);
         // 10 steps of 200 ns + 10 cold misses of 600 ns each... but the
-        // tiny cache holds only 8 blocks (2 sets x 2 ways x ...) so all
+        // tiny cache holds only 8 blocks (4 sets x 2 ways) so all
         // 10 are misses: at least 2000 + 6000.
         assert!(time >= 2000 + 6 * 600, "time = {time}");
         assert_eq!(c.stats().total().accesses(), 10);

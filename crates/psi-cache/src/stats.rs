@@ -150,6 +150,16 @@ mod tests {
         assert_eq!(s.read_write_ratio(), None);
         assert_eq!(s.write_stack_share_pct(), None);
         assert_eq!(s.total().accesses(), 0);
+        // No 0/0 → NaN anywhere on fresh stats: per-area ratios are
+        // None and the share table is exactly zero.
+        for area in Area::ALL {
+            assert_eq!(s.area(area).hit_ratio_pct(), None);
+            assert_eq!(s.area(area).misses(), 0);
+        }
+        for share in s.area_shares_pct() {
+            assert_eq!(share, 0.0);
+            assert!(share.is_finite());
+        }
     }
 
     #[test]

@@ -250,6 +250,38 @@ mod tests {
         }
     }
 
+    /// `from_raw` over the whole 3-bit area field: the five valid
+    /// encodings decode to their area, and the three invalid encodings
+    /// (5, 6, 7) are rejected — for every process and representative
+    /// offset, so a flipped area bit in a persisted trace can never
+    /// resurface as a different valid address.
+    #[test]
+    fn from_raw_covers_all_eight_area_encodings() {
+        for p in 0..4u32 {
+            for offset in [0u32, 1, OFFSET_MASK] {
+                for area_bits in 0..8u32 {
+                    let raw = (p << PROC_SHIFT) | (area_bits << AREA_SHIFT) | offset;
+                    match Address::from_raw(raw) {
+                        Some(a) => {
+                            assert!(
+                                (area_bits as usize) < AREA_COUNT,
+                                "invalid area {area_bits} decoded"
+                            );
+                            assert_eq!(a.area().index(), area_bits as usize);
+                            assert_eq!(a.process().get(), p as u8);
+                            assert_eq!(a.offset(), offset);
+                            assert_eq!(a.raw(), raw);
+                        }
+                        None => assert!(
+                            (area_bits as usize) >= AREA_COUNT,
+                            "valid area {area_bits} rejected"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     #[should_panic(expected = "out of range")]
     fn oversized_offset_panics() {

@@ -30,6 +30,33 @@ pub enum Resource {
     WallClockMs,
 }
 
+impl Resource {
+    /// Every resource, in code order.
+    pub const ALL: [Resource; 7] = [
+        Resource::Steps,
+        Resource::HeapWords,
+        Resource::LocalWords,
+        Resource::GlobalWords,
+        Resource::ControlWords,
+        Resource::TrailWords,
+        Resource::WallClockMs,
+    ];
+
+    /// A stable numeric code, used as the payload of governor-trip
+    /// observability events (see [`crate::ObsEvent::governor_trip`]).
+    pub fn code(self) -> u32 {
+        Resource::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("every resource is in ALL") as u32
+    }
+
+    /// Decodes a [`Resource::code`]; `None` for unknown codes.
+    pub fn from_code(code: u32) -> Option<Resource> {
+        Resource::ALL.get(code as usize).copied()
+    }
+}
+
 impl fmt::Display for Resource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {

@@ -1,0 +1,183 @@
+//! Typed observability events.
+//!
+//! Every instrumented subsystem (the interpreter dispatch loop, the
+//! cache-backed memory bus, the resource governor) emits the same
+//! fixed-size [`ObsEvent`] record into a bounded ring buffer (the
+//! `EventRing` in `psi-obs`). Events are pure `Copy` data: recording
+//! one is a bit copy into pre-allocated storage, never a heap
+//! allocation, so tracing can be left on around the hot path.
+//!
+//! The numeric `code` of each [`EventKind`] and the payload layout are
+//! stable — they are the wire format of the JSON-lines exporter in
+//! `psi-tools` — so add new kinds at the end and never renumber.
+
+use std::fmt;
+
+/// What an [`ObsEvent`] describes. The `u8` code is the stable wire
+/// encoding used by the event exporter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// One goal dispatch in the interpreter main loop.
+    /// Payload: `a` = code pointer of the dispatched goal word.
+    Dispatch = 0,
+    /// One counted memory access. Payload: `a` = cache command code
+    /// (0 read, 1 write, 2 write-stack), `b` = memory-area index
+    /// ([`crate::Area`] order), `c` = 1 on a cache hit, 0 on a miss.
+    CacheAccess = 1,
+    /// One backtrack (a choice point was retried or discarded).
+    /// Payload: `a` = choice points remaining afterwards.
+    Backtrack = 2,
+    /// One periodic resource-governor budget check (every
+    /// `GOVERNOR_INTERVAL` dispatches). No payload.
+    GovernorCheck = 3,
+    /// A governor budget trip. Payload: `a` = exhausted resource code
+    /// ([`crate::Resource::code`]).
+    GovernorTrip = 4,
+}
+
+impl EventKind {
+    /// Every kind, in code order.
+    pub const ALL: [EventKind; 5] = [
+        EventKind::Dispatch,
+        EventKind::CacheAccess,
+        EventKind::Backtrack,
+        EventKind::GovernorCheck,
+        EventKind::GovernorTrip,
+    ];
+
+    /// The stable wire code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire code; `None` for codes this build does not know.
+    pub fn from_code(code: u8) -> Option<EventKind> {
+        EventKind::ALL.get(code as usize).copied()
+    }
+
+    /// A short stable label (used in summaries and exports).
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Dispatch => "dispatch",
+            EventKind::CacheAccess => "cache",
+            EventKind::Backtrack => "backtrack",
+            EventKind::GovernorCheck => "governor_check",
+            EventKind::GovernorTrip => "governor_trip",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One observability event: a timestamped, fixed-size `Copy` record.
+///
+/// `step` is the microstep counter at the time of the event; the three
+/// payload words are interpreted per [`EventKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// Microstep at which the event occurred.
+    pub step: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (meaning depends on `kind`).
+    pub a: u32,
+    /// Second payload word.
+    pub b: u32,
+    /// Third payload word.
+    pub c: u32,
+}
+
+impl ObsEvent {
+    /// A dispatch event at `step` for the goal word at `code_ptr`.
+    pub fn dispatch(step: u64, code_ptr: u32) -> ObsEvent {
+        ObsEvent {
+            step,
+            kind: EventKind::Dispatch,
+            a: code_ptr,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    /// A cache access event: `command` code, `area` index, hit flag.
+    pub fn cache_access(step: u64, command: u32, area: u32, hit: bool) -> ObsEvent {
+        ObsEvent {
+            step,
+            kind: EventKind::CacheAccess,
+            a: command,
+            b: area,
+            c: hit as u32,
+        }
+    }
+
+    /// A backtrack event with `remaining` live choice points.
+    pub fn backtrack(step: u64, remaining: u32) -> ObsEvent {
+        ObsEvent {
+            step,
+            kind: EventKind::Backtrack,
+            a: remaining,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    /// A periodic governor budget check.
+    pub fn governor_check(step: u64) -> ObsEvent {
+        ObsEvent {
+            step,
+            kind: EventKind::GovernorCheck,
+            a: 0,
+            b: 0,
+            c: 0,
+        }
+    }
+
+    /// A governor budget trip on the resource with code `resource`.
+    pub fn governor_trip(step: u64, resource: u32) -> ObsEvent {
+        ObsEvent {
+            step,
+            kind: EventKind::GovernorTrip,
+            a: resource,
+            b: 0,
+            c: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_unknown_codes_decode_to_none() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(EventKind::from_code(EventKind::ALL.len() as u8), None);
+        assert_eq!(EventKind::from_code(u8::MAX), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        for (i, a) in EventKind::ALL.iter().enumerate() {
+            for b in &EventKind::ALL[i + 1..] {
+                assert_ne!(a.label(), b.label());
+            }
+        }
+    }
+
+    #[test]
+    fn constructors_fill_payloads() {
+        let e = ObsEvent::cache_access(7, 2, 1, true);
+        assert_eq!(e.step, 7);
+        assert_eq!(e.kind, EventKind::CacheAccess);
+        assert_eq!((e.a, e.b, e.c), (2, 1, 1));
+        assert_eq!(ObsEvent::backtrack(1, 3).a, 3);
+        assert_eq!(ObsEvent::governor_trip(9, 0).kind, EventKind::GovernorTrip);
+    }
+}

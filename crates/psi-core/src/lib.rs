@@ -28,12 +28,14 @@
 
 mod address;
 mod error;
+mod event;
 mod symbol;
 mod tag;
 mod word;
 
 pub use address::{Address, Area, ProcessId, AREA_COUNT};
 pub use error::{PsiError, Resource, Result};
+pub use event::{EventKind, ObsEvent};
 pub use symbol::{SymbolId, SymbolTable};
 pub use tag::Tag;
 pub use word::{Functor, Word};

@@ -565,6 +565,12 @@ impl Machine {
         let result = self.backtrack_loop(&mut cp_args);
         cp_args.clear();
         self.scratch_cp_args = cp_args;
+        let remaining = self.procs[self.cur].cps.len() as u32;
+        self.metrics.incr(psi_obs::Counter::Backtracks);
+        self.metrics
+            .observe(psi_obs::Histo::BacktrackDepth, remaining as u64);
+        let ev = psi_core::ObsEvent::backtrack(self.bus.step(), remaining);
+        self.bus.record_event(ev);
         result
     }
 

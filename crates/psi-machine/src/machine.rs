@@ -5,8 +5,9 @@ use crate::ucode::{BranchOp, BranchTally, InterpModule, MicroTally, ModuleTally}
 use crate::wf::{WfStats, WorkFile};
 use kl0::{LoweredProgram, Program, Term};
 use psi_cache::{CacheConfig, CacheStats};
-use psi_core::{Address, Area, ProcessId, PsiError, Resource, Result, SymbolId, Word};
+use psi_core::{Address, Area, ObsEvent, ProcessId, PsiError, Resource, Result, SymbolId, Word};
 use psi_mem::{MemBus, TraceEntry};
+use psi_obs::{Counter, Histo, MetricsRegistry, MetricsSnapshot};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -102,6 +103,10 @@ pub struct MachineConfig {
     pub tail_recursion_opt: bool,
     /// Record a memory trace (COLLECT mode) for PMMS replay.
     pub trace_memory: bool,
+    /// Record observability events (dispatch, cache, backtrack,
+    /// governor) into the bounded event ring. Off by default; while
+    /// off, every emission site pays only a branch.
+    pub trace_events: bool,
 }
 
 impl MachineConfig {
@@ -115,6 +120,7 @@ impl MachineConfig {
             frame_buffering: true,
             tail_recursion_opt: true,
             trace_memory: false,
+            trace_events: false,
         }
     }
 
@@ -410,6 +416,14 @@ pub struct Machine {
     pub(crate) run_started: Option<Instant>,
     /// Dispatches left until the next governor check.
     pub(crate) governor_countdown: u32,
+    /// Live observability counters/histograms. Fixed-size arrays, so
+    /// recording never allocates; module steps and cache counters are
+    /// mirrored in at snapshot time ([`Machine::metrics_snapshot`])
+    /// instead of being double-counted on the hot path.
+    pub(crate) metrics: MetricsRegistry,
+    /// Stall time at the start of the current run (for the per-run
+    /// stall histogram).
+    pub(crate) run_base_stall_ns: u64,
 }
 
 /// Internal control-flow outcome of dispatching one goal.
@@ -447,6 +461,9 @@ impl Machine {
         if config.trace_memory {
             bus.enable_trace();
         }
+        if config.trace_events {
+            bus.set_events_enabled(true);
+        }
         let mut machine = Machine {
             config,
             image,
@@ -467,6 +484,8 @@ impl Machine {
             run_base_steps: 0,
             run_started: None,
             governor_countdown: GOVERNOR_INTERVAL,
+            metrics: MetricsRegistry::new(),
+            run_base_stall_ns: 0,
         };
         machine.sync_code()?;
         Ok(machine)
@@ -524,7 +543,9 @@ impl Machine {
         }
         self.reset_run_state();
         self.start_query(0, &qc)?;
-        self.run(max_solutions)
+        let out = self.run(max_solutions);
+        self.record_run_metrics();
+        out
     }
 
     /// Spawns a background process executing `goal_src`. Background
@@ -571,7 +592,9 @@ impl Machine {
             self.spawn_background(bg)?;
         }
         self.start_query(0, &qc)?;
-        self.run(1)
+        let out = self.run(1);
+        self.record_run_metrics();
+        out
     }
 
     fn reset_run_state(&mut self) {
@@ -597,8 +620,18 @@ impl Machine {
         // this run only, and the clock is read only when a deadline is
         // actually configured.
         self.run_base_steps = self.tally.steps();
+        self.run_base_stall_ns = self.bus.stall_ns();
         self.run_started = self.config.limits.deadline.map(|_| Instant::now());
         self.governor_countdown = GOVERNOR_INTERVAL;
+    }
+
+    /// Folds the finished (or aborted) run into the per-run metrics
+    /// histograms.
+    fn record_run_metrics(&mut self) {
+        let steps = self.tally.steps().saturating_sub(self.run_base_steps);
+        let stall = self.bus.stall_ns().saturating_sub(self.run_base_stall_ns);
+        self.metrics.observe(Histo::RunSteps, steps);
+        self.metrics.observe(Histo::RunStallNs, stall);
     }
 
     /// Resets all measurement state (step tallies, WF stats, cache
@@ -612,9 +645,11 @@ impl Machine {
         self.user_calls = 0;
         self.builtin_calls = 0;
         self.output.clear();
+        self.metrics.reset();
         // The step counters restart from zero; rebase the step budget
         // so a mid-run reset cannot underflow the consumed delta.
         self.run_base_steps = 0;
+        self.run_base_stall_ns = 0;
     }
 
     /// A snapshot of all measured quantities.
@@ -665,6 +700,60 @@ impl Machine {
     pub fn set_trace_memory(&mut self, enabled: bool) {
         self.config.trace_memory = enabled;
         self.bus.set_trace_enabled(enabled);
+    }
+
+    /// The live observability registry: counters recorded by the
+    /// interpreter's hooks so far (dispatches, backtracks, solutions,
+    /// governor activity). Module steps and cache counters are *not*
+    /// in here — they stay in their single-source tallies and are
+    /// mirrored in by [`Machine::metrics_snapshot`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Freezes a complete metrics snapshot: the live registry plus
+    /// mirrors of the per-module step tally (Table 2 raw counts) and
+    /// the cache statistics (Tables 3–5 raw counts), so one `Copy`
+    /// struct carries every measured quantity. With the `psi-obs`
+    /// crate feature `noop` the snapshot is all zeros.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut reg = self.metrics;
+        for m in InterpModule::ALL {
+            reg.add_module_steps(m.index(), self.tally.modules.count(m));
+        }
+        let cache = self.bus.cache_stats();
+        let t = cache.total();
+        reg.add(Counter::CacheHits, t.hits());
+        reg.add(Counter::CacheMisses, t.misses());
+        reg.add(Counter::CacheReads, t.reads);
+        reg.add(Counter::CacheWrites, t.writes);
+        reg.add(Counter::CacheWriteStacks, t.write_stacks);
+        reg.add(Counter::Writebacks, cache.writebacks);
+        reg.add(Counter::BlockFetches, cache.block_fetches);
+        reg.add(Counter::ThroughWrites, cache.through_writes);
+        reg.add(Counter::EventsDropped, self.bus.events_dropped());
+        reg.snapshot()
+    }
+
+    /// Enables or disables observability event tracing at runtime.
+    /// Off by default; while off, every emission site (dispatch loop,
+    /// memory bus, governor) pays only a branch. Disabling discards
+    /// recorded events.
+    pub fn set_event_trace(&mut self, enabled: bool) {
+        self.config.trace_events = enabled;
+        self.bus.set_events_enabled(enabled);
+    }
+
+    /// Copies out the recorded observability events in chronological
+    /// order and clears the ring. Empty while event tracing is off.
+    pub fn take_events(&mut self) -> Vec<ObsEvent> {
+        self.bus.take_events()
+    }
+
+    /// Events lost to ring overwrite since tracing was enabled or
+    /// events were last taken.
+    pub fn events_dropped(&self) -> u64 {
+        self.bus.events_dropped()
     }
 
     /// The compiled code image (for inspection and tooling).
@@ -758,6 +847,7 @@ impl Machine {
                 Flow::Solution => {
                     if self.cur == 0 {
                         solutions.push(self.capture_solution()?);
+                        self.metrics.incr(Counter::Solutions);
                         if solutions.len() >= max_solutions {
                             return Ok(solutions);
                         }
@@ -811,9 +901,22 @@ impl Machine {
         self.governor_countdown -= 1;
         if self.governor_countdown == 0 {
             self.governor_countdown = GOVERNOR_INTERVAL;
-            self.check_budgets()?;
+            self.metrics.incr(Counter::GovernorChecks);
+            let check_ev = ObsEvent::governor_check(self.bus.step());
+            self.bus.record_event(check_ev);
+            if let Err(e) = self.check_budgets() {
+                if let PsiError::ResourceExhausted { resource, .. } = &e {
+                    self.metrics.incr(Counter::GovernorTrips);
+                    let trip_ev = ObsEvent::governor_trip(self.bus.step(), resource.code());
+                    self.bus.record_event(trip_ev);
+                }
+                return Err(e);
+            }
         }
+        self.metrics.incr(Counter::Dispatches);
         let code_ptr = self.procs[self.cur].regs.code_ptr;
+        let dispatch_ev = ObsEvent::dispatch(self.bus.step(), code_ptr);
+        self.bus.record_event(dispatch_ev);
         let w = self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, code_ptr)?;
         match w.tag() {
             psi_core::Tag::Goal => self.handle_user_call(w, code_ptr),

@@ -3,7 +3,8 @@
 
 use crate::{AddressTranslation, Memory};
 use psi_cache::{Cache, CacheCommand, CacheConfig, CacheStats};
-use psi_core::{Address, Result, Word};
+use psi_core::{Address, ObsEvent, Result, Word};
+use psi_obs::EventRing;
 
 /// One traced memory access: the microstep at which it happened, the
 /// cache command, and the logical address. This is exactly what the
@@ -47,6 +48,9 @@ pub struct MemBus {
     stall_ns: u64,
     step: u64,
     trace: Option<Vec<TraceEntry>>,
+    /// Observability event ring: `None` (the default) records nothing
+    /// and costs one branch per access, like `trace`.
+    events: Option<Box<EventRing>>,
 }
 
 impl MemBus {
@@ -64,6 +68,7 @@ impl MemBus {
             stall_ns: 0,
             step: 0,
             trace: None,
+            events: None,
         }
     }
 
@@ -82,6 +87,7 @@ impl MemBus {
             stall_ns: 0,
             step: 0,
             trace: None,
+            events: None,
         }
     }
 
@@ -114,6 +120,57 @@ impl MemBus {
             Some(t) => std::mem::take(t),
             None => Vec::new(),
         }
+    }
+
+    /// Enables or disables observability event recording. Enabling
+    /// allocates the bounded ring once (capacity
+    /// [`psi_obs::DEFAULT_EVENT_CAPACITY`]); a full ring overwrites
+    /// its oldest event. Disabling drops the ring and returns the bus
+    /// to the one-branch-per-access path.
+    pub fn set_events_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.events.is_none() {
+                self.events = Some(Box::new(EventRing::new()));
+            }
+        } else {
+            self.events = None;
+        }
+    }
+
+    /// Whether observability event recording is enabled.
+    pub fn events_enabled(&self) -> bool {
+        self.events.is_some()
+    }
+
+    /// Records an externally produced event (the interpreter pushes
+    /// its dispatch/backtrack/governor events through here so machine
+    /// and cache events share one chronological ring). No-op while
+    /// event recording is disabled.
+    #[inline]
+    pub fn record_event(&mut self, event: ObsEvent) {
+        if let Some(ring) = &mut self.events {
+            ring.push(event);
+        }
+    }
+
+    /// Copies out the recorded events in chronological order and
+    /// clears the ring, leaving recording enabled. Returns an empty
+    /// vector while recording is disabled.
+    pub fn take_events(&mut self) -> Vec<ObsEvent> {
+        match &mut self.events {
+            Some(ring) => {
+                let out = ring.to_vec();
+                ring.clear();
+                out
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Events overwritten by the full ring since recording was enabled
+    /// or last taken.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.as_ref().map_or(0, |r| r.dropped())
     }
 
     /// Called by the interpreter once per microinstruction step so the
@@ -158,6 +215,9 @@ impl MemBus {
         if let Some(t) = &mut self.trace {
             t.clear();
         }
+        if let Some(ring) = &mut self.events {
+            ring.clear();
+        }
     }
 
     /// The backing storage (for checkpointing in tests).
@@ -187,10 +247,11 @@ impl MemBus {
                 address: addr,
             });
         }
-        match &mut self.attachment {
+        let hit = match &mut self.attachment {
             Attachment::Cached(c) => {
                 let out = c.access(cmd, addr);
                 self.stall_ns += out.stall_ns;
+                out.hit
             }
             Attachment::Uncached {
                 stats,
@@ -204,7 +265,16 @@ impl MemBus {
                 }
                 stats.stall_ns += *miss_extra_ns;
                 self.stall_ns += *miss_extra_ns;
+                false
             }
+        };
+        if let Some(ring) = &mut self.events {
+            ring.push(ObsEvent::cache_access(
+                self.step,
+                cmd.code(),
+                addr.area().index() as u32,
+                hit,
+            ));
         }
     }
 
@@ -330,6 +400,35 @@ mod tests {
         assert_eq!(trace[1].step, 2);
         assert_eq!(trace[1].command, CacheCommand::WriteStack);
         assert_eq!(trace[1].address, addr(0));
+    }
+
+    #[test]
+    fn event_ring_records_cache_accesses_chronologically() {
+        use psi_core::EventKind;
+        let mut bus = MemBus::with_psi_cache();
+        assert!(!bus.events_enabled());
+        bus.write_stack(addr(0), Word::int(1)).unwrap(); // not recorded yet
+        bus.set_events_enabled(true);
+        bus.tick(200);
+        bus.read(addr(0)).unwrap(); // hit
+        bus.tick(200);
+        bus.read(addr(4096)).unwrap_err(); // miss (unwritten, still counted)
+        bus.record_event(psi_core::ObsEvent::backtrack(bus.step(), 2));
+        let events = bus.take_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::CacheAccess);
+        assert_eq!(events[0].step, 1);
+        assert_eq!(events[0].a, CacheCommand::Read.code());
+        assert_eq!(events[0].c, 1, "resident block: hit");
+        assert_eq!(events[1].c, 0, "cold block: miss");
+        assert_eq!(events[2].kind, EventKind::Backtrack);
+        assert_eq!(bus.events_dropped(), 0);
+        // Taking drains the ring but keeps recording on.
+        assert!(bus.events_enabled());
+        assert!(bus.take_events().is_empty());
+        bus.set_events_enabled(false);
+        bus.write(addr(0), Word::int(2)).unwrap();
+        assert!(bus.take_events().is_empty());
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Observability-event export: JSON-lines persistence for
+//! [`psi_core::ObsEvent`] streams.
+//!
+//! Events come out of the machine's bounded ring
+//! (`Machine::take_events`) and are persisted one JSON object per
+//! line, so exports can be streamed, concatenated and grepped. The
+//! codec is hand-rolled like the trace codec in [`crate::collect`]:
+//! the objects are flat, the fields are integers, and the `kind`
+//! field is the stable wire code of [`psi_core::EventKind`].
+
+use psi_core::{EventKind, ObsEvent, PsiError, Result};
+use std::io::{Read, Write};
+
+fn io_err(e: std::io::Error) -> PsiError {
+    PsiError::Compile {
+        detail: format!("event serialization failed: {e}"),
+    }
+}
+
+fn parse_err(detail: impl Into<String>) -> PsiError {
+    PsiError::Compile {
+        detail: format!("event deserialization failed: {}", detail.into()),
+    }
+}
+
+/// Serializes events as JSON lines: each event becomes one line
+/// `{"step":N,"kind":K,"a":A,"b":B,"c":C}` where `K` is the stable
+/// [`EventKind::code`].
+///
+/// # Errors
+///
+/// Returns [`PsiError::Compile`] wrapping write failures.
+pub fn save_events<W: Write>(events: &[ObsEvent], mut writer: W) -> Result<()> {
+    let mut out = String::with_capacity(events.len() * 48);
+    for e in events {
+        out.push_str(&format!(
+            "{{\"step\":{},\"kind\":{},\"a\":{},\"b\":{},\"c\":{}}}\n",
+            e.step,
+            e.kind.code(),
+            e.a,
+            e.b,
+            e.c
+        ));
+    }
+    writer.write_all(out.as_bytes()).map_err(io_err)
+}
+
+/// Deserializes events from the JSON-lines format [`save_events`]
+/// produces. Blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns [`PsiError::Compile`] on malformed lines or unknown event
+/// kinds.
+pub fn load_events<R: Read>(mut reader: R) -> Result<Vec<ObsEvent>> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| parse_err(e.to_string()))?;
+    let mut events = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = line
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| parse_err(format!("expected an object, got `{line}`")))?;
+        let mut step = None;
+        let mut kind = None;
+        let mut a = None;
+        let mut b = None;
+        let mut c = None;
+        for field in obj.split(',') {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| parse_err(format!("malformed field `{field}`")))?;
+            let value = value.trim();
+            match key.trim().trim_matches('"') {
+                "step" => step = Some(value.parse::<u64>().map_err(|e| parse_err(e.to_string()))?),
+                "kind" => {
+                    let code = value.parse::<u8>().map_err(|e| parse_err(e.to_string()))?;
+                    kind = Some(
+                        EventKind::from_code(code)
+                            .ok_or_else(|| parse_err(format!("unknown event kind {code}")))?,
+                    );
+                }
+                "a" => a = Some(value.parse::<u32>().map_err(|e| parse_err(e.to_string()))?),
+                "b" => b = Some(value.parse::<u32>().map_err(|e| parse_err(e.to_string()))?),
+                "c" => c = Some(value.parse::<u32>().map_err(|e| parse_err(e.to_string()))?),
+                other => return Err(parse_err(format!("unknown key `{other}`"))),
+            }
+        }
+        events.push(ObsEvent {
+            step: step.ok_or_else(|| parse_err("missing step"))?,
+            kind: kind.ok_or_else(|| parse_err("missing kind"))?,
+            a: a.ok_or_else(|| parse_err("missing a"))?,
+            b: b.ok_or_else(|| parse_err("missing b"))?,
+            c: c.ok_or_else(|| parse_err("missing c"))?,
+        });
+    }
+    Ok(events)
+}
+
+/// Summary statistics of an event stream: per-kind counts plus the
+/// cache hit/miss split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventSummary {
+    /// Events in the stream.
+    pub events: usize,
+    /// Steps spanned (last step − first step).
+    pub steps_spanned: u64,
+    /// Goal dispatches.
+    pub dispatches: usize,
+    /// Cache accesses.
+    pub cache_accesses: usize,
+    /// Cache accesses that hit.
+    pub cache_hits: usize,
+    /// Backtracks.
+    pub backtracks: usize,
+    /// Governor budget checks.
+    pub governor_checks: usize,
+    /// Governor budget trips.
+    pub governor_trips: usize,
+}
+
+/// Summarizes an event stream.
+pub fn summarize_events(events: &[ObsEvent]) -> EventSummary {
+    let mut s = EventSummary {
+        events: events.len(),
+        ..EventSummary::default()
+    };
+    if let (Some(first), Some(last)) = (events.first(), events.last()) {
+        s.steps_spanned = last.step.saturating_sub(first.step);
+    }
+    for e in events {
+        match e.kind {
+            EventKind::Dispatch => s.dispatches += 1,
+            EventKind::CacheAccess => {
+                s.cache_accesses += 1;
+                if e.c == 1 {
+                    s.cache_hits += 1;
+                }
+            }
+            EventKind::Backtrack => s.backtracks += 1,
+            EventKind::GovernorCheck => s.governor_checks += 1,
+            EventKind::GovernorTrip => s.governor_trips += 1,
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<ObsEvent> {
+        vec![
+            ObsEvent::dispatch(1, 0x40),
+            ObsEvent::cache_access(1, 0, 0, true),
+            ObsEvent::cache_access(2, 2, 1, false),
+            ObsEvent::backtrack(3, 2),
+            ObsEvent::governor_check(4),
+            ObsEvent::governor_trip(5, 0),
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_bit_identically() {
+        let events = sample();
+        let mut buf = Vec::new();
+        save_events(&events, &mut buf).unwrap();
+        let loaded = load_events(buf.as_slice()).unwrap();
+        assert_eq!(events, loaded);
+        assert_eq!(summarize_events(&events), summarize_events(&loaded));
+    }
+
+    #[test]
+    fn summary_counts_kinds_and_hits() {
+        let s = summarize_events(&sample());
+        assert_eq!(s.events, 6);
+        assert_eq!(s.steps_spanned, 4);
+        assert_eq!(s.dispatches, 1);
+        assert_eq!(s.cache_accesses, 2);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.backtracks, 1);
+        assert_eq!(s.governor_checks, 1);
+        assert_eq!(s.governor_trips, 1);
+    }
+
+    #[test]
+    fn empty_stream_loads_and_summarizes() {
+        assert!(load_events(&b""[..]).unwrap().is_empty());
+        assert_eq!(summarize_events(&[]), EventSummary::default());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(load_events(&b"not json\n"[..]).is_err());
+        assert!(
+            load_events(&b"{\"step\":1}\n"[..]).is_err(),
+            "missing fields"
+        );
+        let unknown_kind = b"{\"step\":1,\"kind\":99,\"a\":0,\"b\":0,\"c\":0}\n";
+        let err = load_events(&unknown_kind[..]).unwrap_err();
+        assert!(err.to_string().contains("unknown event kind"), "{err}");
+    }
+}

@@ -3,6 +3,8 @@
 //! * [`collect`] — COLLECT: capture and persist execution traces
 //!   (microstep-stamped cache commands with addresses), as the
 //!   console-processor tool dumped them "onto a flexible disk";
+//! * [`events`] — export/import of observability event streams
+//!   (JSON lines) captured from the machine's bounded event ring;
 //! * [`map`] — MAP: count microinstruction field patterns, producing
 //!   the work-file (Table 6) and branch (Table 7) analyses;
 //! * [`pmms`] — PMMS: replay a collected trace through arbitrary
@@ -14,5 +16,6 @@
 #![warn(missing_docs)]
 
 pub mod collect;
+pub mod events;
 pub mod map;
 pub mod pmms;

@@ -362,6 +362,27 @@ impl SuiteReport {
             self.panicked_count(),
         )
     }
+
+    /// The suite outcomes as an observability snapshot: one
+    /// [`psi_obs::Counter`] per [`Outcome`] class, plus the retries
+    /// spent on transient outcomes. Mergeable with machine snapshots
+    /// through the shared counter index space.
+    pub fn metrics(&self) -> psi_obs::MetricsSnapshot {
+        use psi_obs::Counter;
+        let mut reg = psi_obs::MetricsRegistry::new();
+        reg.add(Counter::SuiteOk, self.ok_count() as u64);
+        reg.add(Counter::SuiteExhausted, self.exhausted_count() as u64);
+        reg.add(Counter::SuiteTimedOut, self.timed_out_count() as u64);
+        reg.add(Counter::SuiteFailed, self.failed_count() as u64);
+        reg.add(Counter::SuitePanicked, self.panicked_count() as u64);
+        let retries: u64 = self
+            .rows
+            .iter()
+            .map(|r| r.attempts.saturating_sub(1) as u64)
+            .sum();
+        reg.add(Counter::SuiteRetries, retries);
+        reg.snapshot()
+    }
 }
 
 /// Runs a suite on the PSI simulator under the given isolation policy
@@ -619,6 +640,31 @@ mod tests {
         assert_eq!(report.rows[0].attempts, 3, "1 attempt + 2 retries");
         assert_eq!(calls.load(Ordering::SeqCst), 3);
         assert_eq!(report.panicked_count(), 1);
+    }
+
+    #[test]
+    fn suite_metrics_snapshot_counts_outcomes_and_retries() {
+        use psi_obs::Counter;
+        let workloads = vec![contest::nreverse(6), contest::quick_sort(8)];
+        let config = MachineConfig::psi();
+        let options = SuiteOptions {
+            threads: 1,
+            max_retries: 1,
+            ..SuiteOptions::default()
+        };
+        let report = run_suite_governed_with_runner(&workloads, &config, &options, |w, c| {
+            if w.name == "nreverse" {
+                panic!("injected workload panic");
+            }
+            run_on_psi(w, c)
+        });
+        let m = report.metrics();
+        assert_eq!(m.get(Counter::SuiteOk), 1);
+        assert_eq!(m.get(Counter::SuitePanicked), 1);
+        assert_eq!(m.get(Counter::SuiteExhausted), 0);
+        assert_eq!(m.get(Counter::SuiteTimedOut), 0);
+        assert_eq!(m.get(Counter::SuiteFailed), 0);
+        assert_eq!(m.get(Counter::SuiteRetries), 1, "one retry on the panic");
     }
 
     #[test]
