@@ -39,4 +39,4 @@ mod term;
 
 pub use lower::{FlatClause, FlatGoal, LoweredProgram};
 pub use program::{Clause, PredicateKey, Program};
-pub use term::Term;
+pub use term::{ArgShape, Term};

@@ -148,6 +148,54 @@ impl Term {
             _ => self.clone(),
         }
     }
+
+    /// The indexable shape of the term as a clause-head argument, used
+    /// by back ends to build first-argument clause indexes. Cons cells
+    /// classify as [`ArgShape::List`] regardless of their elements
+    /// (all lists share one switch-on-term bucket).
+    ///
+    /// ```
+    /// use kl0::{ArgShape, Term};
+    /// assert_eq!(Term::var("X").arg_shape(), ArgShape::Var);
+    /// assert_eq!(Term::nil().arg_shape(), ArgShape::Nil);
+    /// assert_eq!(Term::atom("foo").arg_shape(), ArgShape::Atom("foo"));
+    /// assert_eq!(Term::int(7).arg_shape(), ArgShape::Int(7));
+    /// let cons = Term::cons(Term::int(1), Term::nil());
+    /// assert_eq!(cons.arg_shape(), ArgShape::List);
+    /// let t = Term::compound("f", vec![Term::var("X"), Term::var("Y")]);
+    /// assert_eq!(t.arg_shape(), ArgShape::Struct("f", 2));
+    /// ```
+    pub fn arg_shape(&self) -> ArgShape<'_> {
+        match self {
+            Term::Var(_) => ArgShape::Var,
+            Term::Atom(a) if a == "[]" => ArgShape::Nil,
+            Term::Atom(a) => ArgShape::Atom(a),
+            Term::Int(i) => ArgShape::Int(*i),
+            Term::Struct(f, args) if f == "." && args.len() == 2 => ArgShape::List,
+            Term::Struct(f, args) => ArgShape::Struct(f, args.len()),
+        }
+    }
+}
+
+/// The shape of a term viewed as a first-argument index key (the
+/// classification of WAM-style switch-on-term). A [`ArgShape::Var`]
+/// head argument unifies with anything, so var-headed clauses belong
+/// to every bucket; the other shapes are mutually exclusive at
+/// run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArgShape<'a> {
+    /// A variable — matches any caller value.
+    Var,
+    /// The empty list `[]`.
+    Nil,
+    /// A non-`[]` atom, keyed by name.
+    Atom(&'a str),
+    /// An integer, keyed by value.
+    Int(i32),
+    /// A cons cell `'.'(H, T)` — all lists share one bucket.
+    List,
+    /// A compound term, keyed by functor name and arity.
+    Struct(&'a str, usize),
 }
 
 fn atom_needs_quotes(name: &str) -> bool {

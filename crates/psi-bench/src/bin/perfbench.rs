@@ -1,0 +1,67 @@
+//! Microbenchmark harness: runs the Table 1 suite under the
+//! paper-faithful (linear) and first-argument-indexing profiles,
+//! checks both produce identical solutions, and writes the
+//! measurements to `BENCH_psi.json` at the repository root.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin perfbench --
+//! [--quick] [--out PATH]`.
+//!
+//! `--quick` runs a single repetition with no warmup (CI smoke mode);
+//! wall times are then noisy, but the equivalence check and simulator
+//! statistics are identical to a full run. Exits nonzero if any
+//! workload's solutions differ between profiles.
+
+use psi_bench::perf::{run, PerfOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut options = PerfOptions::full();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => options = PerfOptions::quick(),
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("perfbench: --out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("perfbench: unknown argument `{other}`");
+                eprintln!("usage: perfbench [--quick] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let out_path = out_path
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_psi.json").into());
+
+    let report = match run(options) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("perfbench: suite failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("perfbench: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path}");
+
+    let mismatches = report.mismatches();
+    if !mismatches.is_empty() {
+        for row in mismatches {
+            eprintln!(
+                "perfbench: `{}` solutions differ between profiles",
+                row.program
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod drift;
+pub mod perf;
 
 use psi_machine::{InterpModule, MachineConfig, MachineStats};
 use psi_workloads::runner::{

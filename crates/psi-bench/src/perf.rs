@@ -1,0 +1,287 @@
+//! Reproducible microbenchmark harness comparing the paper-faithful
+//! (linear clause selection) profile against the opt-in first-argument
+//! indexing profile over the Table 1 suite.
+//!
+//! Unlike the table regenerators — which report *simulated* PSI time
+//! and are bit-reproducible — this harness also measures host wall
+//! time, which varies run to run. Each workload therefore runs
+//! `warmup` untimed iterations followed by `repetitions` timed ones,
+//! and the report records the median. Simulator statistics (steps,
+//! choice points, backtracks) are deterministic and recorded from the
+//! final iteration.
+//!
+//! The report serializes to `BENCH_psi.json` (hand-rolled JSON — the
+//! workspace deliberately has no serde dependency) and doubles as a
+//! cross-profile equivalence check: both profiles must produce
+//! identical solution lists on every row.
+
+use psi_machine::MachineConfig;
+use psi_obs::Counter;
+use psi_workloads::runner::run_on_psi_machine;
+use psi_workloads::suite::table1_suite;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Knobs for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfOptions {
+    /// Untimed iterations per workload/profile before measurement.
+    pub warmup: usize,
+    /// Timed iterations per workload/profile (median is reported).
+    pub repetitions: usize,
+}
+
+impl PerfOptions {
+    /// Full run: 1 warmup + 5 timed repetitions.
+    pub fn full() -> PerfOptions {
+        PerfOptions {
+            warmup: 1,
+            repetitions: 5,
+        }
+    }
+
+    /// CI smoke run: no warmup, a single timed repetition. Wall times
+    /// are noisy but the equivalence check and simulator statistics
+    /// are exactly those of a full run.
+    pub fn quick() -> PerfOptions {
+        PerfOptions {
+            warmup: 0,
+            repetitions: 1,
+        }
+    }
+}
+
+/// One profile's measurements for one workload.
+#[derive(Debug, Clone)]
+pub struct ProfileMeasurement {
+    /// Median host wall time over the timed repetitions, nanoseconds.
+    pub wall_ns: u64,
+    /// Simulated PSI time, nanoseconds (deterministic).
+    pub sim_ns: u64,
+    /// Interpreter microsteps (deterministic).
+    pub steps: u64,
+    /// Choice points pushed (host-side counter, deterministic).
+    pub choice_points: u64,
+    /// Backtracks (choice point retried or discarded).
+    pub backtracks: u64,
+    /// Calls that consulted the first-argument index.
+    pub indexed_calls: u64,
+    /// Indexed calls whose single surviving candidate was entered
+    /// with no choice point.
+    pub index_direct_entries: u64,
+    /// Rendered solutions, for cross-profile comparison.
+    pub solutions: Vec<String>,
+}
+
+/// One Table 1 row measured under both profiles.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Row number in Table 1 (1-based).
+    pub index: usize,
+    /// Workload name.
+    pub program: String,
+    /// Paper-faithful profile ([`MachineConfig::psi`]).
+    pub linear: ProfileMeasurement,
+    /// Indexing profile ([`MachineConfig::psi_indexed`]).
+    pub indexed: ProfileMeasurement,
+}
+
+impl PerfRow {
+    /// Whether both profiles produced identical solution lists.
+    pub fn solutions_match(&self) -> bool {
+        self.linear.solutions == self.indexed.solutions
+    }
+}
+
+/// A full harness run over the Table 1 suite.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// The options the run used.
+    pub options: PerfOptions,
+    /// One row per Table 1 entry, in table order.
+    pub rows: Vec<PerfRow>,
+}
+
+impl PerfReport {
+    /// Rows whose profiles disagreed on solutions (must be empty).
+    pub fn mismatches(&self) -> Vec<&PerfRow> {
+        self.rows.iter().filter(|r| !r.solutions_match()).collect()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    ///
+    /// Schema `psi-bench-perf-v1`: top-level `warmup`, `repetitions`,
+    /// and `rows`, each row carrying a `linear` and an `indexed`
+    /// measurement object. Solution texts are not embedded (they can
+    /// be thousands of bindings); only their count and the
+    /// cross-profile `solutions_match` verdict are.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"psi-bench-perf-v1\",\n");
+        let _ = writeln!(out, "  \"warmup\": {},", self.options.warmup);
+        let _ = writeln!(out, "  \"repetitions\": {},", self.options.repetitions);
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"index\": {},", row.index);
+            let _ = writeln!(out, "      \"program\": \"{}\",", escape(&row.program));
+            let _ = writeln!(out, "      \"solutions\": {},", row.linear.solutions.len());
+            let _ = writeln!(out, "      \"solutions_match\": {},", row.solutions_match());
+            let _ = writeln!(out, "      \"linear\": {},", measurement_json(&row.linear));
+            let _ = writeln!(out, "      \"indexed\": {}", measurement_json(&row.indexed));
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable summary table (one line per row).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}  match",
+            "program", "steps lin", "steps idx", "cp lin", "cp idx", "wall lin", "wall idx"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>12} {:>12} {:>9} {:>9} {:>8.2}ms {:>8.2}ms  {}",
+                row.program,
+                row.linear.steps,
+                row.indexed.steps,
+                row.linear.choice_points,
+                row.indexed.choice_points,
+                row.linear.wall_ns as f64 / 1e6,
+                row.indexed.wall_ns as f64 / 1e6,
+                if row.solutions_match() { "yes" } else { "NO" },
+            );
+        }
+        out
+    }
+}
+
+fn measurement_json(m: &ProfileMeasurement) -> String {
+    format!(
+        "{{\"wall_ns\": {}, \"sim_ns\": {}, \"steps\": {}, \"choice_points\": {}, \
+         \"backtracks\": {}, \"indexed_calls\": {}, \"index_direct_entries\": {}}}",
+        m.wall_ns,
+        m.sim_ns,
+        m.steps,
+        m.choice_points,
+        m.backtracks,
+        m.indexed_calls,
+        m.index_direct_entries,
+    )
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Measures one workload under one profile.
+fn measure(
+    w: &psi_workloads::Workload,
+    config: &MachineConfig,
+    options: &PerfOptions,
+) -> psi_core::Result<ProfileMeasurement> {
+    for _ in 0..options.warmup {
+        run_on_psi_machine(w, config.clone())?;
+    }
+    let mut walls = Vec::with_capacity(options.repetitions.max(1));
+    let mut last = None;
+    for _ in 0..options.repetitions.max(1) {
+        let t0 = Instant::now();
+        let result = run_on_psi_machine(w, config.clone())?;
+        walls.push(t0.elapsed().as_nanos() as u64);
+        last = Some(result);
+    }
+    walls.sort_unstable();
+    let (run, machine) = last.expect("at least one repetition");
+    let snap = machine.metrics_snapshot();
+    Ok(ProfileMeasurement {
+        wall_ns: walls[walls.len() / 2],
+        sim_ns: run.stats.time_ns,
+        steps: run.stats.steps,
+        choice_points: run.stats.choice_points,
+        backtracks: snap.get(Counter::Backtracks),
+        indexed_calls: run.stats.indexed_calls,
+        index_direct_entries: run.stats.index_direct_entries,
+        solutions: run.solutions,
+    })
+}
+
+/// Runs the Table 1 suite under both profiles.
+///
+/// # Errors
+///
+/// Propagates the first workload failure ([`psi_core::PsiError`]);
+/// the suite is expected to be green under both profiles.
+pub fn run(options: PerfOptions) -> psi_core::Result<PerfReport> {
+    let mut rows = Vec::new();
+    for entry in table1_suite() {
+        let linear = measure(&entry.workload, &MachineConfig::psi(), &options)?;
+        let indexed = measure(&entry.workload, &MachineConfig::psi_indexed(), &options)?;
+        rows.push(PerfRow {
+            index: entry.index,
+            program: entry.workload.name.clone(),
+            linear,
+            indexed,
+        });
+    }
+    Ok(PerfReport { options, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = PerfReport {
+            options: PerfOptions::quick(),
+            rows: vec![PerfRow {
+                index: 1,
+                program: "nreverse 30".into(),
+                linear: sample_measurement(10),
+                indexed: sample_measurement(7),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"psi-bench-perf-v1\""));
+        assert!(json.contains("\"program\": \"nreverse 30\""));
+        assert!(json.contains("\"solutions_match\": true"));
+        assert!(json.contains("\"choice_points\": 10"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    fn sample_measurement(cp: u64) -> ProfileMeasurement {
+        ProfileMeasurement {
+            wall_ns: 1000,
+            sim_ns: 2000,
+            steps: 30,
+            choice_points: cp,
+            backtracks: 4,
+            indexed_calls: 0,
+            index_direct_entries: 0,
+            solutions: vec!["X = 1".into()],
+        }
+    }
+}

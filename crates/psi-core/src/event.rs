@@ -34,16 +34,22 @@ pub enum EventKind {
     /// A governor budget trip. Payload: `a` = exhausted resource code
     /// ([`crate::Resource::code`]).
     GovernorTrip = 4,
+    /// One first-argument index lookup at a call (only emitted when
+    /// clause indexing is enabled). Payload: `a` = surviving candidate
+    /// clauses, `b` = the predicate's total clauses, `c` = 1 when the
+    /// single surviving candidate was entered without a choice point.
+    IndexLookup = 5,
 }
 
 impl EventKind {
     /// Every kind, in code order.
-    pub const ALL: [EventKind; 5] = [
+    pub const ALL: [EventKind; 6] = [
         EventKind::Dispatch,
         EventKind::CacheAccess,
         EventKind::Backtrack,
         EventKind::GovernorCheck,
         EventKind::GovernorTrip,
+        EventKind::IndexLookup,
     ];
 
     /// The stable wire code.
@@ -64,6 +70,7 @@ impl EventKind {
             EventKind::Backtrack => "backtrack",
             EventKind::GovernorCheck => "governor_check",
             EventKind::GovernorTrip => "governor_trip",
+            EventKind::IndexLookup => "index_lookup",
         }
     }
 }
@@ -145,6 +152,18 @@ impl ObsEvent {
             a: resource,
             b: 0,
             c: 0,
+        }
+    }
+
+    /// An index lookup that filtered `total` clauses down to
+    /// `candidates`; `direct` marks a no-choice-point direct entry.
+    pub fn index_lookup(step: u64, candidates: u32, total: u32, direct: bool) -> ObsEvent {
+        ObsEvent {
+            step,
+            kind: EventKind::IndexLookup,
+            a: candidates,
+            b: total,
+            c: direct as u32,
         }
     }
 }

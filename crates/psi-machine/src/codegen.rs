@@ -25,8 +25,8 @@
 //! slot at run time.
 
 use crate::Builtin;
-use kl0::{FlatGoal, LoweredProgram, PredicateKey, Program, Term};
-use psi_core::{PsiError, Result, SymbolTable, Tag, Word};
+use kl0::{ArgShape, FlatGoal, LoweredProgram, PredicateKey, Program, Term};
+use psi_core::{Functor, PsiError, Result, SymbolTable, Tag, Word};
 use std::collections::HashMap;
 
 /// Compiled code for one clause.
@@ -40,6 +40,84 @@ pub struct ClauseCode {
     pub nlocals: u16,
 }
 
+/// Sentinel bucket id: no index filtering — the candidate list is
+/// every clause in source order, and candidate positions are clause
+/// indices directly. This is the only bucket the paper-faithful
+/// profile ([`crate::MachineConfig::clause_indexing`] off) ever uses.
+pub const BUCKET_LINEAR: u32 = u32::MAX;
+
+/// Sentinel bucket id: only the clauses whose first head argument is
+/// a variable. Selected when the dereferenced call key matches no
+/// constant bucket (so every constant-headed clause is guaranteed to
+/// fail head unification).
+pub const BUCKET_VAR_ONLY: u32 = u32::MAX - 1;
+
+/// Key of a first-argument index bucket — the compile-time analogue
+/// of the runtime tag dispatch in WAM-style switch-on-term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKey {
+    /// A non-`[]` atom, keyed by interned symbol.
+    Atom(psi_core::SymbolId),
+    /// An integer, keyed by value.
+    Int(i32),
+    /// The empty list.
+    Nil,
+    /// Any cons cell (all lists share one bucket).
+    List,
+    /// A compound term, keyed by functor symbol and arity.
+    Struct(Functor),
+}
+
+/// Per-predicate first-argument clause index, built at compile time.
+///
+/// Each bucket holds, in source order, the clause positions whose
+/// first head argument either matches the bucket's key or is a
+/// variable (variables unify with anything). `var_only` holds just
+/// the var-headed clauses — the candidate list for runtime keys that
+/// match no bucket. Lists are immutable at run time, so candidate
+/// iteration never allocates on the interpreter hot path.
+#[derive(Debug, Clone, Default)]
+pub struct ClauseIndex {
+    map: HashMap<IndexKey, u32>,
+    buckets: Vec<Vec<u32>>,
+    var_only: Vec<u32>,
+}
+
+impl ClauseIndex {
+    /// Records clause `pos` (a position into `Predicate::clauses`)
+    /// under `key`; `None` marks a var-headed clause, which joins
+    /// every bucket. Clauses must be added in source order.
+    fn push(&mut self, pos: u32, key: Option<IndexKey>) {
+        match key {
+            None => {
+                self.var_only.push(pos);
+                for bucket in &mut self.buckets {
+                    bucket.push(pos);
+                }
+            }
+            Some(k) => {
+                let b = match self.map.get(&k) {
+                    Some(&b) => b,
+                    None => {
+                        let b = self.buckets.len() as u32;
+                        // A new bucket starts with the var-headed
+                        // clauses seen so far (all precede `pos`).
+                        self.buckets.push(self.var_only.clone());
+                        self.map.insert(k, b);
+                        b
+                    }
+                };
+                self.buckets[b as usize].push(pos);
+            }
+        }
+    }
+
+    /// Number of distinct constant keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// A predicate table entry.
 #[derive(Debug, Clone)]
 pub struct Predicate {
@@ -50,12 +128,43 @@ pub struct Predicate {
     /// Clauses in source order. Empty means "called but never
     /// defined" (a runtime error, as on the real system).
     pub clauses: Vec<ClauseCode>,
+    /// First-argument index over `clauses` (consulted only when
+    /// [`crate::MachineConfig::clause_indexing`] is on).
+    pub index: ClauseIndex,
 }
 
 impl Predicate {
     /// `name/arity` for error messages.
     pub fn indicator(&self) -> String {
         format!("{}/{}", self.name, self.arity)
+    }
+
+    /// The bucket to try for a dereferenced, bound first-argument
+    /// key: the key's own bucket if any clause mentions the constant,
+    /// otherwise only the var-headed clauses can match.
+    pub fn bucket_for(&self, key: IndexKey) -> u32 {
+        match self.index.map.get(&key) {
+            Some(&b) => b,
+            None => BUCKET_VAR_ONLY,
+        }
+    }
+
+    /// Number of candidate clauses in `bucket`.
+    pub fn candidate_count(&self, bucket: u32) -> usize {
+        match bucket {
+            BUCKET_LINEAR => self.clauses.len(),
+            BUCKET_VAR_ONLY => self.index.var_only.len(),
+            b => self.index.buckets[b as usize].len(),
+        }
+    }
+
+    /// The clause index of candidate `pos` in `bucket`.
+    pub fn candidate(&self, bucket: u32, pos: usize) -> usize {
+        match bucket {
+            BUCKET_LINEAR => pos,
+            BUCKET_VAR_ONLY => self.index.var_only[pos] as usize,
+            b => self.index.buckets[b as usize][pos] as usize,
+        }
     }
 }
 
@@ -121,15 +230,43 @@ impl CodeImage {
             }
             self.pred_index(key)?;
         }
-        // Pass 2: compile clauses.
+        // Pass 2: compile clauses, growing each predicate's
+        // first-argument index as its clauses are appended
+        // (incremental consult keeps the index current).
         for key in program.predicates() {
             for clause in program.clauses_for(key) {
                 let code = self.compile_clause(&clause.head, &clause.goals)?;
-                let idx = self.pred_index(key)?;
-                self.preds[idx as usize].clauses.push(code);
+                let index_key = self.first_arg_key(&clause.head);
+                let idx = self.pred_index(key)? as usize;
+                let pos = self.preds[idx].clauses.len() as u32;
+                self.preds[idx].clauses.push(code);
+                self.preds[idx].index.push(pos, index_key);
             }
         }
         Ok(())
+    }
+
+    /// The index key of a clause head's first argument, interning
+    /// symbols as needed. `None` for var-headed clauses and for
+    /// zero-arity predicates (which are never indexed).
+    fn first_arg_key(&mut self, head: &Term) -> Option<IndexKey> {
+        let first = match head {
+            Term::Struct(_, args) => args.first()?,
+            _ => return None,
+        };
+        match first.arg_shape() {
+            ArgShape::Var => None,
+            ArgShape::Nil => Some(IndexKey::Nil),
+            ArgShape::Atom(a) => Some(IndexKey::Atom(self.symbols.intern(a))),
+            ArgShape::Int(i) => Some(IndexKey::Int(i)),
+            ArgShape::List => Some(IndexKey::List),
+            ArgShape::Struct(f, n) => {
+                // Structures beyond 255 arguments are rejected by
+                // `compile_clause` before indexing is reached.
+                let id = self.symbols.intern(f);
+                Some(IndexKey::Struct(Functor::new(id, n as u8)))
+            }
+        }
     }
 
     /// Compiles `goal` as a query, producing a fresh entry predicate
@@ -204,6 +341,7 @@ impl CodeImage {
             name: key.0.clone(),
             arity: key.1 as u8,
             clauses: Vec::new(),
+            index: ClauseIndex::default(),
         });
         self.index.insert(key.clone(), idx);
         Ok(idx)
@@ -597,6 +735,85 @@ mod tests {
         let pred = img.predicate(q.pred);
         assert_eq!(pred.arity, 2);
         assert_eq!(pred.clauses.len(), 1);
+    }
+
+    #[test]
+    fn index_buckets_group_clauses_by_first_argument() {
+        let img = image("p(a, 1). p(b, 2). p(a, 3). p([], 4). p([_|_], 5). p(f(_), 6). p(7, 8).");
+        let pred = img.predicate(img.lookup(&("p".into(), 2)).unwrap());
+        assert_eq!(pred.index.key_count(), 6);
+        let sym = |n: &str| img.symbols().lookup(n).unwrap();
+        let candidates = |key: IndexKey| {
+            let b = pred.bucket_for(key);
+            (0..pred.candidate_count(b))
+                .map(|i| pred.candidate(b, i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(candidates(IndexKey::Atom(sym("a"))), vec![0, 2]);
+        assert_eq!(candidates(IndexKey::Atom(sym("b"))), vec![1]);
+        assert_eq!(candidates(IndexKey::Nil), vec![3]);
+        assert_eq!(candidates(IndexKey::List), vec![4]);
+        assert_eq!(
+            candidates(IndexKey::Struct(Functor::new(sym("f"), 1))),
+            vec![5]
+        );
+        assert_eq!(candidates(IndexKey::Int(7)), vec![6]);
+        // A key no clause mentions falls back to var-headed clauses
+        // only — here there are none.
+        assert_eq!(candidates(IndexKey::Int(99)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn var_headed_clauses_join_every_bucket() {
+        let img = image("p(a). p(X) :- q(X). p(b). q(_).");
+        let pred = img.predicate(img.lookup(&("p".into(), 1)).unwrap());
+        let sym = |n: &str| img.symbols().lookup(n).unwrap();
+        let candidates = |key: IndexKey| {
+            let b = pred.bucket_for(key);
+            (0..pred.candidate_count(b))
+                .map(|i| pred.candidate(b, i))
+                .collect::<Vec<_>>()
+        };
+        // Bucket order preserves source order even when the var clause
+        // joins a bucket created before (a) or after (b) it.
+        assert_eq!(candidates(IndexKey::Atom(sym("a"))), vec![0, 1]);
+        assert_eq!(candidates(IndexKey::Atom(sym("b"))), vec![1, 2]);
+        // Unmatched constants still reach the var-headed clause.
+        assert_eq!(candidates(IndexKey::Int(0)), vec![1]);
+    }
+
+    #[test]
+    fn linear_bucket_is_identity() {
+        let img = image("p(a). p(b). p(c).");
+        let pred = img.predicate(img.lookup(&("p".into(), 1)).unwrap());
+        assert_eq!(pred.candidate_count(BUCKET_LINEAR), 3);
+        for i in 0..3 {
+            assert_eq!(pred.candidate(BUCKET_LINEAR, i), i);
+        }
+    }
+
+    #[test]
+    fn zero_arity_predicates_are_never_indexed() {
+        let img = image("p. p :- q. q.");
+        let pred = img.predicate(img.lookup(&("p".into(), 0)).unwrap());
+        assert_eq!(pred.index.key_count(), 0);
+        // Both clauses are var-only (match any call).
+        assert_eq!(pred.candidate_count(BUCKET_VAR_ONLY), 2);
+    }
+
+    #[test]
+    fn incremental_consult_extends_the_index() {
+        let p1 = Program::parse("p(a, 1).").unwrap();
+        let mut img = CodeImage::compile(&LoweredProgram::lower(&p1).unwrap()).unwrap();
+        let p2 = Program::parse("p(a, 2). p(b, 3).").unwrap();
+        img.add_program(&LoweredProgram::lower(&p2).unwrap())
+            .unwrap();
+        let pred = img.predicate(img.lookup(&("p".into(), 2)).unwrap());
+        let a = img.symbols().lookup("a").unwrap();
+        let b = pred.bucket_for(IndexKey::Atom(a));
+        assert_eq!(pred.candidate_count(b), 2);
+        assert_eq!(pred.candidate(b, 0), 0);
+        assert_eq!(pred.candidate(b, 1), 1);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Execution engine: micro-op primitives, call/return/backtrack/cut,
 //! frame buffers, and built-in predicates.
 
+use crate::codegen::{IndexKey, BUCKET_LINEAR, BUCKET_VAR_ONLY};
 use crate::machine::{Activation, ChoicePoint, Flow, Machine, ProcStatus};
 use crate::ucode::{BranchOp, InterpModule};
 use crate::wf::{WfField, WfMode};
@@ -316,6 +317,39 @@ impl Machine {
             });
         }
 
+        // First-argument indexing (opt-in performance profile): pick
+        // the candidate bucket for the dereferenced first argument.
+        // The paper-faithful default keeps the linear bucket and runs
+        // through this block untouched — no deref, no extra
+        // microsteps, bit-identical dynamic statistics.
+        let bucket = if self.config.clause_indexing && nclauses > 1 {
+            self.indexed_calls += 1;
+            let b = self.select_bucket(pred, args)?;
+            let ncand = self.image.predicate(pred).candidate_count(b);
+            let direct = ncand == 1;
+            if direct {
+                self.index_direct += 1;
+            }
+            let ev = psi_core::ObsEvent::index_lookup(
+                self.bus.step(),
+                ncand as u32,
+                nclauses as u32,
+                direct,
+            );
+            self.bus.record_event(ev);
+            if ncand == 0 {
+                // Every clause head is guaranteed to fail on the
+                // first argument: the call fails cleanly without
+                // entering any clause or pushing a choice point.
+                self.micro_cond(InterpModule::Control, false);
+                return Ok(Flow::Backtrack);
+            }
+            b
+        } else {
+            BUCKET_LINEAR
+        };
+        let ncand = self.image.predicate(pred).candidate_count(bucket);
+
         let cur_env = self.procs[self.cur].regs.env;
         let barrier = self.procs[self.cur].cps.len();
 
@@ -336,14 +370,56 @@ impl Machine {
             (next_off, Some(cur_env))
         };
 
-        if nclauses > 1 {
-            self.push_choice_point(pred, 1, args, cont_code, cont_env, barrier)?;
+        if ncand > 1 {
+            self.push_choice_point(pred, bucket, args, cont_code, cont_env, barrier)?;
         }
-        if self.enter_clause(pred, 0, args, cont_code, cont_env, barrier)? {
+        let first = self.image.predicate(pred).candidate(bucket, 0);
+        if self.enter_clause(pred, first, args, cont_code, cont_env, barrier)? {
             Ok(Flow::Continue)
         } else {
             Ok(Flow::Backtrack)
         }
+    }
+
+    /// Maps the dereferenced first call argument to a candidate
+    /// bucket of `pred`. Only called on the indexing profile, so the
+    /// probe's microstep charges (the deref walk, a tag dispatch and
+    /// an ALU step for the table lookup) never touch the
+    /// paper-faithful statistics.
+    fn select_bucket(&mut self, pred: u32, args: &[Word]) -> Result<u32> {
+        let Some(&first) = args.first() else {
+            // Zero-arity predicates have nothing to index on.
+            return Ok(BUCKET_LINEAR);
+        };
+        self.micro(InterpModule::Control, BranchOp::CaseTag, true);
+        let (v, unbound) = self.deref(InterpModule::Control, first)?;
+        if unbound.is_some() {
+            // An unbound key matches every clause head.
+            return Ok(BUCKET_LINEAR);
+        }
+        let key = match v.tag() {
+            Tag::Atom => IndexKey::Atom(v.atom_value().expect("Atom")),
+            Tag::Int => IndexKey::Int(v.int_value().expect("Int")),
+            Tag::Nil => IndexKey::Nil,
+            Tag::List => IndexKey::List,
+            Tag::Vect => {
+                let ptr = v.address_value().expect("Vect");
+                let f = self.mem_read(InterpModule::Control, ptr)?;
+                match f.functor_value() {
+                    Some(f) => IndexKey::Struct(f),
+                    None => {
+                        return Err(PsiError::EvalError {
+                            detail: "corrupt structure header".into(),
+                        })
+                    }
+                }
+            }
+            // Anything else (heap vectors) unifies with no constant
+            // head, so only var-headed clauses can match.
+            _ => return Ok(BUCKET_VAR_ONLY),
+        };
+        self.alu_step(InterpModule::Control);
+        Ok(self.image.predicate(pred).bucket_for(key))
     }
 
     /// Is the code word at `off` the end-of-body sentinel? (The
@@ -416,12 +492,18 @@ impl Machine {
     fn push_choice_point(
         &mut self,
         pred: u32,
-        next_clause: usize,
+        bucket: u32,
         args: &[Word],
         cont_code: u32,
         cont_env: Option<usize>,
         barrier: usize,
     ) -> Result<()> {
+        // A fresh choice point always resumes at the second candidate
+        // of its bucket (the first is entered directly).
+        let next_clause = 1;
+        // Host-side count only; `metrics_snapshot` mirrors it into
+        // the registry (like module steps), so no live incr here.
+        self.cp_pushed += 1;
         // A pending alternative forces the buffered frames to the
         // local stack (§2.2: buffers are used "when no local frame
         // have to be saved into the local stack").
@@ -445,6 +527,7 @@ impl Machine {
         p.arg_arena.extend_from_slice(args);
         let cp = ChoicePoint {
             pred,
+            bucket,
             next_clause,
             args_start,
             args_len: args.len() as u8,
@@ -640,9 +723,19 @@ impl Machine {
             }
             self.micro_seq(InterpModule::Control, true);
 
-            let nclauses = self.image.predicate(cp.pred).clauses.len();
-            let clause_idx = cp.next_clause;
-            if clause_idx + 1 >= nclauses {
+            // Resolve the retried position through the choice point's
+            // candidate bucket. The linear bucket (the only one the
+            // default profile creates) maps positions to clause
+            // indices one-to-one, so this is pure host-side
+            // arithmetic — no extra microsteps on either profile.
+            let (ncand, clause_idx) = {
+                let entry = self.image.predicate(cp.pred);
+                (
+                    entry.candidate_count(cp.bucket),
+                    entry.candidate(cp.bucket, cp.next_clause),
+                )
+            };
+            if cp.next_clause + 1 >= ncand {
                 // Last alternative: pop the choice point (trust) and
                 // give its arena extent back.
                 let p = &mut self.procs[self.cur];
@@ -662,7 +755,7 @@ impl Machine {
                 self.mem_write(
                     InterpModule::Control,
                     addr,
-                    Word::ctl(clause_idx as u32 + 1),
+                    Word::ctl(cp.next_clause as u32 + 1),
                 )?;
             }
 

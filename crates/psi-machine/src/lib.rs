@@ -23,6 +23,15 @@
 //! tail recursion optimization with alternating WF frame buffers, and
 //! cooperative multi-process execution.
 //!
+//! On top of the paper-faithful model the crate offers an opt-in
+//! performance profile: [`MachineConfig::clause_indexing`] filters
+//! candidate clauses through a compile-time first-argument index
+//! (WAM-style switch-on-term) and enters a single surviving candidate
+//! with no choice point. It is off by default because Tables 2–7
+//! derive from the firmware's linear clause selection; see
+//! ARCHITECTURE.md ("Indexing fast path vs. the paper-faithful
+//! profile") for the trade-off.
+//!
 //! # Example
 //!
 //! ```
@@ -52,7 +61,10 @@ mod unify;
 pub mod wf;
 
 pub use builtins::Builtin;
-pub use codegen::{ClauseCode, CodeImage, Predicate, QueryCode};
+pub use codegen::{
+    ClauseCode, ClauseIndex, CodeImage, IndexKey, Predicate, QueryCode, BUCKET_LINEAR,
+    BUCKET_VAR_ONLY,
+};
 pub use machine::{
     Machine, MachineConfig, MachineStats, ResourceLimits, Solution, GOVERNOR_INTERVAL,
 };

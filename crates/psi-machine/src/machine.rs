@@ -107,11 +107,23 @@ pub struct MachineConfig {
     /// governor) into the bounded event ring. Off by default; while
     /// off, every emission site pays only a branch.
     pub trace_events: bool,
+    /// Filter candidate clauses through the compile-time
+    /// first-argument index at each call, entering a single surviving
+    /// candidate directly with no choice point.
+    ///
+    /// Off by default — the paper's firmware tries clauses linearly,
+    /// and Tables 2–7 are derived from those dynamic microstep
+    /// frequencies, so the paper-faithful profile must not reorder or
+    /// skip any head unification. With indexing on, solutions are
+    /// identical but microstep counts, choice points and cache
+    /// traffic all shrink (see the "Indexing ablation" section of
+    /// EXPERIMENTS.md).
+    pub clause_indexing: bool,
 }
 
 impl MachineConfig {
     /// The machine as shipped: PSI cache, 200 ns cycle, TRO and frame
-    /// buffering on, no resource budgets.
+    /// buffering on, no resource budgets, linear clause selection.
     pub fn psi() -> MachineConfig {
         MachineConfig {
             cache: Some(CacheConfig::psi()),
@@ -121,6 +133,7 @@ impl MachineConfig {
             tail_recursion_opt: true,
             trace_memory: false,
             trace_events: false,
+            clause_indexing: false,
         }
     }
 
@@ -128,6 +141,35 @@ impl MachineConfig {
     pub fn psi_uncached() -> MachineConfig {
         MachineConfig {
             cache: None,
+            ..MachineConfig::psi()
+        }
+    }
+
+    /// The shipped machine with first-argument clause indexing on —
+    /// the performance profile. Solutions are identical to
+    /// [`MachineConfig::psi`]; dynamic statistics are not (that is
+    /// the point), so use the default profile when reproducing the
+    /// paper's tables.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    ///
+    /// let src = "color(red). color(green). color(blue).";
+    /// let program = Program::parse(src)?;
+    /// let mut m = Machine::load(&program, MachineConfig::psi_indexed())?;
+    /// // The atom key selects one clause: entered with no choice
+    /// // point, so the whole solve backtracks exactly once (for the
+    /// // second solution request) — and still allocates nothing.
+    /// let solutions = m.solve("color(green)", 2)?;
+    /// assert_eq!(solutions.len(), 1);
+    /// assert_eq!(m.stats().choice_points, 0);
+    /// assert_eq!(m.hot_path_alloc_count(), 0);
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
+    pub fn psi_indexed() -> MachineConfig {
+        MachineConfig {
+            clause_indexing: true,
             ..MachineConfig::psi()
         }
     }
@@ -206,10 +248,35 @@ pub struct MachineStats {
     pub user_calls: u64,
     /// Built-in predicate calls.
     pub builtin_calls: u64,
+    /// Choice points pushed.
+    pub choice_points: u64,
+    /// Calls filtered through the first-argument clause index (zero
+    /// unless [`MachineConfig::clause_indexing`] is on).
+    pub indexed_calls: u64,
+    /// Indexed calls whose single surviving candidate was entered
+    /// directly, without pushing a choice point.
+    pub index_direct_entries: u64,
 }
 
 impl MachineStats {
     /// Simulated time in milliseconds.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    ///
+    /// let program = Program::parse("p(1).")?;
+    /// let mut m = Machine::load(&program, MachineConfig::psi())?;
+    /// m.solve("p(X)", 1)?;
+    /// let stats = m.stats();
+    /// // 200 ns per microstep plus cache stalls.
+    /// assert_eq!(
+    ///     stats.time_ns,
+    ///     stats.steps * 200 + stats.stall_ns,
+    /// );
+    /// assert!(stats.time_ms() > 0.0);
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
     pub fn time_ms(&self) -> f64 {
         self.time_ns as f64 / 1e6
     }
@@ -289,6 +356,13 @@ pub(crate) struct Activation {
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ChoicePoint {
     pub pred: u32,
+    /// Candidate bucket this choice point iterates:
+    /// [`crate::codegen::BUCKET_LINEAR`] (all clauses, the
+    /// paper-faithful profile), [`crate::codegen::BUCKET_VAR_ONLY`],
+    /// or a constant-key bucket id. `next_clause` is a position into
+    /// the bucket's candidate list (equal to the clause index for the
+    /// linear bucket).
+    pub bucket: u32,
     pub next_clause: usize,
     /// First argument word in the owning process's `arg_arena`.
     pub args_start: u32,
@@ -397,6 +471,14 @@ pub struct Machine {
     pub(crate) output: String,
     pub(crate) user_calls: u64,
     pub(crate) builtin_calls: u64,
+    /// Choice points pushed (host-side counter; never charges
+    /// microsteps, so the paper-faithful profile is unaffected).
+    pub(crate) cp_pushed: u64,
+    /// Calls that consulted the first-argument index.
+    pub(crate) indexed_calls: u64,
+    /// Indexed calls entered directly (single candidate, no choice
+    /// point).
+    pub(crate) index_direct: u64,
     pub(crate) arith: ArithSyms,
     /// Reusable buffer for goal-argument construction (taken with
     /// `mem::take` around calls that need `&mut self`).
@@ -477,6 +559,9 @@ impl Machine {
             output: String::new(),
             user_calls: 0,
             builtin_calls: 0,
+            cp_pushed: 0,
+            indexed_calls: 0,
+            index_direct: 0,
             arith,
             scratch_args: Vec::with_capacity(ARGS_RESERVE),
             scratch_cp_args: Vec::with_capacity(ARGS_RESERVE),
@@ -644,6 +729,9 @@ impl Machine {
         self.bus.reset_measurement();
         self.user_calls = 0;
         self.builtin_calls = 0;
+        self.cp_pushed = 0;
+        self.indexed_calls = 0;
+        self.index_direct = 0;
         self.output.clear();
         self.metrics.reset();
         // The step counters restart from zero; rebase the step budget
@@ -653,6 +741,25 @@ impl Machine {
     }
 
     /// A snapshot of all measured quantities.
+    ///
+    /// Cheap (`MachineStats` is `Copy`, no heap clone) and callable
+    /// at any point; solving again resets the counters first, so a
+    /// snapshot describes the most recent solve only.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    ///
+    /// let program = Program::parse("p(1). p(2).")?;
+    /// let mut m = Machine::load(&program, MachineConfig::psi())?;
+    /// m.solve("p(X)", 2)?;
+    /// let stats = m.stats();
+    /// assert!(stats.steps > 0);
+    /// assert_eq!(stats.user_calls, 1);
+    /// assert_eq!(stats.choice_points, 1); // p/2 has two clauses
+    /// assert_eq!(stats.indexed_calls, 0); // indexing is off by default
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
     pub fn stats(&self) -> MachineStats {
         let steps = self.tally.steps();
         let stall = self.bus.stall_ns();
@@ -668,6 +775,9 @@ impl Machine {
             cache: *self.bus.cache_stats(),
             user_calls: self.user_calls,
             builtin_calls: self.builtin_calls,
+            choice_points: self.cp_pushed,
+            indexed_calls: self.indexed_calls,
+            index_direct_entries: self.index_direct,
         }
     }
 
@@ -716,6 +826,20 @@ impl Machine {
     /// the cache statistics (Tables 3–5 raw counts), so one `Copy`
     /// struct carries every measured quantity. With the `psi-obs`
     /// crate feature `noop` the snapshot is all zeros.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    /// use psi_obs::Counter;
+    ///
+    /// let program = Program::parse("p(1). p(2).")?;
+    /// let mut m = Machine::load(&program, MachineConfig::psi())?;
+    /// m.solve("p(X)", 2)?;
+    /// let snap = m.metrics_snapshot();
+    /// assert_eq!(snap.get(Counter::Solutions), 2);
+    /// assert_eq!(snap.get(Counter::ChoicePoints), m.stats().choice_points);
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut reg = self.metrics;
         for m in InterpModule::ALL {
@@ -732,6 +856,9 @@ impl Machine {
         reg.add(Counter::BlockFetches, cache.block_fetches);
         reg.add(Counter::ThroughWrites, cache.through_writes);
         reg.add(Counter::EventsDropped, self.bus.events_dropped());
+        reg.add(Counter::ChoicePoints, self.cp_pushed);
+        reg.add(Counter::IndexedCalls, self.indexed_calls);
+        reg.add(Counter::IndexDirectEntries, self.index_direct);
         reg.snapshot()
     }
 

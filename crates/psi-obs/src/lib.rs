@@ -76,11 +76,18 @@ pub enum Counter {
     SuiteRetries,
     /// Events overwritten by a full [`EventRing`].
     EventsDropped,
+    /// Choice points pushed by the interpreter.
+    ChoicePoints,
+    /// Calls filtered through the first-argument clause index.
+    IndexedCalls,
+    /// Indexed calls whose single surviving candidate was entered
+    /// directly, without pushing a choice point.
+    IndexDirectEntries,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheReads,
@@ -101,6 +108,9 @@ impl Counter {
         Counter::SuitePanicked,
         Counter::SuiteRetries,
         Counter::EventsDropped,
+        Counter::ChoicePoints,
+        Counter::IndexedCalls,
+        Counter::IndexDirectEntries,
     ];
 
     /// Number of counters (the registry's array length).
@@ -134,6 +144,9 @@ impl Counter {
             Counter::SuitePanicked => "suite_panicked",
             Counter::SuiteRetries => "suite_retries",
             Counter::EventsDropped => "events_dropped",
+            Counter::ChoicePoints => "choice_points",
+            Counter::IndexedCalls => "indexed_calls",
+            Counter::IndexDirectEntries => "index_direct_entries",
         }
     }
 }

@@ -123,6 +123,11 @@ pub struct EventSummary {
     pub governor_checks: usize,
     /// Governor budget trips.
     pub governor_trips: usize,
+    /// First-argument index lookups.
+    pub index_lookups: usize,
+    /// Index lookups that entered a single candidate directly (no
+    /// choice point).
+    pub index_direct_entries: usize,
 }
 
 /// Summarizes an event stream.
@@ -146,6 +151,12 @@ pub fn summarize_events(events: &[ObsEvent]) -> EventSummary {
             EventKind::Backtrack => s.backtracks += 1,
             EventKind::GovernorCheck => s.governor_checks += 1,
             EventKind::GovernorTrip => s.governor_trips += 1,
+            EventKind::IndexLookup => {
+                s.index_lookups += 1;
+                if e.c == 1 {
+                    s.index_direct_entries += 1;
+                }
+            }
         }
     }
     s
@@ -163,6 +174,7 @@ mod tests {
             ObsEvent::backtrack(3, 2),
             ObsEvent::governor_check(4),
             ObsEvent::governor_trip(5, 0),
+            ObsEvent::index_lookup(6, 1, 3, true),
         ]
     }
 
@@ -179,14 +191,16 @@ mod tests {
     #[test]
     fn summary_counts_kinds_and_hits() {
         let s = summarize_events(&sample());
-        assert_eq!(s.events, 6);
-        assert_eq!(s.steps_spanned, 4);
+        assert_eq!(s.events, 7);
+        assert_eq!(s.steps_spanned, 5);
         assert_eq!(s.dispatches, 1);
         assert_eq!(s.cache_accesses, 2);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.backtracks, 1);
         assert_eq!(s.governor_checks, 1);
         assert_eq!(s.governor_trips, 1);
+        assert_eq!(s.index_lookups, 1);
+        assert_eq!(s.index_direct_entries, 1);
     }
 
     #[test]
