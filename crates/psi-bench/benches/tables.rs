@@ -8,6 +8,7 @@
 //! a fixed number of iterations. Pass a substring argument to run a
 //! subset, e.g. `cargo bench --bench tables -- table1`.
 
+use psi_core::Measurement;
 use psi_machine::MachineConfig;
 use psi_workloads::runner::{run_on_dec, run_on_psi, run_on_psi_machine, run_suite_parallel};
 use psi_workloads::{contest, harmonizer, parsers, puzzle, window};
@@ -74,7 +75,7 @@ fn main() {
             parsers::lcp(2),
             parsers::bup(2),
         ];
-        run_suite_parallel(&rows, &MachineConfig::psi())
+        run_suite_parallel(&rows, &MachineConfig::psi(), Measurement::Full)
             .into_iter()
             .map(|r| r.unwrap().stats.steps)
             .sum::<u64>()

@@ -3,6 +3,7 @@
 //! in EXPERIMENTS.md ("Regeneration performance") come from this
 //! example: `cargo run --release -p psi-bench --example regen_timing`.
 
+use psi_core::Measurement;
 use psi_machine::MachineConfig;
 use psi_tools::pmms;
 use psi_workloads::runner::{default_parallelism, run_on_psi_machine, run_suite_parallel_with};
@@ -24,10 +25,10 @@ fn main() {
     let workloads: Vec<_> = table1_suite().into_iter().map(|e| e.workload).collect();
     let config = MachineConfig::psi();
     let t = Instant::now();
-    let serial = run_suite_parallel_with(&workloads, &config, 1);
+    let serial = run_suite_parallel_with(&workloads, &config, Measurement::Full, 1);
     let serial_s = t.elapsed().as_secs_f64();
     let t = Instant::now();
-    let parallel = run_suite_parallel_with(&workloads, &config, threads);
+    let parallel = run_suite_parallel_with(&workloads, &config, Measurement::Full, threads);
     let parallel_s = t.elapsed().as_secs_f64();
     for (a, b) in serial.iter().zip(&parallel) {
         let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());

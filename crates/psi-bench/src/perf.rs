@@ -1,6 +1,14 @@
-//! Reproducible microbenchmark harness comparing the paper-faithful
-//! (linear clause selection) profile against the opt-in first-argument
-//! indexing profile over the Table 1 suite.
+//! Reproducible microbenchmark harness over the Table 1 suite, along
+//! two dimensions:
+//!
+//! * **profile** — paper-faithful linear clause selection
+//!   ([`MachineConfig::psi`]) vs the opt-in first-argument indexing
+//!   profile ([`MachineConfig::psi_indexed`]);
+//! * **lane** — the fidelity lane (full cache/trace/event
+//!   measurement, [`psi_core::Measurement::Full`]) vs the throughput
+//!   lane ([`psi_core::Measurement::Off`]), which must produce
+//!   bit-identical solutions and step totals while running well over
+//!   2× faster on the heavy rows.
 //!
 //! Unlike the table regenerators — which report *simulated* PSI time
 //! and are bit-reproducible — this harness also measures host wall
@@ -11,10 +19,12 @@
 //! final iteration.
 //!
 //! The report serializes to `BENCH_psi.json` (hand-rolled JSON — the
-//! workspace deliberately has no serde dependency) and doubles as a
-//! cross-profile equivalence check: both profiles must produce
-//! identical solution lists on every row.
+//! workspace deliberately has no serde dependency) and doubles as an
+//! equivalence check: all four cells of a row must produce identical
+//! solution lists, and the two lanes must agree exactly on every
+//! deterministic counter.
 
+use psi_core::Measurement;
 use psi_machine::MachineConfig;
 use psi_obs::Counter;
 use psi_workloads::runner::run_on_psi_machine;
@@ -41,7 +51,7 @@ impl PerfOptions {
     }
 
     /// CI smoke run: no warmup, a single timed repetition. Wall times
-    /// are noisy but the equivalence check and simulator statistics
+    /// are noisy but the equivalence checks and simulator statistics
     /// are exactly those of a full run.
     pub fn quick() -> PerfOptions {
         PerfOptions {
@@ -51,14 +61,15 @@ impl PerfOptions {
     }
 }
 
-/// One profile's measurements for one workload.
+/// One (profile, lane) cell's measurements for one workload.
 #[derive(Debug, Clone)]
 pub struct ProfileMeasurement {
     /// Median host wall time over the timed repetitions, nanoseconds.
     pub wall_ns: u64,
-    /// Simulated PSI time, nanoseconds (deterministic).
+    /// Simulated PSI time, nanoseconds (deterministic; zero stall
+    /// contribution in the throughput lane).
     pub sim_ns: u64,
-    /// Interpreter microsteps (deterministic).
+    /// Interpreter microsteps (deterministic, lane-invariant).
     pub steps: u64,
     /// Choice points pushed (host-side counter, deterministic).
     pub choice_points: u64,
@@ -69,55 +80,100 @@ pub struct ProfileMeasurement {
     /// Indexed calls whose single surviving candidate was entered
     /// with no choice point.
     pub index_direct_entries: u64,
-    /// Rendered solutions, for cross-profile comparison.
+    /// Dispatches served from the predecoded code cache (throughput
+    /// lane only; always zero in the fidelity lane).
+    pub predecode_hits: u64,
+    /// Rendered solutions, for cross-cell comparison.
     pub solutions: Vec<String>,
 }
 
-/// One Table 1 row measured under both profiles.
+/// One lane's pair of profile measurements.
 #[derive(Debug, Clone)]
-pub struct PerfRow {
-    /// Row number in Table 1 (1-based).
-    pub index: usize,
-    /// Workload name.
-    pub program: String,
+pub struct LaneMeasurements {
     /// Paper-faithful profile ([`MachineConfig::psi`]).
     pub linear: ProfileMeasurement,
     /// Indexing profile ([`MachineConfig::psi_indexed`]).
     pub indexed: ProfileMeasurement,
 }
 
+/// One Table 1 row measured under both profiles in both lanes.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Row number in Table 1 (1-based).
+    pub index: usize,
+    /// Workload name.
+    pub program: String,
+    /// Fidelity lane (full measurement, the archived-numbers lane).
+    pub fidelity: LaneMeasurements,
+    /// Throughput lane (measurement off).
+    pub throughput: LaneMeasurements,
+}
+
+/// Do two cells agree on everything that must be lane-invariant?
+fn cells_equivalent(a: &ProfileMeasurement, b: &ProfileMeasurement) -> bool {
+    a.steps == b.steps
+        && a.choice_points == b.choice_points
+        && a.backtracks == b.backtracks
+        && a.indexed_calls == b.indexed_calls
+        && a.index_direct_entries == b.index_direct_entries
+        && a.solutions == b.solutions
+}
+
 impl PerfRow {
-    /// Whether both profiles produced identical solution lists.
+    /// Whether all four cells produced identical solution lists.
     pub fn solutions_match(&self) -> bool {
-        self.linear.solutions == self.indexed.solutions
+        self.fidelity.linear.solutions == self.fidelity.indexed.solutions
+            && self.fidelity.linear.solutions == self.throughput.linear.solutions
+            && self.fidelity.linear.solutions == self.throughput.indexed.solutions
+    }
+
+    /// Whether the throughput lane matched the fidelity lane exactly
+    /// on every deterministic counter (steps, choice points,
+    /// backtracks, indexing statistics) and on solutions, per profile.
+    pub fn lanes_match(&self) -> bool {
+        cells_equivalent(&self.fidelity.linear, &self.throughput.linear)
+            && cells_equivalent(&self.fidelity.indexed, &self.throughput.indexed)
+    }
+
+    /// Wall-time speedup of the throughput lane over the fidelity
+    /// lane, linear profile.
+    pub fn speedup_linear(&self) -> f64 {
+        self.fidelity.linear.wall_ns as f64 / self.throughput.linear.wall_ns.max(1) as f64
     }
 }
 
-/// A full harness run over the Table 1 suite.
+/// A full harness run over the (possibly filtered) Table 1 suite.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
     /// The options the run used.
     pub options: PerfOptions,
-    /// One row per Table 1 entry, in table order.
+    /// One row per selected Table 1 entry, in table order.
     pub rows: Vec<PerfRow>,
 }
 
 impl PerfReport {
-    /// Rows whose profiles disagreed on solutions (must be empty).
+    /// Rows whose four cells disagreed on solutions (must be empty).
     pub fn mismatches(&self) -> Vec<&PerfRow> {
         self.rows.iter().filter(|r| !r.solutions_match()).collect()
     }
 
+    /// Rows where the throughput lane diverged from the fidelity lane
+    /// on a deterministic counter (must be empty).
+    pub fn lane_mismatches(&self) -> Vec<&PerfRow> {
+        self.rows.iter().filter(|r| !r.lanes_match()).collect()
+    }
+
     /// Serializes the report as pretty-printed JSON.
     ///
-    /// Schema `psi-bench-perf-v1`: top-level `warmup`, `repetitions`,
-    /// and `rows`, each row carrying a `linear` and an `indexed`
-    /// measurement object. Solution texts are not embedded (they can
-    /// be thousands of bindings); only their count and the
-    /// cross-profile `solutions_match` verdict are.
+    /// Schema `psi-bench-perf-v2`: top-level `warmup`, `repetitions`,
+    /// and `rows`; each row carries a `fidelity` and a `throughput`
+    /// lane object, each with a `linear` and an `indexed` measurement.
+    /// Solution texts are not embedded (they can be thousands of
+    /// bindings); only their count and the `solutions_match` /
+    /// `lanes_match` verdicts are.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"psi-bench-perf-v1\",\n");
+        out.push_str("{\n  \"schema\": \"psi-bench-perf-v2\",\n");
         let _ = writeln!(out, "  \"warmup\": {},", self.options.warmup);
         let _ = writeln!(out, "  \"repetitions\": {},", self.options.repetitions);
         out.push_str("  \"rows\": [\n");
@@ -125,10 +181,42 @@ impl PerfReport {
             let _ = writeln!(out, "    {{");
             let _ = writeln!(out, "      \"index\": {},", row.index);
             let _ = writeln!(out, "      \"program\": \"{}\",", escape(&row.program));
-            let _ = writeln!(out, "      \"solutions\": {},", row.linear.solutions.len());
+            let _ = writeln!(
+                out,
+                "      \"solutions\": {},",
+                row.fidelity.linear.solutions.len()
+            );
             let _ = writeln!(out, "      \"solutions_match\": {},", row.solutions_match());
-            let _ = writeln!(out, "      \"linear\": {},", measurement_json(&row.linear));
-            let _ = writeln!(out, "      \"indexed\": {}", measurement_json(&row.indexed));
+            let _ = writeln!(out, "      \"lanes_match\": {},", row.lanes_match());
+            let _ = writeln!(
+                out,
+                "      \"speedup_linear\": {:.3},",
+                row.speedup_linear()
+            );
+            let _ = writeln!(out, "      \"fidelity\": {{");
+            let _ = writeln!(
+                out,
+                "        \"linear\": {},",
+                measurement_json(&row.fidelity.linear)
+            );
+            let _ = writeln!(
+                out,
+                "        \"indexed\": {}",
+                measurement_json(&row.fidelity.indexed)
+            );
+            let _ = writeln!(out, "      }},");
+            let _ = writeln!(out, "      \"throughput\": {{");
+            let _ = writeln!(
+                out,
+                "        \"linear\": {},",
+                measurement_json(&row.throughput.linear)
+            );
+            let _ = writeln!(
+                out,
+                "        \"indexed\": {}",
+                measurement_json(&row.throughput.indexed)
+            );
+            let _ = writeln!(out, "      }}");
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             let _ = writeln!(out, "    }}{comma}");
         }
@@ -141,21 +229,21 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>12} {:>12} {:>9} {:>9} {:>9} {:>9}  match",
-            "program", "steps lin", "steps idx", "cp lin", "cp idx", "wall lin", "wall idx"
+            "{:<22} {:>12} {:>9} {:>10} {:>10} {:>8}  match lanes",
+            "program", "steps lin", "cp lin", "wall fid", "wall thr", "speedup"
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<22} {:>12} {:>12} {:>9} {:>9} {:>8.2}ms {:>8.2}ms  {}",
+                "{:<22} {:>12} {:>9} {:>8.2}ms {:>8.2}ms {:>7.2}x  {:<5} {}",
                 row.program,
-                row.linear.steps,
-                row.indexed.steps,
-                row.linear.choice_points,
-                row.indexed.choice_points,
-                row.linear.wall_ns as f64 / 1e6,
-                row.indexed.wall_ns as f64 / 1e6,
+                row.fidelity.linear.steps,
+                row.fidelity.linear.choice_points,
+                row.fidelity.linear.wall_ns as f64 / 1e6,
+                row.throughput.linear.wall_ns as f64 / 1e6,
+                row.speedup_linear(),
                 if row.solutions_match() { "yes" } else { "NO" },
+                if row.lanes_match() { "yes" } else { "NO" },
             );
         }
         out
@@ -165,7 +253,8 @@ impl PerfReport {
 fn measurement_json(m: &ProfileMeasurement) -> String {
     format!(
         "{{\"wall_ns\": {}, \"sim_ns\": {}, \"steps\": {}, \"choice_points\": {}, \
-         \"backtracks\": {}, \"indexed_calls\": {}, \"index_direct_entries\": {}}}",
+         \"backtracks\": {}, \"indexed_calls\": {}, \"index_direct_entries\": {}, \
+         \"predecode_hits\": {}}}",
         m.wall_ns,
         m.sim_ns,
         m.steps,
@@ -173,6 +262,7 @@ fn measurement_json(m: &ProfileMeasurement) -> String {
         m.backtracks,
         m.indexed_calls,
         m.index_direct_entries,
+        m.predecode_hits,
     )
 }
 
@@ -191,7 +281,59 @@ fn escape(s: &str) -> String {
     out
 }
 
-/// Measures one workload under one profile.
+/// Does a `--rows` filter token list select `(index, program)`?
+///
+/// The spec is comma-separated; each token is either a 1-based Table 1
+/// row number (`3`) or a case-insensitive substring of the program
+/// name (`lisp`, `qsort`). An empty spec selects nothing.
+pub fn row_matches(spec: &str, index: usize, program: &str) -> bool {
+    let program = program.to_lowercase();
+    spec.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .any(|t| match t.parse::<usize>() {
+            Ok(n) => n == index,
+            Err(_) => program.contains(&t.to_lowercase()),
+        })
+}
+
+/// Extracts `(program, fidelity-lane linear steps)` pairs from a
+/// previously written `BENCH_psi.json`, for the microstep-regression
+/// gate. Works on both the v1 schema (one `"linear"` object per row)
+/// and the v2 schema (fidelity lane first): in either layout the
+/// first `"linear"` line after a `"program"` line is the fidelity
+/// lane's linear measurement.
+pub fn archived_steps(json: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut program: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim_start();
+        if let Some(rest) = line.strip_prefix("\"program\": \"") {
+            if let Some(end) = rest.find('"') {
+                program = Some(rest[..end].to_owned());
+            }
+        } else if line.starts_with("\"linear\": {") {
+            if let Some(p) = program.take() {
+                if let Some(steps) = scan_u64_field(line, "\"steps\": ") {
+                    out.push((p, steps));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn scan_u64_field(line: &str, key: &str) -> Option<u64> {
+    let at = line.find(key)? + key.len();
+    let digits: String = line[at..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Measures one workload under one machine configuration (one
+/// profile/lane cell).
 fn measure(
     w: &psi_workloads::Workload,
     config: &MachineConfig,
@@ -219,27 +361,71 @@ fn measure(
         backtracks: snap.get(Counter::Backtracks),
         indexed_calls: run.stats.indexed_calls,
         index_direct_entries: run.stats.index_direct_entries,
+        predecode_hits: snap.get(Counter::PredecodeHits),
         solutions: run.solutions,
     })
 }
 
-/// Runs the Table 1 suite under both profiles.
+fn with_lane(mut config: MachineConfig, lane: Measurement) -> MachineConfig {
+    config.measurement = lane;
+    config
+}
+
+/// Measures one suite entry across all four (profile, lane) cells.
+fn measure_row(
+    entry: &psi_workloads::suite::Table1Entry,
+    options: &PerfOptions,
+) -> psi_core::Result<PerfRow> {
+    let w = &entry.workload;
+    let fidelity = LaneMeasurements {
+        linear: measure(w, &MachineConfig::psi(), options)?,
+        indexed: measure(w, &MachineConfig::psi_indexed(), options)?,
+    };
+    let throughput = LaneMeasurements {
+        linear: measure(
+            w,
+            &with_lane(MachineConfig::psi(), Measurement::Off),
+            options,
+        )?,
+        indexed: measure(
+            w,
+            &with_lane(MachineConfig::psi_indexed(), Measurement::Off),
+            options,
+        )?,
+    };
+    Ok(PerfRow {
+        index: entry.index,
+        program: w.name.clone(),
+        fidelity,
+        throughput,
+    })
+}
+
+/// Runs the Table 1 suite under both profiles in both lanes.
 ///
 /// # Errors
 ///
 /// Propagates the first workload failure ([`psi_core::PsiError`]);
-/// the suite is expected to be green under both profiles.
+/// the suite is expected to be green under every profile/lane cell.
 pub fn run(options: PerfOptions) -> psi_core::Result<PerfReport> {
+    run_rows(options, None)
+}
+
+/// [`run`] restricted to the rows selected by a `--rows` spec (see
+/// [`row_matches`]); `None` runs the whole suite.
+///
+/// # Errors
+///
+/// Propagates the first workload failure ([`psi_core::PsiError`]).
+pub fn run_rows(options: PerfOptions, filter: Option<&str>) -> psi_core::Result<PerfReport> {
     let mut rows = Vec::new();
     for entry in table1_suite() {
-        let linear = measure(&entry.workload, &MachineConfig::psi(), &options)?;
-        let indexed = measure(&entry.workload, &MachineConfig::psi_indexed(), &options)?;
-        rows.push(PerfRow {
-            index: entry.index,
-            program: entry.workload.name.clone(),
-            linear,
-            indexed,
-        });
+        if let Some(spec) = filter {
+            if !row_matches(spec, entry.index, &entry.workload.name) {
+                continue;
+            }
+        }
+        rows.push(measure_row(&entry, &options)?);
     }
     Ok(PerfReport { options, rows })
 }
@@ -255,21 +441,66 @@ mod tests {
 
     #[test]
     fn json_shape_is_stable() {
-        let report = PerfReport {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"psi-bench-perf-v2\""));
+        assert!(json.contains("\"program\": \"nreverse 30\""));
+        assert!(json.contains("\"solutions_match\": true"));
+        assert!(json.contains("\"lanes_match\": true"));
+        assert!(json.contains("\"fidelity\": {"));
+        assert!(json.contains("\"throughput\": {"));
+        assert!(json.contains("\"choice_points\": 10"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn row_filter_matches_by_index_and_name() {
+        assert!(row_matches("3", 3, "qsort 50"));
+        assert!(!row_matches("3", 4, "qsort 50"));
+        assert!(row_matches("LISP", 7, "lisp tarai3"));
+        assert!(row_matches("1, lisp", 7, "lisp tarai3"));
+        assert!(row_matches(" qsort ,9", 9, "nreverse 30"));
+        assert!(!row_matches("", 1, "nreverse 30"));
+        assert!(!row_matches(" , ", 1, "nreverse 30"));
+    }
+
+    #[test]
+    fn archived_steps_reads_own_v2_output() {
+        let report = sample_report();
+        let pairs = archived_steps(&report.to_json());
+        assert_eq!(pairs, vec![("nreverse 30".to_owned(), 30)]);
+    }
+
+    #[test]
+    fn archived_steps_reads_v1_layout() {
+        let v1 = r#"{
+  "schema": "psi-bench-perf-v1",
+  "rows": [
+    {
+      "index": 1,
+      "program": "qsort 50",
+      "linear": {"wall_ns": 9, "sim_ns": 8, "steps": 4321, "choice_points": 2},
+      "indexed": {"wall_ns": 9, "sim_ns": 8, "steps": 17, "choice_points": 2}
+    }
+  ]
+}"#;
+        assert_eq!(archived_steps(v1), vec![("qsort 50".to_owned(), 4321)]);
+    }
+
+    fn sample_report() -> PerfReport {
+        let lane = || LaneMeasurements {
+            linear: sample_measurement(10),
+            indexed: sample_measurement(10),
+        };
+        PerfReport {
             options: PerfOptions::quick(),
             rows: vec![PerfRow {
                 index: 1,
                 program: "nreverse 30".into(),
-                linear: sample_measurement(10),
-                indexed: sample_measurement(7),
+                fidelity: lane(),
+                throughput: lane(),
             }],
-        };
-        let json = report.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"psi-bench-perf-v1\""));
-        assert!(json.contains("\"program\": \"nreverse 30\""));
-        assert!(json.contains("\"solutions_match\": true"));
-        assert!(json.contains("\"choice_points\": 10"));
-        assert!(json.trim_end().ends_with('}'));
+        }
     }
 
     fn sample_measurement(cp: u64) -> ProfileMeasurement {
@@ -281,6 +512,7 @@ mod tests {
             backtracks: 4,
             indexed_calls: 0,
             index_direct_entries: 0,
+            predecode_hits: 0,
             solutions: vec!["X = 1".into()],
         }
     }

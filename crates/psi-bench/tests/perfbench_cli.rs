@@ -1,0 +1,79 @@
+//! Integration tests for the `perfbench` binary's command-line
+//! contract: bad output locations fail fast with a clear message
+//! (before any measurement), `--rows` runs a spot-check subset
+//! without overwriting the archived report, and junk arguments are
+//! rejected.
+
+use std::process::Command;
+
+fn perfbench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_perfbench"))
+}
+
+#[test]
+fn missing_output_directory_is_a_clear_error_not_a_panic() {
+    let dir = std::env::temp_dir().join("perfbench-no-such-dir-a8f2");
+    assert!(!dir.exists(), "test precondition: {dir:?} must not exist");
+    let out = perfbench()
+        .args(["--quick", "--out"])
+        .arg(dir.join("bench.json"))
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "should exit nonzero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("does not exist"),
+        "stderr should name the missing directory, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "must be a clear error, not a panic: {stderr}"
+    );
+}
+
+#[test]
+fn rows_filter_runs_a_subset_and_does_not_write_the_archive() {
+    let out = perfbench()
+        .args(["--quick", "--rows", "1"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "exit ok, stderr: {stderr}");
+    assert!(stdout.contains("nreverse"), "row 1 is nreverse: {stdout}");
+    assert!(
+        !stdout.contains("wrote "),
+        "a subset run must not overwrite the archived report: {stdout}"
+    );
+    // Exactly one measured row: header line plus one program line.
+    let rows = stdout
+        .lines()
+        .filter(|l| l.contains("ms") && l.contains('x'))
+        .count();
+    assert_eq!(rows, 1, "expected exactly one measured row: {stdout}");
+}
+
+#[test]
+fn rows_filter_matching_nothing_is_an_error() {
+    let out = perfbench()
+        .args(["--quick", "--rows", "no-such-program-zz"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("matched no"),
+        "stderr should say the filter matched nothing: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_arguments_are_rejected_with_usage() {
+    let out = perfbench()
+        .arg("--frobnicate")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "expected usage line: {stderr}");
+}

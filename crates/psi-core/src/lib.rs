@@ -29,6 +29,7 @@
 mod address;
 mod error;
 mod event;
+mod measurement;
 mod symbol;
 mod tag;
 mod word;
@@ -36,6 +37,7 @@ mod word;
 pub use address::{Address, Area, ProcessId, AREA_COUNT};
 pub use error::{PsiError, Resource, Result};
 pub use event::{EventKind, ObsEvent};
+pub use measurement::Measurement;
 pub use symbol::{SymbolId, SymbolTable};
 pub use tag::Tag;
 pub use word::{Functor, Word};

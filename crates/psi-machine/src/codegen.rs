@@ -293,7 +293,16 @@ impl CodeImage {
         })?;
         let lowered = LoweredProgram::lower(&program)?;
         self.add_program(&lowered)?;
-        let pred = self.lookup(&(name, vars.len())).expect("just compiled");
+        // The lookup follows a successful `add_program` for this very
+        // predicate, so a miss means the image's predicate table is
+        // inconsistent — surface it as a typed error rather than a
+        // panic, since this path runs on every user query.
+        let arity = vars.len();
+        let pred = self
+            .lookup(&(name.clone(), arity))
+            .ok_or_else(|| PsiError::Compile {
+                detail: format!("query entry predicate {name}/{arity} missing after compilation"),
+            })?;
         Ok(QueryCode { pred, vars })
     }
 

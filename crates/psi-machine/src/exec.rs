@@ -12,6 +12,15 @@ use psi_core::{Address, Area, PsiError, Result, Tag, Word};
 /// "The control stack contains 10-word control frames".
 pub(crate) const CONTROL_FRAME_WORDS: u32 = 10;
 
+/// Resolved location of a local-variable slot (see
+/// [`Machine::slot_place`]).
+enum SlotPlace {
+    /// Still in WF frame buffer `0` or `1`.
+    Buffered(usize),
+    /// Flushed to the local stack at this address.
+    Flushed(Address),
+}
+
 impl Machine {
     // ------------------------------------------------- micro primitives
 
@@ -75,6 +84,9 @@ impl Machine {
     /// Instruction fetch from the heap area (the dominant heap traffic
     /// of Table 4).
     pub(crate) fn fetch_code(&mut self, m: InterpModule, op: BranchOp, off: u32) -> Result<Word> {
+        if self.lane_fast {
+            return self.fetch_code_fast(m, op, off);
+        }
         self.micro(m, op, true);
         self.wf.touch_read(WfField::Source1, WfMode::Direct10);
         let w = self.bus.read(self.heap_addr(off));
@@ -87,6 +99,36 @@ impl Machine {
         self.micro_cond(m, true);
         self.micro_cond(m, false);
         self.micro_goto(m, true);
+        w
+    }
+
+    /// The microstep and WF charges of one code-word fetch, kept in
+    /// step with [`Machine::fetch_code`]'s sequence (same branch ops,
+    /// same rotor order, same WF touches). The throughput lane charges
+    /// these without the simulated-memory round trip.
+    pub(crate) fn charge_code_fetch(&mut self, m: InterpModule, op: BranchOp) {
+        self.micro(m, op, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+        self.micro_seq(m, true);
+        self.wf.touch_read(WfField::Source1, WfMode::Direct00);
+        self.wf.touch_write(WfMode::Direct10);
+        self.micro_cond(m, true);
+        self.micro_cond(m, false);
+        self.micro_goto(m, true);
+    }
+
+    /// Throughput-lane code fetch: identical microstep and WF charges,
+    /// with the simulated-memory round trip replaced by a direct read
+    /// of the host-side code image. This is sound because `sync_code`
+    /// copies the image verbatim into the simulated heap and code is
+    /// immutable once loaded; an offset beyond the image falls back to
+    /// the bus so error behaviour matches the fidelity lane.
+    fn fetch_code_fast(&mut self, m: InterpModule, op: BranchOp, off: u32) -> Result<Word> {
+        let w = match self.image.heap().get(off as usize) {
+            Some(&w) => Ok(w),
+            None => self.bus.read(self.heap_addr(off)),
+        };
+        self.charge_code_fetch(m, op);
         w
     }
 
@@ -160,21 +202,39 @@ impl Machine {
 
     // ------------------------------------------------------ local slots
 
+    /// Where slot `slot` of the current activation lives right now:
+    /// its WF frame buffer while buffered, its local-stack address
+    /// once flushed. The single place the buffered-vs-flushed decision
+    /// is made — all four slot accessors go through it.
+    fn slot_place(&self, slot: u16) -> SlotPlace {
+        let env = self.procs[self.cur].regs.env;
+        let act = &self.procs[self.cur].envs[env];
+        match act.buffer {
+            Some(buf) => SlotPlace::Buffered(buf),
+            None => SlotPlace::Flushed(self.local_addr(act.locals_base + slot as u32)),
+        }
+    }
+
     /// Reads local variable slot `slot` of the current activation —
     /// from the WF frame buffer while buffered, from the local stack
     /// once flushed.
     pub(crate) fn read_slot(&mut self, m: InterpModule, slot: u16, auto: bool) -> Result<Word> {
-        let env = self.procs[self.cur].regs.env;
-        let act = &self.procs[self.cur].envs[env];
-        match act.buffer {
-            Some(buf) => {
+        self.read_slot_with(m, slot, false, auto)
+    }
+
+    fn read_slot_with(
+        &mut self,
+        m: InterpModule,
+        slot: u16,
+        base_relative: bool,
+        auto: bool,
+    ) -> Result<Word> {
+        match self.slot_place(slot) {
+            SlotPlace::Buffered(buf) => {
                 self.micro_seq(m, true);
-                Ok(self.wf.read_buffer(buf, slot as u32, false, auto))
+                Ok(self.wf.read_buffer(buf, slot as u32, base_relative, auto))
             }
-            None => {
-                let addr = self.local_addr(act.locals_base + slot as u32);
-                self.mem_read(m, addr)
-            }
+            SlotPlace::Flushed(addr) => self.mem_read(m, addr),
         }
     }
 
@@ -186,19 +246,31 @@ impl Machine {
         w: Word,
         auto: bool,
     ) -> Result<()> {
-        let env = self.procs[self.cur].regs.env;
-        let act = &self.procs[self.cur].envs[env];
-        match act.buffer {
-            Some(buf) => {
+        self.write_slot_with(m, slot, w, false, auto)
+    }
+
+    fn write_slot_with(
+        &mut self,
+        m: InterpModule,
+        slot: u16,
+        w: Word,
+        base_relative: bool,
+        auto: bool,
+    ) -> Result<()> {
+        match self.slot_place(slot) {
+            SlotPlace::Buffered(buf) => {
                 self.micro_seq(m, true);
-                self.wf.touch_read(WfField::Source2, WfMode::Direct00);
-                self.wf.write_buffer(buf, slot as u32, w, false, auto);
+                if !base_relative {
+                    // Direct slot addressing routes the source operand
+                    // through the WF Source2 port; the PDR/CDR
+                    // base-relative path does not (§4.3 function (4)).
+                    self.wf.touch_read(WfField::Source2, WfMode::Direct00);
+                }
+                self.wf
+                    .write_buffer(buf, slot as u32, w, base_relative, auto);
                 Ok(())
             }
-            None => {
-                let addr = self.local_addr(act.locals_base + slot as u32);
-                self.mem_write(m, addr, w)
-            }
+            SlotPlace::Flushed(addr) => self.mem_write(m, addr, w),
         }
     }
 
@@ -275,8 +347,11 @@ impl Machine {
 
     // ------------------------------------------------------- user calls
 
-    pub(crate) fn handle_user_call(&mut self, goal: Word, code_ptr: u32) -> Result<Flow> {
-        let (pred, nargs) = goal.goal_value().expect("Goal word");
+    /// Calls user predicate `pred` with `nargs` arguments encoded at
+    /// `code_ptr + 1`. Both lanes land here: the fidelity lane passes
+    /// the operands it just decoded from the fetched goal word, the
+    /// throughput lane passes them from its predecode cache.
+    pub(crate) fn handle_user_call(&mut self, pred: u32, nargs: u8, code_ptr: u32) -> Result<Flow> {
         // Build the arguments into the reusable scratch buffer (taken
         // out of `self` so `build_args` can borrow `self` mutably, put
         // back on every exit path).
@@ -452,6 +527,7 @@ impl Machine {
             if let Some(ctl) = act.materialized {
                 if ctl + CONTROL_FRAME_WORDS == p.ctl_top {
                     p.ctl_top = ctl;
+                    Self::drop_saved_frames_from(p, ctl);
                 }
             }
         }
@@ -486,7 +562,51 @@ impl Machine {
         }
         self.procs[self.cur].ctl_top = base + CONTROL_FRAME_WORDS;
         self.procs[self.cur].envs[env_id].materialized = Some(base);
+        if self.procs[self.cur].mat_stack.len() == self.procs[self.cur].mat_stack.capacity() {
+            // Stale entries (frames whose activation has returned, or
+            // whose env id was recycled) accumulate until a backtrack
+            // drops below their base; compact them away in place
+            // before conceding a reallocation. Only a stack full of
+            // *live* saved frames forces growth.
+            Self::compact_mat_stack(&mut self.procs[self.cur]);
+            if self.procs[self.cur].mat_stack.len() == self.procs[self.cur].mat_stack.capacity() {
+                self.hot_allocs += 1;
+            }
+        }
+        self.procs[self.cur].mat_stack.push((base, env_id as u32));
         Ok(())
+    }
+
+    /// Drops materialization-stack entries whose activation no longer
+    /// carries the matching saved-frame mark — exactly the entries
+    /// `drop_saved_frames_from` would skip over. Preserves order, so
+    /// the strictly-increasing-base invariant survives. In place: no
+    /// allocation.
+    fn compact_mat_stack(p: &mut crate::machine::Proc) {
+        let envs = &p.envs;
+        p.mat_stack.retain(|&(base, env_id)| {
+            envs.get(env_id as usize)
+                .is_some_and(|act| act.materialized == Some(base))
+        });
+    }
+
+    /// Pops materialization-stack entries whose frame base is at or
+    /// above the (just lowered) control top `ct`, clearing the
+    /// saved-frame mark of any still-live activation among them. Call
+    /// after every `ctl_top` decrease; the base guard makes stale
+    /// entries (dead activations, recycled env ids) harmless.
+    fn drop_saved_frames_from(p: &mut crate::machine::Proc, ct: u32) {
+        while let Some(&(base, env_id)) = p.mat_stack.last() {
+            if base < ct {
+                break;
+            }
+            p.mat_stack.pop();
+            if let Some(act) = p.envs.get_mut(env_id as usize) {
+                if act.materialized == Some(base) {
+                    act.materialized = None;
+                }
+            }
+        }
     }
 
     fn push_choice_point(
@@ -708,11 +828,7 @@ impl Machine {
                 // (a non-TRO last call); its frame is gone now, so it
                 // must be re-saved if needed again.
                 let ct = p.ctl_top;
-                for act in &mut p.envs {
-                    if matches!(act.materialized, Some(a) if a >= ct) {
-                        act.materialized = None;
-                    }
-                }
+                Self::drop_saved_frames_from(p, ct);
                 // Keep the backing store honest: discarded cells must
                 // not be readable.
                 let (lt, gt, ct, tt) = (p.local_top, p.global_top, p.ctl_top, p.trail_top);
@@ -743,6 +859,7 @@ impl Machine {
                 p.arg_arena.truncate(cp.args_start as usize);
                 if cp.ctl_addr + CONTROL_FRAME_WORDS == p.ctl_top {
                     p.ctl_top = cp.ctl_addr;
+                    Self::drop_saved_frames_from(p, cp.ctl_addr);
                 }
                 let ct = p.ctl_top;
                 let pid = p.pid;
@@ -784,6 +901,7 @@ impl Machine {
             p.arg_arena.truncate(cp.args_start as usize);
             if cp.ctl_addr + CONTROL_FRAME_WORDS == p.ctl_top {
                 p.ctl_top = cp.ctl_addr;
+                Self::drop_saved_frames_from(p, cp.ctl_addr);
             }
         }
         self.micro_seq(InterpModule::Cut, false);
@@ -840,6 +958,7 @@ impl Machine {
         if let Some(ctl) = act.materialized {
             if ctl + CONTROL_FRAME_WORDS == p.ctl_top {
                 p.ctl_top = ctl;
+                Self::drop_saved_frames_from(p, ctl);
             }
         }
     }
@@ -910,34 +1029,11 @@ impl Machine {
     /// Slot access through the PDR/CDR base-relative WF path (used for
     /// packed operands).
     fn read_slot_base_relative(&mut self, m: InterpModule, slot: u16) -> Result<Word> {
-        let env = self.procs[self.cur].regs.env;
-        let act = &self.procs[self.cur].envs[env];
-        match act.buffer {
-            Some(buf) => {
-                self.micro_seq(m, true);
-                Ok(self.wf.read_buffer(buf, slot as u32, true, false))
-            }
-            None => {
-                let addr = self.local_addr(act.locals_base + slot as u32);
-                self.mem_read(m, addr)
-            }
-        }
+        self.read_slot_with(m, slot, true, false)
     }
 
     fn write_slot_base_relative(&mut self, m: InterpModule, slot: u16, w: Word) -> Result<()> {
-        let env = self.procs[self.cur].regs.env;
-        let act = &self.procs[self.cur].envs[env];
-        match act.buffer {
-            Some(buf) => {
-                self.micro_seq(m, true);
-                self.wf.write_buffer(buf, slot as u32, w, true, false);
-                Ok(())
-            }
-            None => {
-                let addr = self.local_addr(act.locals_base + slot as u32);
-                self.mem_write(m, addr, w)
-            }
-        }
+        self.write_slot_with(m, slot, w, true, false)
     }
 
     /// Materializes one argument word into a runtime value.
@@ -967,8 +1063,12 @@ impl Machine {
 
     // --------------------------------------------------------- builtins
 
-    pub(crate) fn handle_builtin_call(&mut self, goal: Word, code_ptr: u32) -> Result<Flow> {
-        let (id, nargs) = goal.goal_value().expect("BuiltinGoal word");
+    pub(crate) fn handle_builtin_call(
+        &mut self,
+        id: u32,
+        nargs: u8,
+        code_ptr: u32,
+    ) -> Result<Flow> {
         let b = Builtin::from_id(id).ok_or_else(|| PsiError::EvalError {
             detail: format!("corrupt builtin id {id}"),
         })?;

@@ -1,11 +1,15 @@
 //! Machine state, configuration, and the public API.
 
 use crate::codegen::{CodeImage, QueryCode};
-use crate::ucode::{BranchOp, BranchTally, InterpModule, MicroTally, ModuleTally};
+use crate::ucode::{
+    BranchOp, BranchTally, DecodedOp, InterpModule, MicroTally, ModuleTally, OpKind,
+};
 use crate::wf::{WfStats, WorkFile};
 use kl0::{LoweredProgram, Program, Term};
 use psi_cache::{CacheConfig, CacheStats};
-use psi_core::{Address, Area, ObsEvent, ProcessId, PsiError, Resource, Result, SymbolId, Word};
+use psi_core::{
+    Address, Area, Measurement, ObsEvent, ProcessId, PsiError, Resource, Result, SymbolId, Word,
+};
 use psi_mem::{MemBus, TraceEntry};
 use psi_obs::{Counter, Histo, MetricsRegistry, MetricsSnapshot};
 use std::fmt;
@@ -119,6 +123,18 @@ pub struct MachineConfig {
     /// traffic all shrink (see the "Indexing ablation" section of
     /// EXPERIMENTS.md).
     pub clause_indexing: bool,
+    /// Which execution lane the machine runs in.
+    ///
+    /// [`Measurement::Full`] (the default) is the fidelity lane: every
+    /// memory access drives the cache-occupancy model and the other
+    /// measurement hooks, exactly as the paper measured. With
+    /// [`Measurement::Off`] (the throughput lane) the memory bus skips
+    /// the cache simulator, address tracing and event recording, and
+    /// the dispatch loop runs from the predecoded code cache —
+    /// solutions, microstep totals and per-module tallies stay
+    /// bit-identical to the fidelity lane (step accounting is charged
+    /// identically), while cache statistics and stall time read zero.
+    pub measurement: Measurement,
 }
 
 impl MachineConfig {
@@ -134,6 +150,7 @@ impl MachineConfig {
             trace_memory: false,
             trace_events: false,
             clause_indexing: false,
+            measurement: Measurement::Full,
         }
     }
 
@@ -170,6 +187,38 @@ impl MachineConfig {
     pub fn psi_indexed() -> MachineConfig {
         MachineConfig {
             clause_indexing: true,
+            ..MachineConfig::psi()
+        }
+    }
+
+    /// The shipped machine in the throughput lane
+    /// ([`MachineConfig::measurement`] off): solutions and microstep
+    /// accounting are bit-identical to [`MachineConfig::psi`], but the
+    /// cache simulator, memory tracing and event recording are
+    /// skipped, so the host runs the same program substantially
+    /// faster. Use for serving-style solve traffic; use the default
+    /// profile when reproducing the paper's tables.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    ///
+    /// let src = "p(1). p(2).";
+    /// let program = Program::parse(src)?;
+    /// let mut fid = Machine::load(&program, MachineConfig::psi())?;
+    /// let mut thr = Machine::load(&program, MachineConfig::psi_throughput())?;
+    /// assert_eq!(fid.solve("p(X)", 2)?, thr.solve("p(X)", 2)?);
+    /// let (f, t) = (fid.stats(), thr.stats());
+    /// assert_eq!(f.steps, t.steps);
+    /// assert_eq!(f.modules, t.modules);
+    /// // Only the measurement-side numbers differ: no cache model ran.
+    /// assert_eq!(t.stall_ns, 0);
+    /// assert_eq!(t.cache.total().accesses(), 0);
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
+    pub fn psi_throughput() -> MachineConfig {
+        MachineConfig {
+            measurement: Measurement::Off,
             ..MachineConfig::psi()
         }
     }
@@ -402,6 +451,16 @@ pub(crate) struct Proc {
     /// slice; the arena is truncated back whenever its choice point is
     /// popped.
     pub arg_arena: Vec<Word>,
+    /// Environment frames saved to the control stack, as `(frame
+    /// base, env id)` in push order (bases strictly increasing). Lets
+    /// backtracking clear the saved-frame marks of discarded frames by
+    /// popping entries at or above the restored control top, instead
+    /// of rescanning every live activation — the rescan was O(depth)
+    /// per backtrack and dominated deep-recursion workloads. Entries
+    /// whose activation died without its frame being reclaimed go
+    /// stale; consumers verify `envs[id].materialized == Some(base)`
+    /// before clearing.
+    pub mat_stack: Vec<(u32, u32)>,
     pub query: Option<QueryState>,
 }
 
@@ -410,10 +469,14 @@ pub(crate) struct Proc {
 /// mid-run — the hot loop then performs zero host heap allocation
 /// (asserted by [`Machine::hot_path_alloc_count`] in tests). Growth
 /// past a reservation still works; it is merely counted.
-const ENVS_RESERVE: usize = 512;
-const CPS_RESERVE: usize = 512;
+/// Sized for the deepest Table 1 row (the Lisp interpreter running
+/// tarai3 keeps thousands of activations, saved frames and choice
+/// points live at once); `tests/two_lane.rs` asserts zero growth
+/// across the whole suite.
+const ENVS_RESERVE: usize = 8192;
+const CPS_RESERVE: usize = 8192;
 const BUFFERED_RESERVE: usize = 8;
-const ARG_ARENA_RESERVE: usize = 4096;
+const ARG_ARENA_RESERVE: usize = 32768;
 /// Scratch argument buffers: predicate arity fits in a `u8`, so 256
 /// words can never be outgrown.
 const ARGS_RESERVE: usize = 256;
@@ -435,6 +498,7 @@ impl Proc {
             trail_top: 0,
             buffered: Vec::with_capacity(BUFFERED_RESERVE),
             arg_arena: Vec::with_capacity(ARG_ARENA_RESERVE),
+            mat_stack: Vec::with_capacity(ENVS_RESERVE),
             query: None,
         }
     }
@@ -506,6 +570,14 @@ pub struct Machine {
     /// Stall time at the start of the current run (for the per-run
     /// stall histogram).
     pub(crate) run_base_stall_ns: u64,
+    /// Predecoded dispatch cache, one entry per loaded code word
+    /// (dense, lazily filled). Consulted only in the throughput lane;
+    /// grown with undecoded sentinels by [`Machine::sync_code`] on
+    /// incremental consult, alongside the `ClauseIndex`.
+    pub(crate) decode: Vec<DecodedOp>,
+    /// Lane flag hoisted from `config.measurement` at load, so the
+    /// dispatch loop and code fetch pay one predictable branch.
+    pub(crate) lane_fast: bool,
 }
 
 /// Internal control-flow outcome of dispatching one goal.
@@ -546,12 +618,19 @@ impl Machine {
         if config.trace_events {
             bus.set_events_enabled(true);
         }
+        // Lane selection happens exactly once, here: the bus, the work
+        // file and the dispatch loop all read a pre-resolved flag
+        // afterwards.
+        bus.set_measurement(config.measurement);
+        let mut wf = WorkFile::new();
+        wf.set_measurement(config.measurement);
+        let lane_fast = !config.measurement.is_full();
         let mut machine = Machine {
             config,
             image,
             loaded_words: 0,
             bus,
-            wf: WorkFile::new(),
+            wf,
             tally: MicroTally::new(),
             heap_top: 0,
             procs: vec![Proc::new(ProcessId::ZERO)],
@@ -571,18 +650,26 @@ impl Machine {
             governor_countdown: GOVERNOR_INTERVAL,
             metrics: MetricsRegistry::new(),
             run_base_stall_ns: 0,
+            decode: Vec::new(),
+            lane_fast,
         };
         machine.sync_code()?;
         Ok(machine)
     }
 
-    /// Copies newly compiled code words into the simulated heap.
+    /// Copies newly compiled code words into the simulated heap and
+    /// extends the predecode cache over them. Incremental consult only
+    /// ever appends code (the same append-only pass that grows the
+    /// first-argument `ClauseIndex`), so existing decoded entries stay
+    /// valid; the new words start at the undecoded sentinel and are
+    /// decoded on first dispatch.
     fn sync_code(&mut self) -> Result<()> {
         let len = self.image.heap().len() as u32;
         for off in self.loaded_words..len {
             let w = self.image.heap()[off as usize];
             self.bus.poke(Address::heap(off), w)?;
         }
+        self.decode.resize(len as usize, DecodedOp::not_decoded());
         self.loaded_words = len;
         self.heap_top = self.heap_top.max(len);
         Ok(())
@@ -1044,16 +1131,85 @@ impl Machine {
         let code_ptr = self.procs[self.cur].regs.code_ptr;
         let dispatch_ev = ObsEvent::dispatch(self.bus.step(), code_ptr);
         self.bus.record_event(dispatch_ev);
+        if self.lane_fast {
+            return self.dispatch_decoded(code_ptr);
+        }
         let w = self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, code_ptr)?;
         match w.tag() {
-            psi_core::Tag::Goal => self.handle_user_call(w, code_ptr),
-            psi_core::Tag::BuiltinGoal => self.handle_builtin_call(w, code_ptr),
+            psi_core::Tag::Goal => {
+                let (pred, nargs) = w.goal_value().expect("Goal word");
+                self.handle_user_call(pred, nargs, code_ptr)
+            }
+            psi_core::Tag::BuiltinGoal => {
+                let (id, nargs) = w.goal_value().expect("BuiltinGoal word");
+                self.handle_builtin_call(id, nargs, code_ptr)
+            }
             psi_core::Tag::CutGoal => self.handle_cut(code_ptr),
             psi_core::Tag::EndBody => self.handle_return(),
             other => Err(PsiError::EvalError {
                 detail: format!("corrupt code word ({other}) at heap:{code_ptr:#x}"),
             }),
         }
+    }
+
+    /// Throughput-lane dispatch: runs from the predecoded micro-op
+    /// array instead of re-fetching and re-decoding the goal word
+    /// through simulated memory, while charging exactly the
+    /// microsteps the fidelity lane's fetch-and-decode charges (so
+    /// step totals and module tallies stay bit-identical).
+    fn dispatch_decoded(&mut self, code_ptr: u32) -> Result<Flow> {
+        let fetched = match self.decode.get(code_ptr as usize) {
+            Some(d) if d.is_decoded() => {
+                self.metrics.incr(Counter::PredecodeHits);
+                Ok(*d)
+            }
+            _ => self.predecode_miss(code_ptr),
+        };
+        // Charged before the fetch result is inspected, mirroring the
+        // fidelity lane: `fetch_code` charges all six steps even when
+        // the heap read itself fails.
+        self.charge_code_fetch(InterpModule::Control, BranchOp::CaseOpcode);
+        let d = fetched?;
+        match d.kind() {
+            OpKind::UserGoal => self.handle_user_call(d.operand(), d.nargs(), code_ptr),
+            OpKind::BuiltinGoal => self.handle_builtin_call(d.operand(), d.nargs(), code_ptr),
+            OpKind::Cut => self.handle_cut(code_ptr),
+            OpKind::Return => self.handle_return(),
+            OpKind::NotDecoded | OpKind::Invalid => self.corrupt_code(code_ptr),
+        }
+    }
+
+    /// Cold path: first dispatch of a code word — decode it once and
+    /// fill its cache entry.
+    #[cold]
+    fn predecode_miss(&mut self, code_ptr: u32) -> Result<DecodedOp> {
+        self.metrics.incr(Counter::PredecodeMisses);
+        let idx = code_ptr as usize;
+        let w = match self.image.heap().get(idx) {
+            Some(&w) => w,
+            // Beyond the loaded image — never valid code. Read through
+            // the bus so an out-of-extent code pointer produces the
+            // same error as the fidelity lane.
+            None => self.bus.read(Address::heap(code_ptr))?,
+        };
+        let d = DecodedOp::decode(w);
+        if let Some(slot) = self.decode.get_mut(idx) {
+            *slot = d;
+        }
+        Ok(d)
+    }
+
+    /// Reproduces the fidelity lane's corrupt-code-word error for a
+    /// word the predecoder classified as non-dispatchable.
+    #[cold]
+    fn corrupt_code(&mut self, code_ptr: u32) -> Result<Flow> {
+        let w = match self.image.heap().get(code_ptr as usize) {
+            Some(&w) => w,
+            None => self.bus.peek(Address::heap(code_ptr))?,
+        };
+        Err(PsiError::EvalError {
+            detail: format!("corrupt code word ({}) at heap:{code_ptr:#x}", w.tag()),
+        })
     }
 
     /// Compares every configured budget against current consumption.

@@ -208,15 +208,28 @@ impl WfStats {
 pub struct WorkFile {
     words: Vec<Word>,
     stats: WfStats,
+    /// Fidelity lane: record every (field, mode) access for Table 6.
+    /// The throughput lane clears this once at load — the reference
+    /// counters are pure measurement (storage semantics are
+    /// unaffected), so skipping them cannot change solutions, steps
+    /// or module tallies.
+    measured: bool,
 }
 
 impl WorkFile {
-    /// Creates a zeroed work file.
+    /// Creates a zeroed work file (fidelity lane by default).
     pub fn new() -> WorkFile {
         WorkFile {
             words: vec![Word::undef(); WF_WORDS],
             stats: WfStats::default(),
+            measured: true,
         }
+    }
+
+    /// Selects the measurement lane (see [`psi_core::Measurement`]):
+    /// `Full` records Table 6 reference counts, `Off` skips them.
+    pub fn set_measurement(&mut self, lane: psi_core::Measurement) {
+        self.measured = lane.is_full();
     }
 
     /// The accumulated statistics.
@@ -237,13 +250,19 @@ impl WorkFile {
     /// Records a register read (no storage semantics needed — the
     /// interpreter's registers live in machine state; only the access
     /// pattern matters).
+    #[inline]
     pub fn touch_read(&mut self, field: WfField, mode: WfMode) {
-        self.stats.record(field, mode);
+        if self.measured {
+            self.stats.record(field, mode);
+        }
     }
 
     /// Records a register write.
+    #[inline]
     pub fn touch_write(&mut self, mode: WfMode) {
-        self.stats.record(WfField::Destination, mode);
+        if self.measured {
+            self.stats.record(WfField::Destination, mode);
+        }
     }
 
     /// Reads a frame-buffer word through WFAR1 (or PDR/CDR
@@ -255,17 +274,19 @@ impl WorkFile {
         base_relative: bool,
         auto_increment: bool,
     ) -> Word {
-        let mode = if base_relative {
-            WfMode::BasePdrCdr
-        } else {
-            WfMode::IndWfar1
-        };
-        self.stats.record(WfField::Source1, mode);
-        if mode == WfMode::IndWfar1 {
-            if auto_increment {
-                self.stats.wfar1_auto += 1;
+        if self.measured {
+            let mode = if base_relative {
+                WfMode::BasePdrCdr
             } else {
-                self.stats.wfar1_manual += 1;
+                WfMode::IndWfar1
+            };
+            self.stats.record(WfField::Source1, mode);
+            if mode == WfMode::IndWfar1 {
+                if auto_increment {
+                    self.stats.wfar1_auto += 1;
+                } else {
+                    self.stats.wfar1_manual += 1;
+                }
             }
         }
         self.words[(FRAME_BUFFER_BASE[buffer] + slot) as usize]
@@ -281,24 +302,30 @@ impl WorkFile {
         base_relative: bool,
         auto_increment: bool,
     ) {
-        let mode = if base_relative {
-            WfMode::BasePdrCdr
-        } else {
-            WfMode::IndWfar1
-        };
-        self.stats.record(WfField::Destination, mode);
-        if mode == WfMode::IndWfar1 {
-            if auto_increment {
-                self.stats.wfar1_auto += 1;
+        if self.measured {
+            let mode = if base_relative {
+                WfMode::BasePdrCdr
             } else {
-                self.stats.wfar1_manual += 1;
+                WfMode::IndWfar1
+            };
+            self.stats.record(WfField::Destination, mode);
+            if mode == WfMode::IndWfar1 {
+                if auto_increment {
+                    self.stats.wfar1_auto += 1;
+                } else {
+                    self.stats.wfar1_manual += 1;
+                }
             }
         }
         self.words[(FRAME_BUFFER_BASE[buffer] + slot) as usize] = word;
     }
 
     /// Records a trail-buffer access through WFAR2.
+    #[inline]
     pub fn touch_trail_buffer(&mut self, write: bool) {
+        if !self.measured {
+            return;
+        }
         if write {
             self.stats.record(WfField::Destination, WfMode::IndWfar2);
         } else {
@@ -307,8 +334,11 @@ impl WorkFile {
     }
 
     /// Records a general-purpose WFCBR base-relative access.
+    #[inline]
     pub fn touch_wfcbr(&mut self) {
-        self.stats.record(WfField::Source1, WfMode::BaseWfcbr);
+        if self.measured {
+            self.stats.record(WfField::Source1, WfMode::BaseWfcbr);
+        }
     }
 }
 

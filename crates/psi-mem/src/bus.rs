@@ -3,7 +3,7 @@
 
 use crate::{AddressTranslation, Memory};
 use psi_cache::{Cache, CacheCommand, CacheConfig, CacheStats};
-use psi_core::{Address, ObsEvent, Result, Word};
+use psi_core::{Address, Measurement, ObsEvent, Result, Word};
 use psi_obs::EventRing;
 
 /// One traced memory access: the microstep at which it happened, the
@@ -40,6 +40,23 @@ enum Attachment {
 /// [`peek`](MemBus::peek)/[`poke`](MemBus::poke) pair, mirroring how
 /// the real machine loaded code through the console processor rather
 /// than the cache.
+///
+/// # Execution lanes
+///
+/// The bus runs in one of two lanes, selected once via
+/// [`MemBus::set_measurement`] (the machine does this at load, before
+/// any counted access):
+///
+/// * [`Measurement::Full`] (default) — every counted access drives
+///   address translation, the cache-occupancy model (stall
+///   accounting), the optional address trace and the optional event
+///   ring.
+/// * [`Measurement::Off`] — counted accesses take a straight-line
+///   fast route: storage read/write only. [`MemBus::tick`] still
+///   counts microsteps but lets no simulated memory traffic drain.
+///   Each access pays a single always-predicted lane branch instead
+///   of the measured route's branch tree (translation, trace
+///   `Option`, attachment match, event `Option`).
 #[derive(Debug, Clone)]
 pub struct MemBus {
     mem: Memory,
@@ -47,6 +64,10 @@ pub struct MemBus {
     translation: AddressTranslation,
     stall_ns: u64,
     step: u64,
+    /// Lane flag: `true` in the fidelity lane. Hoisted out of the
+    /// access routines' match tree so the throughput lane tests one
+    /// bool and jumps straight to storage.
+    measured: bool,
     trace: Option<Vec<TraceEntry>>,
     /// Observability event ring: `None` (the default) records nothing
     /// and costs one branch per access, like `trace`.
@@ -67,6 +88,7 @@ impl MemBus {
             translation: AddressTranslation::new(),
             stall_ns: 0,
             step: 0,
+            measured: true,
             trace: None,
             events: None,
         }
@@ -86,8 +108,25 @@ impl MemBus {
             translation: AddressTranslation::new(),
             stall_ns: 0,
             step: 0,
+            measured: true,
             trace: None,
             events: None,
+        }
+    }
+
+    /// Selects the execution lane (see the type-level documentation).
+    /// Call once before any counted access; switching lanes mid-run
+    /// would split the cache statistics between models.
+    pub fn set_measurement(&mut self, lane: Measurement) {
+        self.measured = lane.is_full();
+    }
+
+    /// The currently selected lane.
+    pub fn measurement(&self) -> Measurement {
+        if self.measured {
+            Measurement::Full
+        } else {
+            Measurement::Off
         }
     }
 
@@ -175,11 +214,17 @@ impl MemBus {
 
     /// Called by the interpreter once per microinstruction step so the
     /// bus can timestamp traced accesses and let the cache's pending
-    /// memory traffic drain.
+    /// memory traffic drain. In the throughput lane only the step
+    /// counter advances — there is no simulated memory traffic to
+    /// drain, so the lane's step accounting stays bit-identical while
+    /// the occupancy model is skipped entirely.
+    #[inline]
     pub fn tick(&mut self, cycle_ns: u64) {
         self.step += 1;
-        if let Attachment::Cached(c) = &mut self.attachment {
-            c.advance(cycle_ns);
+        if self.measured {
+            if let Attachment::Cached(c) = &mut self.attachment {
+                c.advance(cycle_ns);
+            }
         }
     }
 
@@ -284,8 +329,11 @@ impl MemBus {
     ///
     /// Propagates [`psi_core::PsiError::OutOfArea`] for reads beyond
     /// the written extent.
+    #[inline]
     pub fn read(&mut self, addr: Address) -> Result<Word> {
-        self.access(CacheCommand::Read, addr);
+        if self.measured {
+            self.access(CacheCommand::Read, addr);
+        }
         self.mem.read(addr)
     }
 
@@ -295,8 +343,11 @@ impl MemBus {
     ///
     /// Propagates [`psi_core::PsiError::StackOverflow`] if the area
     /// limit is exceeded.
+    #[inline]
     pub fn write(&mut self, addr: Address, word: Word) -> Result<()> {
-        self.access(CacheCommand::Write, addr);
+        if self.measured {
+            self.access(CacheCommand::Write, addr);
+        }
         self.mem.write(addr, word)
     }
 
@@ -307,8 +358,11 @@ impl MemBus {
     ///
     /// Propagates [`psi_core::PsiError::StackOverflow`] if the area
     /// limit is exceeded.
+    #[inline]
     pub fn write_stack(&mut self, addr: Address, word: Word) -> Result<()> {
-        self.access(CacheCommand::WriteStack, addr);
+        if self.measured {
+            self.access(CacheCommand::WriteStack, addr);
+        }
         self.mem.write(addr, word)
     }
 
@@ -429,6 +483,37 @@ mod tests {
         bus.set_events_enabled(false);
         bus.write(addr(0), Word::int(2)).unwrap();
         assert!(bus.take_events().is_empty());
+    }
+
+    #[test]
+    fn throughput_lane_skips_all_measurement() {
+        let mut bus = MemBus::with_psi_cache();
+        assert_eq!(bus.measurement(), Measurement::Full);
+        bus.set_measurement(Measurement::Off);
+        assert_eq!(bus.measurement(), Measurement::Off);
+        bus.enable_trace();
+        bus.set_events_enabled(true);
+        bus.tick(200);
+        bus.write_stack(addr(0), Word::int(7)).unwrap();
+        bus.tick(200);
+        assert_eq!(bus.read(addr(0)).unwrap().int_value(), Some(7));
+        bus.write(addr(0), Word::int(8)).unwrap();
+        // Storage works and steps count, but no measurement happened.
+        assert_eq!(bus.step(), 2);
+        assert_eq!(bus.cache_stats().total().accesses(), 0);
+        assert_eq!(bus.stall_ns(), 0);
+        assert!(bus.take_trace().is_empty());
+        assert!(bus.take_events().is_empty());
+    }
+
+    #[test]
+    fn uncached_throughput_lane_pays_no_stall() {
+        let mut bus = MemBus::without_cache();
+        bus.set_measurement(Measurement::Off);
+        bus.write_stack(addr(0), Word::int(1)).unwrap();
+        bus.read(addr(0)).unwrap();
+        assert_eq!(bus.stall_ns(), 0);
+        assert_eq!(bus.cache_stats().total().accesses(), 0);
     }
 
     #[test]

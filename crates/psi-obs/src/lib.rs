@@ -83,11 +83,17 @@ pub enum Counter {
     /// Indexed calls whose single surviving candidate was entered
     /// directly, without pushing a choice point.
     IndexDirectEntries,
+    /// Throughput-lane dispatches served from the predecoded code
+    /// cache (zero in the fidelity lane, which never consults it).
+    PredecodeHits,
+    /// Throughput-lane dispatches that decoded their code word and
+    /// filled the cache entry.
+    PredecodeMisses,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheReads,
@@ -111,6 +117,8 @@ impl Counter {
         Counter::ChoicePoints,
         Counter::IndexedCalls,
         Counter::IndexDirectEntries,
+        Counter::PredecodeHits,
+        Counter::PredecodeMisses,
     ];
 
     /// Number of counters (the registry's array length).
@@ -147,6 +155,8 @@ impl Counter {
             Counter::ChoicePoints => "choice_points",
             Counter::IndexedCalls => "indexed_calls",
             Counter::IndexDirectEntries => "index_direct_entries",
+            Counter::PredecodeHits => "predecode_hits",
+            Counter::PredecodeMisses => "predecode_misses",
         }
     }
 }

@@ -11,7 +11,7 @@
 use crate::Workload;
 use dec10::{DecConfig, DecMachine, DecStats};
 use kl0::Program;
-use psi_core::{PsiError, Resource, Result};
+use psi_core::{Measurement, PsiError, Resource, Result};
 use psi_machine::{Machine, MachineConfig, MachineStats};
 use std::panic::{self, AssertUnwindSafe};
 use std::time::Duration;
@@ -466,6 +466,12 @@ where
 /// Runs a whole suite on the PSI simulator in parallel, one fresh
 /// [`Machine`] per workload, with [`default_parallelism`] workers.
 ///
+/// `lane` selects the execution lane for every machine in the suite
+/// (overriding `config.measurement`): [`Measurement::Full`] is the
+/// fidelity lane whose measurements feed Tables 2–7,
+/// [`Measurement::Off`] is the throughput lane — same solutions and
+/// step totals, no cache/trace/event machinery.
+///
 /// Results come back ordered by workload index and are bit-identical
 /// to running each workload serially through [`run_on_psi`]: every
 /// workload gets its own machine, so no simulator state is shared
@@ -473,16 +479,23 @@ where
 /// unaffected by the parallelism. A panicking workload yields an
 /// `Err` with [`PsiError::WorkerPanic`] for its own row only; every
 /// other row still completes.
-pub fn run_suite_parallel(workloads: &[Workload], config: &MachineConfig) -> Vec<Result<PsiRun>> {
-    run_suite_parallel_with(workloads, config, default_parallelism())
+pub fn run_suite_parallel(
+    workloads: &[Workload],
+    config: &MachineConfig,
+    lane: Measurement,
+) -> Vec<Result<PsiRun>> {
+    run_suite_parallel_with(workloads, config, lane, default_parallelism())
 }
 
 /// [`run_suite_parallel`] with an explicit worker count (1 = serial).
 pub fn run_suite_parallel_with(
     workloads: &[Workload],
     config: &MachineConfig,
+    lane: Measurement,
     threads: usize,
 ) -> Vec<Result<PsiRun>> {
+    let mut config = config.clone();
+    config.measurement = lane;
     par_map_catch(workloads, threads, |_, w| run_on_psi(w, config.clone()))
         .into_iter()
         .zip(workloads)

@@ -7,6 +7,7 @@
 //! indexed profile doing no more work than the linear one.
 
 use kl0::Program;
+use psi::psi_core::Measurement;
 use psi::psi_machine::{Machine, MachineConfig};
 use psi::psi_workloads::{runner, suite};
 use psi::{kl0, psi_core};
@@ -37,8 +38,9 @@ fn both(src: &str, query: &str) -> (Vec<String>, Vec<String>) {
 fn table1_suite_profiles_are_equivalent() {
     let entries = suite::table1_suite();
     let workloads: Vec<_> = entries.iter().map(|e| e.workload.clone()).collect();
-    let linear = runner::run_suite_parallel(&workloads, &MachineConfig::psi());
-    let indexed = runner::run_suite_parallel(&workloads, &MachineConfig::psi_indexed());
+    let linear = runner::run_suite_parallel(&workloads, &MachineConfig::psi(), Measurement::Full);
+    let indexed =
+        runner::run_suite_parallel(&workloads, &MachineConfig::psi_indexed(), Measurement::Full);
     for ((entry, lin), idx) in entries.iter().zip(&linear).zip(&indexed) {
         let name = &entry.workload.name;
         let lin = lin
@@ -78,8 +80,9 @@ fn indexing_reduces_work_measurably() {
     // less work in aggregate — not merely "no worse".
     let entries = suite::table1_suite();
     let workloads: Vec<_> = entries.iter().map(|e| e.workload.clone()).collect();
-    let linear = runner::run_suite_parallel(&workloads, &MachineConfig::psi());
-    let indexed = runner::run_suite_parallel(&workloads, &MachineConfig::psi_indexed());
+    let linear = runner::run_suite_parallel(&workloads, &MachineConfig::psi(), Measurement::Full);
+    let indexed =
+        runner::run_suite_parallel(&workloads, &MachineConfig::psi_indexed(), Measurement::Full);
     let sum = |runs: &[psi_core::Result<runner::PsiRun>], f: fn(&runner::PsiRun) -> u64| {
         runs.iter().map(|r| f(r.as_ref().unwrap())).sum::<u64>()
     };

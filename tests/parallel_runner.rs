@@ -3,6 +3,7 @@
 //! are regression-tested here because the paper's tables depend on
 //! event-exact counters.
 
+use psi::psi_core::Measurement;
 use psi::psi_machine::{Machine, MachineConfig};
 use psi::psi_workloads::runner::{run_on_psi, run_suite_parallel_with};
 use psi::psi_workloads::suite::table1_suite;
@@ -21,7 +22,7 @@ fn parallel_suite_matches_serial_bit_for_bit() {
         .iter()
         .map(|w| run_on_psi(w, config.clone()).expect("serial run succeeds"))
         .collect();
-    let parallel = run_suite_parallel_with(&workloads, &config, 4);
+    let parallel = run_suite_parallel_with(&workloads, &config, Measurement::Full, 4);
 
     assert_eq!(serial.len(), parallel.len());
     for ((w, s), p) in workloads.iter().zip(&serial).zip(parallel) {
@@ -43,8 +44,8 @@ fn parallel_suite_is_thread_count_invariant() {
         .map(|e| e.workload)
         .collect();
     let config = MachineConfig::psi();
-    let one = run_suite_parallel_with(&workloads, &config, 1);
-    let many = run_suite_parallel_with(&workloads, &config, 8);
+    let one = run_suite_parallel_with(&workloads, &config, Measurement::Full, 1);
+    let many = run_suite_parallel_with(&workloads, &config, Measurement::Full, 8);
     for (a, b) in one.into_iter().zip(many) {
         let a = a.expect("runs succeed");
         let b = b.expect("runs succeed");
