@@ -7,6 +7,24 @@ use crate::lexer::{tokenize, Spanned, Token};
 use crate::Term;
 use psi_core::{PsiError, Result};
 
+/// Maximum operator/functor/paren nesting depth the parser accepts.
+///
+/// The parser is recursive, so unbounded nesting in hostile input
+/// (`f(f(f(…` or `((((…`) would overflow the host stack — an abort
+/// that `catch_unwind` cannot contain. Every recursion cycle passes
+/// through the parser's single entry point, which counts depth and returns a typed
+/// [`PsiError::Syntax`] past this limit. Real KL0 programs nest a few
+/// dozen levels at most.
+pub const MAX_TERM_DEPTH: u32 = 1024;
+
+/// Maximum number of elements in one source-text list.
+///
+/// `[a,b,c,…]` parses iteratively but builds a cons chain as deep as
+/// the list is long, and the chain is later traversed recursively
+/// (drop, compare, compile), so an unbounded literal list is the same
+/// stack-overflow hazard as deep nesting by other means.
+pub const MAX_LIST_ITEMS: usize = 4096;
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum InfixKind {
     Xfx,
@@ -52,6 +70,7 @@ pub fn parse_terms(src: &str) -> Result<Vec<Term>> {
         tokens,
         pos: 0,
         anon: 0,
+        depth: 0,
     };
     let mut out = Vec::new();
     while !p.at_end() {
@@ -73,6 +92,7 @@ pub fn parse_term(src: &str) -> Result<Term> {
         tokens,
         pos: 0,
         anon: 0,
+        depth: 0,
     };
     let term = p.parse(1200)?;
     if !p.at_end() {
@@ -85,6 +105,7 @@ struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
     anon: u32,
+    depth: u32,
 }
 
 impl Parser {
@@ -130,7 +151,21 @@ impl Parser {
     }
 
     /// Parses a term with precedence at most `max_prec`.
+    ///
+    /// Every recursive descent path (primary, functor args, lists,
+    /// operator right-hand sides) re-enters through here, so this one
+    /// guard bounds the host-stack depth of the whole parse.
     fn parse(&mut self, max_prec: u32) -> Result<Term> {
+        if self.depth >= MAX_TERM_DEPTH {
+            return Err(self.error_here(format!("term nesting exceeds {MAX_TERM_DEPTH} levels")));
+        }
+        self.depth += 1;
+        let result = self.parse_at(max_prec);
+        self.depth -= 1;
+        result
+    }
+
+    fn parse_at(&mut self, max_prec: u32) -> Result<Term> {
         let mut left = self.parse_primary(max_prec)?;
         loop {
             // ',' as the conjunction operator (xfy, 1000).
@@ -234,6 +269,11 @@ impl Parser {
         }
         let mut elements = vec![self.parse(999)?];
         loop {
+            if elements.len() > MAX_LIST_ITEMS {
+                return Err(
+                    self.error_here(format!("list literal exceeds {MAX_LIST_ITEMS} elements"))
+                );
+            }
             match self.bump() {
                 Some(Token::Comma) => elements.push(self.parse(999)?),
                 Some(Token::Bar) => {
@@ -350,6 +390,33 @@ mod tests {
             parse_terms("a").unwrap_err(),
             PsiError::Syntax { .. }
         ));
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_syntax_error_not_a_stack_overflow() {
+        // Far deeper than MAX_TERM_DEPTH; must come back as Err, not
+        // blow the host stack.
+        for src in [
+            format!("{}a{}", "f(".repeat(100_000), ")".repeat(100_000)),
+            format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000)),
+            format!("{}a{}", "[".repeat(100_000), "]".repeat(100_000)),
+            format!("{}a", "\\+ ".repeat(100_000)),
+        ] {
+            let err = parse_term(&src).unwrap_err();
+            assert!(matches!(err, PsiError::Syntax { .. }), "{err}");
+        }
+        // Nesting under the cap still parses.
+        let ok = format!("{}a{}", "f(".repeat(512), ")".repeat(512));
+        assert!(parse_term(&ok).is_ok());
+    }
+
+    #[test]
+    fn hostile_list_length_is_a_syntax_error() {
+        let src = format!("[{}0]", "0,".repeat(MAX_LIST_ITEMS * 2));
+        let err = parse_term(&src).unwrap_err();
+        assert!(matches!(err, PsiError::Syntax { .. }), "{err}");
+        let ok = format!("[{}0]", "0,".repeat(1000));
+        assert!(parse_term(&ok).is_ok());
     }
 
     #[test]

@@ -80,20 +80,28 @@ impl Program {
     /// Same conditions as [`Program::parse`].
     pub fn consult(&mut self, src: &str) -> Result<()> {
         for term in parse_terms(src)? {
+            // Destructure by moving the arg vector into fixed-size
+            // arrays so the `:-/2` and `:-/1` arms are statically
+            // panic-free (wire input flows through here unfiltered);
+            // `:-` at any other arity is rejected as uncallable.
             match term {
-                Term::Struct(op, args) if op == ":-" && args.len() == 2 => {
-                    let mut it = args.into_iter();
-                    let head = it.next().expect("two args");
-                    let body = it.next().expect("two args");
-                    self.add_clause(Clause {
+                Term::Struct(op, args) if op == ":-" => match <[Term; 2]>::try_from(args) {
+                    Ok([head, body]) => self.add_clause(Clause {
                         head,
                         body: Some(body),
-                    })?;
-                }
-                Term::Struct(op, args) if op == ":-" && args.len() == 1 => {
-                    self.directives
-                        .push(args.into_iter().next().expect("one arg"));
-                }
+                    })?,
+                    Err(args) => match <[Term; 1]>::try_from(args) {
+                        Ok([goal]) => self.directives.push(goal),
+                        Err(args) => {
+                            return Err(PsiError::Compile {
+                                detail: format!(
+                                    "clause head is not callable: {}",
+                                    Term::Struct(":-".to_owned(), args)
+                                ),
+                            })
+                        }
+                    },
+                },
                 head @ (Term::Atom(_) | Term::Struct(..)) => {
                     self.add_clause(Clause { head, body: None })?;
                 }

@@ -199,11 +199,11 @@ pub enum ArgShape<'a> {
 }
 
 fn atom_needs_quotes(name: &str) -> bool {
-    if name.is_empty() {
+    // Statically panic-free: wire input reaches Display via error
+    // messages, so this path must not be able to unwind.
+    let Some(first) = name.chars().next() else {
         return true;
-    }
-    let mut chars = name.chars();
-    let first = chars.next().expect("nonempty");
+    };
     if first.is_ascii_lowercase() {
         return !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
     }

@@ -143,6 +143,44 @@ pub enum PsiError {
     },
 }
 
+impl PsiError {
+    /// A stable numeric code identifying the error variant on the
+    /// wire. `psi-server` maps every error onto its JSON-lines
+    /// protocol through this code (see PROTOCOL.md), so the values
+    /// are append-only: new variants take new codes, existing codes
+    /// never change meaning.
+    pub fn wire_code(&self) -> u32 {
+        match self {
+            PsiError::OutOfArea { .. } => 1,
+            PsiError::StackOverflow { .. } => 2,
+            PsiError::UndefinedPredicate { .. } => 3,
+            PsiError::TypeError { .. } => 4,
+            PsiError::EvalError { .. } => 5,
+            PsiError::ResourceExhausted { .. } => 6,
+            PsiError::WorkerPanic { .. } => 7,
+            PsiError::Syntax { .. } => 8,
+            PsiError::Compile { .. } => 9,
+        }
+    }
+
+    /// A stable lowercase label for the error variant, paired with
+    /// [`PsiError::wire_code`] in wire responses so clients can match
+    /// on either form.
+    pub fn wire_kind(&self) -> &'static str {
+        match self {
+            PsiError::OutOfArea { .. } => "out_of_area",
+            PsiError::StackOverflow { .. } => "stack_overflow",
+            PsiError::UndefinedPredicate { .. } => "undefined_predicate",
+            PsiError::TypeError { .. } => "type_error",
+            PsiError::EvalError { .. } => "eval_error",
+            PsiError::ResourceExhausted { .. } => "resource_exhausted",
+            PsiError::WorkerPanic { .. } => "worker_panic",
+            PsiError::Syntax { .. } => "syntax",
+            PsiError::Compile { .. } => "compile",
+        }
+    }
+}
+
 impl fmt::Display for PsiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -251,6 +289,50 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn wire_codes_are_distinct_nonzero_and_labelled() {
+        let errors = [
+            PsiError::OutOfArea { access: "x".into() },
+            PsiError::StackOverflow {
+                area: "local",
+                limit: 1,
+            },
+            PsiError::UndefinedPredicate { name: "f/1".into() },
+            PsiError::TypeError {
+                builtin: "is/2".into(),
+                expected: "integer",
+            },
+            PsiError::EvalError { detail: "x".into() },
+            PsiError::ResourceExhausted {
+                resource: Resource::Steps,
+                limit: 1,
+                consumed: 2,
+            },
+            PsiError::WorkerPanic {
+                context: "x".into(),
+                detail: "y".into(),
+            },
+            PsiError::Syntax {
+                line: 1,
+                column: 1,
+                detail: "x".into(),
+            },
+            PsiError::Compile { detail: "x".into() },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in &errors {
+            let code = e.wire_code();
+            assert!(code > 0, "{e}");
+            assert!(seen.insert(code), "duplicate wire code {code}");
+            let kind = e.wire_kind();
+            assert!(!kind.is_empty());
+            assert!(kind.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        // Codes 1..=9 are claimed, in variant declaration order.
+        assert_eq!(errors[0].wire_code(), 1);
+        assert_eq!(errors[8].wire_code(), 9);
     }
 
     #[test]

@@ -78,6 +78,21 @@ impl ResourceLimits {
     }
 
     /// Sets the per-run wall-clock deadline.
+    ///
+    /// # Overshoot guarantee
+    ///
+    /// An expired deadline is detected at the earliest of (a) the next
+    /// periodic governor check, at most [`GOVERNOR_INTERVAL`] goal
+    /// dispatches away, (b) the next backtrack, or (c) the next
+    /// captured solution. A run therefore never overshoots its
+    /// deadline by more than one governor interval's worth of
+    /// *forward* execution — in particular it cannot sit in a long
+    /// backtrack-heavy search segment (where dispatches are sparse but
+    /// host work is not) without noticing. `psi-server` relies on this
+    /// bound for per-session QoS. One exception, by design: a run that
+    /// has already captured every requested solution returns them
+    /// normally even if the deadline lapsed while decoding the last
+    /// one — completed work is never discarded.
     pub fn with_deadline(mut self, deadline: Duration) -> ResourceLimits {
         self.deadline = Some(deadline);
         self
@@ -772,8 +787,11 @@ impl Machine {
     fn reset_run_state(&mut self) {
         // A fresh run records a fresh trace: drop entries left over
         // from a previous query so a PMMS replay sees one monotonic
-        // run instead of an ever-growing concatenation.
+        // run instead of an ever-growing concatenation. The
+        // observability event ring gets the same treatment — a pooled
+        // machine must hand its next session zero stale events.
         let _ = self.bus.take_trace();
+        let _ = self.bus.take_events();
         for p in 0..self.procs.len() {
             let pid = self.procs[p].pid;
             for area in [
@@ -825,6 +843,60 @@ impl Machine {
         // so a mid-run reset cannot underflow the consumed delta.
         self.run_base_steps = 0;
         self.run_base_stall_ns = 0;
+    }
+
+    // ------------------------------------------------ session lifecycle
+
+    /// Adds the clauses of `src` to the loaded image (incremental
+    /// consult). Compilation is append-only: existing code words,
+    /// predecode entries and clause-index buckets stay valid, new
+    /// clauses append after earlier clauses of the same predicates.
+    /// This is the `psi-server` consult path, so malformed input must
+    /// (and does) surface as typed errors — see the malformed-input
+    /// property tests.
+    ///
+    /// # Errors
+    ///
+    /// [`psi_core::PsiError::Syntax`] and
+    /// [`psi_core::PsiError::Compile`] on malformed input, including
+    /// redefinition of a built-in predicate.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    ///
+    /// let mut m = Machine::load(&Program::parse("p(1).")?, MachineConfig::psi())?;
+    /// m.consult("p(2). q(X) :- p(X).")?;
+    /// assert_eq!(m.solve("q(X)", 5)?.len(), 2);
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
+    pub fn consult(&mut self, src: &str) -> Result<()> {
+        let program = Program::parse(src)?;
+        let lowered = LoweredProgram::lower(&program)?;
+        self.image.add_program(&lowered)?;
+        self.sync_code()
+    }
+
+    /// Returns the machine to a like-fresh state for its next session
+    /// while keeping the expensive parts warm: loaded code, the
+    /// predecode cache and the clause index survive; run state,
+    /// measurement state, metrics, buffered output, memory-trace
+    /// entries and observability events are all dropped. After
+    /// `recycle`, solving a goal yields bit-identical solutions and
+    /// statistics to a freshly loaded machine — the warm-pool contract
+    /// `psi-server` relies on (and a regression test asserts).
+    pub fn recycle(&mut self) {
+        self.reset_run_state();
+        self.reset_measurement();
+        self.hot_allocs = 0;
+    }
+
+    /// Replaces the per-run resource budgets. Takes effect at the next
+    /// run boundary (the budgets of a run are armed when it starts),
+    /// so a server can re-tier a pooled machine per session without
+    /// reloading it.
+    pub fn set_limits(&mut self, limits: ResourceLimits) {
+        self.config.limits = limits;
     }
 
     /// A snapshot of all measured quantities.
@@ -1049,6 +1121,12 @@ impl Machine {
             match flow {
                 Flow::Continue => {}
                 Flow::Backtrack => {
+                    // Deadline boundary check (see
+                    // [`ResourceLimits::with_deadline`]): backtracking
+                    // can dominate wall time with few dispatches in
+                    // between, so the governor interval alone would
+                    // not bound the overshoot here.
+                    self.check_deadline_boundary()?;
                     if !self.backtrack()? {
                         // current process exhausted
                         if self.cur == 0 {
@@ -1065,6 +1143,10 @@ impl Machine {
                         if solutions.len() >= max_solutions {
                             return Ok(solutions);
                         }
+                        // Solution boundary: a completed solution is
+                        // kept (checked above), but the search for the
+                        // next one does not start past the deadline.
+                        self.check_deadline_boundary()?;
                         if !self.backtrack()? {
                             return Ok(solutions);
                         }
@@ -1263,5 +1345,32 @@ impl Machine {
             }
         }
         Ok(())
+    }
+
+    /// Deadline-only governor check, run at solution and backtrack
+    /// boundaries in addition to the periodic per-dispatch check, so
+    /// the overshoot bound of [`ResourceLimits::with_deadline`] holds
+    /// even in execution segments where dispatches are sparse. With no
+    /// deadline configured this is two `Option` loads and a branch —
+    /// the clock is never read. Charges no microsteps: the deadline is
+    /// a host-side budget, so simulated step totals stay bit-identical
+    /// whether or not a deadline is armed.
+    fn check_deadline_boundary(&mut self) -> Result<()> {
+        let (Some(deadline), Some(started)) = (self.config.limits.deadline, self.run_started)
+        else {
+            return Ok(());
+        };
+        let elapsed = started.elapsed();
+        if elapsed < deadline {
+            return Ok(());
+        }
+        self.metrics.incr(Counter::GovernorTrips);
+        let trip_ev = ObsEvent::governor_trip(self.bus.step(), Resource::WallClockMs.code());
+        self.bus.record_event(trip_ev);
+        Err(PsiError::ResourceExhausted {
+            resource: Resource::WallClockMs,
+            limit: deadline.as_millis() as u64,
+            consumed: elapsed.as_millis() as u64,
+        })
     }
 }

@@ -1,0 +1,418 @@
+//! Concurrent-load benchmark for the query server.
+//!
+//! Spawns an in-process server, then drives it with N concurrent
+//! client sessions, each running the Table 1 programs end-to-end
+//! (connect → consult → solve → close, the serving unit of work),
+//! while an isolation probe concurrently exhausts its own
+//! session's tightened budget to prove one tenant's failure stays in
+//! its session. Every streamed solution and step count is verified
+//! against a serial in-process run of the same machine configuration
+//! — concurrency must be bit-invisible.
+//!
+//! Usage: `cargo run --release -p psi-server --bin load-driver --
+//! [--quick] [--sessions N] [--passes M] [--rows FILTER] [--out PATH]`
+//!
+//! `--quick` is the CI smoke mode: one pass per session.
+//! `--rows` selects a subset exactly like perfbench (1-based row
+//! numbers or name substrings, comma-separated); a subset is a spot
+//! check and never overwrites the archived report. Writes
+//! `BENCH_server.json` at the repository root by default. Exits
+//! nonzero on any verification or isolation failure.
+
+use psi_server::{Client, ClientError, LimitsPatch, Server, ServerOptions};
+use psi_workloads::suite::{table1_suite, Table1Entry};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Expected {
+    name: String,
+    goal: String,
+    source: String,
+    max: u64,
+    bindings: Vec<String>,
+    steps: u64,
+}
+
+#[derive(Default)]
+struct RowStats {
+    queries: u64,
+    latencies_ns: Vec<u64>,
+    mismatches: u64,
+}
+
+fn main() -> ExitCode {
+    let mut sessions: usize = 8;
+    let mut passes: usize = 3;
+    let mut quick = false;
+    let mut rows_filter: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                quick = true;
+                passes = 1;
+            }
+            "--sessions" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => sessions = n,
+                _ => return usage("--sessions requires a positive integer"),
+            },
+            "--passes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => passes = n,
+                _ => return usage("--passes requires a positive integer"),
+            },
+            "--rows" => match args.next() {
+                Some(spec) => rows_filter = Some(spec),
+                None => return usage("--rows requires a filter"),
+            },
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(p),
+                None => return usage("--out requires a path"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let out_path = out_path
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json").into());
+    let path = std::path::Path::new(&out_path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            eprintln!(
+                "load-driver: output directory `{}` does not exist",
+                parent.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let suite = select_rows(table1_suite(), rows_filter.as_deref());
+    if suite.is_empty() {
+        eprintln!(
+            "load-driver: --rows `{}` matched no Table 1 programs",
+            rows_filter.as_deref().unwrap_or("")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Serial ground truth: the same serving configuration, no server,
+    // no concurrency. Every session's streamed results must match
+    // these bit-for-bit (bindings and simulated steps).
+    eprintln!(
+        "load-driver: computing serial reference for {} programs",
+        suite.len()
+    );
+    let mut expected = Vec::new();
+    for entry in &suite {
+        let w = &entry.workload;
+        let program = match kl0::Program::parse(&w.source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("load-driver: `{}` does not parse: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut machine = match psi_machine::Machine::load(&program, psi_server::serving_config()) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("load-driver: `{}` does not load: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let solutions = match machine.solve(&w.goal, w.max_solutions) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("load-driver: `{}` does not solve: {e}", w.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        expected.push(Expected {
+            name: w.name.clone(),
+            goal: w.goal.clone(),
+            source: w.source.clone(),
+            max: u64::try_from(w.max_solutions).unwrap_or(u64::MAX),
+            bindings: solutions.iter().map(ToString::to_string).collect(),
+            steps: machine.stats().steps,
+        });
+    }
+    let expected = Arc::new(expected);
+
+    let server = match Server::spawn(ServerOptions::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("load-driver: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    eprintln!(
+        "load-driver: server on {addr}, {sessions} sessions x {passes} passes x {} programs",
+        expected.len()
+    );
+
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for session_id in 0..sessions {
+        let expected = Arc::clone(&expected);
+        workers.push(std::thread::spawn(move || {
+            run_session(session_id, addr, &expected, passes)
+        }));
+    }
+    let probe = std::thread::spawn(move || isolation_probe(addr));
+
+    let mut per_row: Vec<RowStats> = expected.iter().map(|_| RowStats::default()).collect();
+    let mut transport_errors = 0u64;
+    for w in workers {
+        match w.join() {
+            Ok(Ok(session_rows)) => {
+                for (row, got) in per_row.iter_mut().zip(session_rows) {
+                    row.queries += got.queries;
+                    row.mismatches += got.mismatches;
+                    row.latencies_ns.extend(got.latencies_ns);
+                }
+            }
+            Ok(Err(e)) => {
+                eprintln!("load-driver: session failed: {e}");
+                transport_errors += 1;
+            }
+            Err(_) => {
+                eprintln!("load-driver: session thread panicked");
+                transport_errors += 1;
+            }
+        }
+    }
+    let isolation_ok = match probe.join() {
+        Ok(Ok(())) => true,
+        Ok(Err(e)) => {
+            eprintln!("load-driver: isolation probe failed: {e}");
+            false
+        }
+        Err(_) => {
+            eprintln!("load-driver: isolation probe panicked");
+            false
+        }
+    };
+    let wall = started.elapsed();
+    let warm_hits = server.pool().idle_count();
+    server.shutdown();
+
+    let total_queries: u64 = per_row.iter().map(|r| r.queries).sum();
+    let total_mismatches: u64 = per_row.iter().map(|r| r.mismatches).sum();
+    let verified = total_mismatches == 0 && transport_errors == 0;
+    let throughput = total_queries as f64 / wall.as_secs_f64();
+
+    let mut all: Vec<u64> = per_row
+        .iter()
+        .flat_map(|r| r.latencies_ns.iter().copied())
+        .collect();
+    println!(
+        "{total_queries} queries over {sessions} sessions in {:.2}s ({throughput:.1} q/s), \
+         p50 {:.2} ms, p99 {:.2} ms, {} machines left warm",
+        wall.as_secs_f64(),
+        percentile(&mut all, 0.50) as f64 / 1e6,
+        percentile(&mut all, 0.99) as f64 / 1e6,
+        warm_hits,
+    );
+    println!(
+        "verification: {}, isolation probe: {}",
+        if verified {
+            "all solutions and step counts identical to serial"
+        } else {
+            "MISMATCH"
+        },
+        if isolation_ok { "ok" } else { "FAILED" },
+    );
+
+    let json = render_json(
+        quick,
+        sessions,
+        passes,
+        total_queries,
+        wall.as_secs_f64(),
+        throughput,
+        verified,
+        isolation_ok,
+        &expected,
+        &mut per_row,
+    );
+    // A row subset is a spot check, not the archive.
+    if rows_filter.is_none() {
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("load-driver: cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {out_path}");
+    }
+
+    if verified && isolation_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One load session: `passes` rounds over the suite, each query a
+/// fresh connection (connect → consult → solve → close), rotated by
+/// `session_id` so sessions hit different programs at the same time.
+fn run_session(
+    session_id: usize,
+    addr: SocketAddr,
+    expected: &[Expected],
+    passes: usize,
+) -> Result<Vec<RowStats>, ClientError> {
+    let mut rows: Vec<RowStats> = expected.iter().map(|_| RowStats::default()).collect();
+    for _ in 0..passes {
+        for offset in 0..expected.len() {
+            let index = (session_id + offset) % expected.len();
+            let e = &expected[index];
+            let t0 = Instant::now();
+            let mut client = Client::connect(addr)?;
+            client.consult(&e.source)?;
+            let reply = client.solve(&e.goal, e.max)?;
+            client.close()?;
+            let latency = t0.elapsed();
+            let row = &mut rows[index];
+            row.queries += 1;
+            row.latencies_ns
+                .push(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+            if reply.bindings != e.bindings || reply.steps != e.steps {
+                eprintln!(
+                    "load-driver: `{}` diverged under load: {} solutions / {} steps, \
+                     expected {} / {}",
+                    e.name,
+                    reply.bindings.len(),
+                    reply.steps,
+                    e.bindings.len(),
+                    e.steps
+                );
+                row.mismatches += 1;
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// The tenancy check: a session that tightens its own budget and
+/// exhausts it must get a typed `resource_exhausted` error — and then
+/// keep working — while the load sessions run unperturbed.
+fn isolation_probe(addr: SocketAddr) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    client
+        .consult("nat(z). nat(s(X)) :- nat(X).")
+        .map_err(|e| e.to_string())?;
+    client
+        .set_limits(&LimitsPatch {
+            max_steps: Some(20_000),
+            ..LimitsPatch::default()
+        })
+        .map_err(|e| e.to_string())?;
+    match client.solve("nat(X)", u64::MAX) {
+        Err(ClientError::Wire(w)) if w.kind == "resource_exhausted" => {}
+        Err(e) => return Err(format!("expected resource_exhausted, got error {e}")),
+        Ok(r) => {
+            return Err(format!(
+                "expected resource_exhausted, got {} solutions",
+                r.bindings.len()
+            ))
+        }
+    }
+    // The same session survives its own exhaustion.
+    let reply = client.solve("nat(z)", 1).map_err(|e| e.to_string())?;
+    if reply.bindings != ["true"] {
+        return Err(format!(
+            "post-exhaustion solve answered {:?}",
+            reply.bindings
+        ));
+    }
+    client.close().map_err(|e| e.to_string())
+}
+
+fn select_rows(suite: Vec<Table1Entry>, filter: Option<&str>) -> Vec<Table1Entry> {
+    let Some(filter) = filter else { return suite };
+    let tokens: Vec<String> = filter
+        .split(',')
+        .map(|t| t.trim().to_ascii_lowercase())
+        .filter(|t| !t.is_empty())
+        .collect();
+    suite
+        .into_iter()
+        .filter(|entry| {
+            tokens.iter().any(|t| {
+                t.parse::<usize>()
+                    .map(|n| n == entry.index)
+                    .unwrap_or(false)
+                    || entry.workload.name.to_ascii_lowercase().contains(t)
+            })
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile; sorts in place.
+fn percentile(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    quick: bool,
+    sessions: usize,
+    passes: usize,
+    total_queries: u64,
+    wall_s: f64,
+    throughput: f64,
+    verified: bool,
+    isolation_ok: bool,
+    expected: &[Expected],
+    per_row: &mut [RowStats],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"psi-bench-server-v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"sessions\": {sessions},\n"));
+    out.push_str(&format!("  \"passes\": {passes},\n"));
+    out.push_str(&format!("  \"total_queries\": {total_queries},\n"));
+    out.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    out.push_str(&format!("  \"throughput_qps\": {throughput:.2},\n"));
+    out.push_str(&format!("  \"verified\": {verified},\n"));
+    out.push_str(&format!("  \"isolation_ok\": {isolation_ok},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, (e, row)) in expected.iter().zip(per_row.iter_mut()).enumerate() {
+        let p50 = percentile(&mut row.latencies_ns, 0.50);
+        let p99 = percentile(&mut row.latencies_ns, 0.99);
+        let mean = if row.latencies_ns.is_empty() {
+            0
+        } else {
+            row.latencies_ns.iter().sum::<u64>() / row.latencies_ns.len() as u64
+        };
+        out.push_str(&format!(
+            "    {{\"program\": \"{}\", \"queries\": {}, \"solutions\": {}, \"steps\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"mean_us\": {}}}{}\n",
+            psi_tools::json::escape(&e.name),
+            row.queries,
+            e.bindings.len(),
+            e.steps,
+            p50 / 1_000,
+            p99 / 1_000,
+            mean / 1_000,
+            if i + 1 < expected.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("load-driver: {msg}");
+    eprintln!(
+        "usage: load-driver [--quick] [--sessions N] [--passes M] [--rows FILTER] [--out PATH]"
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,54 @@
+//! Stand-alone PSI query server.
+//!
+//! Usage: `cargo run --release -p psi-server --bin psi-server --
+//! [--addr HOST:PORT] [--max-steps N] [--deadline-ms N]`
+//!
+//! Binds the address (default `127.0.0.1:7878`), prints the bound
+//! address on stdout, and serves until killed. Per-session caps
+//! default to [`psi_server::default_caps`]; the flags tighten them.
+
+use psi_server::{Server, ServerOptions};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut options = ServerOptions {
+        addr: "127.0.0.1:7878".to_owned(),
+        ..ServerOptions::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => options.addr = a,
+                None => return usage("--addr requires HOST:PORT"),
+            },
+            "--max-steps" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => options.caps.max_steps = Some(n),
+                None => return usage("--max-steps requires an integer"),
+            },
+            "--deadline-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => options.caps.deadline = Some(Duration::from_millis(n)),
+                None => return usage("--deadline-ms requires an integer"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let server = match Server::spawn(options) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("psi-server: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("psi-server listening on {}", server.local_addr());
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("psi-server: {msg}");
+    eprintln!("usage: psi-server [--addr HOST:PORT] [--max-steps N] [--deadline-ms N]");
+    ExitCode::FAILURE
+}

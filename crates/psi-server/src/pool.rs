@@ -1,0 +1,222 @@
+//! The warm machine pool.
+//!
+//! A consulted [`Machine`] is expensive relative to a short query:
+//! parsing, lowering, compiling, seeding the simulated heap, and (on
+//! first dispatches) filling the predecode cache. The pool keeps
+//! recycled machines shelved **by the exact source text they were
+//! consulted with**, so a new session consulting the same program
+//! starts on a warm machine — loaded code, predecode entries and
+//! clause-index buckets intact — with zero per-run state (the
+//! [`Machine::recycle`] contract, regression-tested in
+//! `tests/session_reuse.rs`).
+//!
+//! Two safety rules shape the design:
+//!
+//! * Reuse requires *string-equal* source, not merely equal hashes —
+//!   a machine cannot unload code, so handing it to a session that
+//!   consulted anything else would leak one tenant's program into
+//!   another's session.
+//! * A machine is only pooled after a *clean* session end. A session
+//!   that panicked drops its machine on the floor; a possibly
+//!   corrupted interpreter state must never be reused.
+//!
+//! Each checkout/checkin also counts sessions served per machine and
+//! retires machines after [`PoolOptions::reuse_cap`] sessions: query
+//! compilation appends a small entry stub per solve, so a bounded
+//! session count keeps a pooled machine's heap from creeping.
+
+use kl0::Program;
+use psi_core::Result;
+use psi_machine::{Machine, MachineConfig};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Machines kept warm per distinct source (more concurrent
+    /// sessions of one program than this fall back to cold loads).
+    pub shelf_cap: usize,
+    /// Sessions one machine may serve before it is retired instead of
+    /// re-pooled.
+    pub reuse_cap: u32,
+}
+
+impl Default for PoolOptions {
+    fn default() -> PoolOptions {
+        PoolOptions {
+            shelf_cap: 32,
+            reuse_cap: 64,
+        }
+    }
+}
+
+struct Shelved {
+    machine: Machine,
+    sessions_served: u32,
+}
+
+/// A machine checked out of (or destined for) the pool.
+pub struct Lease {
+    /// The machine itself.
+    pub machine: Machine,
+    /// Exact source text consulted into `machine`, the pool key.
+    pub source: String,
+    sessions_served: u32,
+    /// Whether this lease was served warm from the pool.
+    pub warm: bool,
+}
+
+/// Thread-safe warm pool of consulted machines, keyed by source text.
+pub struct MachinePool {
+    config: MachineConfig,
+    options: PoolOptions,
+    shelves: Mutex<HashMap<String, Vec<Shelved>>>,
+}
+
+impl MachinePool {
+    /// An empty pool handing out machines with `config`.
+    pub fn new(config: MachineConfig, options: PoolOptions) -> MachinePool {
+        MachinePool {
+            config,
+            options,
+            shelves: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The machine configuration every lease is created with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Checks out a machine consulted with exactly `source`: warm from
+    /// the shelf when available, otherwise a cold load. Nothing heavy
+    /// happens under the pool lock — cold loads compile outside it.
+    ///
+    /// # Errors
+    ///
+    /// Typed parse/compile errors from a cold load of `source`.
+    pub fn checkout(&self, source: &str) -> Result<Lease> {
+        let warm = {
+            let mut shelves = self.shelves.lock().unwrap_or_else(|e| e.into_inner());
+            shelves.get_mut(source).and_then(Vec::pop)
+        };
+        if let Some(shelved) = warm {
+            return Ok(Lease {
+                machine: shelved.machine,
+                source: source.to_owned(),
+                sessions_served: shelved.sessions_served,
+                warm: true,
+            });
+        }
+        let program = Program::parse(source)?;
+        let machine = Machine::load(&program, self.config.clone())?;
+        Ok(Lease {
+            machine,
+            source: source.to_owned(),
+            sessions_served: 0,
+            warm: false,
+        })
+    }
+
+    /// Returns a lease after a clean session end: the machine is
+    /// recycled and shelved for the next session consulting the same
+    /// source — unless its shelf is full or it served its
+    /// [`PoolOptions::reuse_cap`]'th session, in which case it is
+    /// retired (dropped). Never call this for a session that
+    /// panicked; drop the lease instead.
+    pub fn checkin(&self, mut lease: Lease) {
+        lease.sessions_served += 1;
+        if lease.sessions_served >= self.options.reuse_cap {
+            return;
+        }
+        lease.machine.recycle();
+        let mut shelves = self.shelves.lock().unwrap_or_else(|e| e.into_inner());
+        let shelf = shelves.entry(lease.source).or_default();
+        if shelf.len() < self.options.shelf_cap {
+            shelf.push(Shelved {
+                machine: lease.machine,
+                sessions_served: lease.sessions_served,
+            });
+        }
+    }
+
+    /// Machines currently shelved (all sources).
+    pub fn idle_count(&self) -> usize {
+        let shelves = self.shelves.lock().unwrap_or_else(|e| e.into_inner());
+        shelves.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> MachinePool {
+        let mut config = MachineConfig::psi_throughput();
+        config.clause_indexing = true;
+        MachinePool::new(config, PoolOptions::default())
+    }
+
+    #[test]
+    fn checkout_checkin_reuses_the_same_source_only() {
+        let pool = pool();
+        let lease = pool.checkout("p(1). p(2).").unwrap();
+        assert!(!lease.warm);
+        pool.checkin(lease);
+        assert_eq!(pool.idle_count(), 1);
+        // Same source: warm.
+        let lease = pool.checkout("p(1). p(2).").unwrap();
+        assert!(lease.warm);
+        pool.checkin(lease);
+        // Different source (even a whitespace difference): cold.
+        let lease = pool.checkout("p(1).  p(2).").unwrap();
+        assert!(!lease.warm);
+        drop(lease);
+    }
+
+    #[test]
+    fn warm_machines_solve_like_fresh_ones() {
+        let pool = pool();
+        let mut lease = pool.checkout("q(a). q(b).").unwrap();
+        let first = lease.machine.solve("q(X)", 9).unwrap();
+        pool.checkin(lease);
+        let mut lease = pool.checkout("q(a). q(b).").unwrap();
+        assert!(lease.warm);
+        let second = lease.machine.solve("q(X)", 9).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            lease.machine.stats().steps,
+            {
+                let mut fresh = pool.checkout("q(a). q(b).").unwrap();
+                fresh.machine.solve("q(X)", 9).unwrap();
+                fresh.machine.stats().steps
+            },
+            "warm solve must cost the same simulated steps as a fresh one"
+        );
+    }
+
+    #[test]
+    fn reuse_cap_retires_machines() {
+        let pool = MachinePool::new(
+            MachineConfig::psi_throughput(),
+            PoolOptions {
+                shelf_cap: 8,
+                reuse_cap: 2,
+            },
+        );
+        let lease = pool.checkout("r(1).").unwrap();
+        pool.checkin(lease); // served 1 → shelved
+        assert_eq!(pool.idle_count(), 1);
+        let lease = pool.checkout("r(1).").unwrap();
+        assert!(lease.warm);
+        pool.checkin(lease); // served 2 → retired
+        assert_eq!(pool.idle_count(), 0);
+    }
+
+    #[test]
+    fn malformed_source_is_a_typed_error() {
+        let pool = pool();
+        assert!(pool.checkout("p(").is_err());
+    }
+}

@@ -8,6 +8,7 @@
 //! the objects are flat, the fields are integers, and the `kind`
 //! field is the stable wire code of [`psi_core::EventKind`].
 
+use crate::json::parse_object;
 use psi_core::{EventKind, ObsEvent, PsiError, Result};
 use std::io::{Read, Write};
 
@@ -63,32 +64,39 @@ pub fn load_events<R: Read>(mut reader: R) -> Result<Vec<ObsEvent>> {
         if line.is_empty() {
             continue;
         }
-        let obj = line
-            .strip_prefix('{')
-            .and_then(|s| s.strip_suffix('}'))
-            .ok_or_else(|| parse_err(format!("expected an object, got `{line}`")))?;
+        // The shared strict scanner (`crate::json`) replaces the old
+        // comma-splitting field walk, so malformed lines fail with a
+        // typed error pointing at the offending character.
+        let obj = parse_object(line).map_err(|e| parse_err(e.to_string()))?;
         let mut step = None;
         let mut kind = None;
         let mut a = None;
         let mut b = None;
         let mut c = None;
-        for field in obj.split(',') {
-            let (key, value) = field
-                .split_once(':')
-                .ok_or_else(|| parse_err(format!("malformed field `{field}`")))?;
-            let value = value.trim();
-            match key.trim().trim_matches('"') {
-                "step" => step = Some(value.parse::<u64>().map_err(|e| parse_err(e.to_string()))?),
+        let int = |key: &str| -> Result<u32> {
+            let v = obj.u64_field(key).map_err(|e| parse_err(e.to_string()))?;
+            u32::try_from(v).map_err(|_| parse_err(format!("field \"{key}\" out of range")))
+        };
+        for (key, _) in obj.fields() {
+            match key.as_str() {
+                "step" => {
+                    step = Some(
+                        obj.u64_field("step")
+                            .map_err(|e| parse_err(e.to_string()))?,
+                    )
+                }
                 "kind" => {
-                    let code = value.parse::<u8>().map_err(|e| parse_err(e.to_string()))?;
+                    let code = int("kind")?;
+                    let code = u8::try_from(code)
+                        .map_err(|_| parse_err(format!("unknown event kind {code}")))?;
                     kind = Some(
                         EventKind::from_code(code)
                             .ok_or_else(|| parse_err(format!("unknown event kind {code}")))?,
                     );
                 }
-                "a" => a = Some(value.parse::<u32>().map_err(|e| parse_err(e.to_string()))?),
-                "b" => b = Some(value.parse::<u32>().map_err(|e| parse_err(e.to_string()))?),
-                "c" => c = Some(value.parse::<u32>().map_err(|e| parse_err(e.to_string()))?),
+                "a" => a = Some(int("a")?),
+                "b" => b = Some(int("b")?),
+                "c" => c = Some(int("c")?),
                 other => return Err(parse_err(format!("unknown key `{other}`"))),
             }
         }

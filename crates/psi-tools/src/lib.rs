@@ -5,6 +5,9 @@
 //!   console-processor tool dumped them "onto a flexible disk";
 //! * [`events`] — export/import of observability event streams
 //!   (JSON lines) captured from the machine's bounded event ring;
+//! * [`json`] — the shared hand-rolled flat-JSON codec behind the
+//!   line-oriented formats (event export, bench archives, and the
+//!   `psi-server` wire protocol);
 //! * [`map`] — MAP: count microinstruction field patterns, producing
 //!   the work-file (Table 6) and branch (Table 7) analyses;
 //! * [`pmms`] — PMMS: replay a collected trace through arbitrary
@@ -17,5 +20,6 @@
 
 pub mod collect;
 pub mod events;
+pub mod json;
 pub mod map;
 pub mod pmms;

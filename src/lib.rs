@@ -9,5 +9,6 @@ pub use psi_core;
 pub use psi_machine;
 pub use psi_mem;
 pub use psi_obs;
+pub use psi_server;
 pub use psi_tools;
 pub use psi_workloads;

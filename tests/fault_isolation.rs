@@ -215,3 +215,54 @@ fn timeouts_are_retried_a_bounded_number_of_times() {
     assert_eq!(row.attempts, 3, "max_retries=2 means 3 attempts");
     assert_eq!(calls.load(Ordering::Relaxed), 3);
 }
+
+/// The deadline is checked at solution and backtrack boundaries, not
+/// only every `GOVERNOR_INTERVAL` dispatches: a query whose whole
+/// search fits inside one governor interval still notices an expired
+/// deadline before starting the hunt for the next solution. (Before
+/// this boundary check, a zero deadline here returned both solutions.)
+#[test]
+fn deadline_is_checked_at_solution_and_backtrack_boundaries() {
+    let program = Program::parse("p(1). p(2).").expect("parses");
+    let mut config = MachineConfig::psi();
+    config.limits = ResourceLimits::unlimited().with_deadline(Duration::ZERO);
+    let mut machine = Machine::load(&program, config).expect("loads");
+    match machine.solve("p(X)", 2) {
+        Err(PsiError::ResourceExhausted {
+            resource: Resource::WallClockMs,
+            ..
+        }) => {}
+        other => panic!("expected wall-clock exhaustion at a boundary, got {other:?}"),
+    }
+    // The machine remains reusable, and with the deadline lifted the
+    // same query completes.
+    machine.set_limits(ResourceLimits::unlimited());
+    assert_eq!(machine.solve("p(X)", 2).expect("solves").len(), 2);
+}
+
+/// The documented overshoot bound: a backtrack-heavy solution
+/// generator (every few dispatches produce a solution or a backtrack)
+/// stops within a small multiple of its deadline in host time — the
+/// QoS guarantee psi-server's per-session deadlines rely on.
+#[test]
+fn deadline_overshoot_is_bounded_in_host_time() {
+    let program = Program::parse("nat(z). nat(s(X)) :- nat(X).").expect("parses");
+    let mut config = MachineConfig::psi();
+    config.limits = ResourceLimits::unlimited().with_deadline(Duration::from_millis(30));
+    let mut machine = Machine::load(&program, config).expect("loads");
+    let started = Instant::now();
+    match machine.solve("nat(X)", usize::MAX) {
+        Err(PsiError::ResourceExhausted {
+            resource: Resource::WallClockMs,
+            ..
+        }) => {}
+        other => panic!("expected wall-clock exhaustion, got {other:?}"),
+    }
+    // Generous CI slack; the point is "milliseconds past the
+    // deadline", not "until some unrelated budget fires".
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "overshoot unbounded: {:?}",
+        started.elapsed()
+    );
+}

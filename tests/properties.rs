@@ -346,3 +346,107 @@ fn store_in_dominates_store_through() {
         assert!(mk(false) <= mk(true), "seed {seed}");
     }
 }
+
+/// Malformed and hostile program text must surface as typed errors —
+/// never a panic, never a host stack overflow. This is the contract
+/// `psi-server` relies on when it feeds untrusted wire bytes to the
+/// KL0 front end.
+#[test]
+fn malformed_input_parses_to_typed_errors_without_panicking() {
+    use psi::kl0::LoweredProgram;
+    use psi::psi_core::PsiError;
+
+    // Token soup drawn from an alphabet chosen to stress every lexer
+    // and parser path: nesting, operators, quotes, escapes, digits.
+    const ALPHABET: &[&str] = &[
+        "(",
+        ")",
+        "[",
+        "]",
+        "|",
+        ",",
+        ".",
+        ":-",
+        ";",
+        "->",
+        "\\+",
+        "=",
+        "is",
+        "+",
+        "-",
+        "*",
+        "//",
+        "mod",
+        "!",
+        "_",
+        "X",
+        "Ys",
+        "foo",
+        "'q u o'",
+        "'\\n'",
+        "'",
+        "\"",
+        "\\",
+        "0",
+        "42",
+        "999999999999999999999999",
+        " ",
+        "\n",
+        "\t",
+        "%",
+        "% comment",
+        "\u{3bb}",
+        "\0",
+    ];
+    for seed in 0..600u64 {
+        let mut rng = Rng::new(seed ^ 0xbadf00d);
+        let n = rng.range_usize(1, 40);
+        let mut src = String::new();
+        for _ in 0..n {
+            src.push_str(ALPHABET[rng.range_usize(0, ALPHABET.len())]);
+        }
+        // Either outcome is fine; panicking (which would fail this
+        // test) or aborting the process (stack overflow) is not.
+        match Program::parse(&src) {
+            Ok(p) => {
+                // Parsed programs must also lower without panicking.
+                let _ = LoweredProgram::lower(&p);
+            }
+            Err(e) => assert!(
+                matches!(e, PsiError::Syntax { .. } | PsiError::Compile { .. }),
+                "seed {seed}: unexpected error kind {e}"
+            ),
+        }
+    }
+
+    // Mutations of a valid program: truncations and single-byte edits.
+    let base = SORT_SRC;
+    for seed in 0..300u64 {
+        let mut rng = Rng::new(seed ^ 0xc0ffee);
+        let mut src = base.to_owned();
+        match rng.range_usize(0, 3) {
+            0 => src.truncate(rng.range_usize(0, base.len())),
+            1 => {
+                let at = rng.range_usize(0, src.len());
+                if src.is_char_boundary(at) {
+                    src.insert(at, b"()[]|,.'\\\"!"[rng.range_usize(0, 11)] as char);
+                }
+            }
+            _ => {
+                let at = rng.range_usize(0, src.len());
+                if src.is_char_boundary(at) && src.is_char_boundary(at + 1) {
+                    src.replace_range(at..at + 1, "'");
+                }
+            }
+        }
+        match Program::parse(&src) {
+            Ok(p) => {
+                let _ = LoweredProgram::lower(&p);
+            }
+            Err(e) => assert!(
+                matches!(e, PsiError::Syntax { .. } | PsiError::Compile { .. }),
+                "seed {seed}: unexpected error kind {e}"
+            ),
+        }
+    }
+}
