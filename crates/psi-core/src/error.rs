@@ -141,6 +141,22 @@ pub enum PsiError {
         /// What went wrong.
         detail: String,
     },
+    /// `Machine::fork` was asked to duplicate a machine that has
+    /// already compiled or run a query. Forking shares the immutable
+    /// code image, so only a consulted-but-never-run template is
+    /// eligible; recycling does not restore eligibility (the image
+    /// keeps its per-query entry stubs).
+    ForkAfterRun {
+        /// Why the machine is not forkable.
+        detail: String,
+    },
+    /// A machine snapshot could not be produced or restored: wrong
+    /// schema version, a corrupt field, or an image mismatch between
+    /// the snapshotting and restoring builds.
+    Snapshot {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl PsiError {
@@ -160,6 +176,8 @@ impl PsiError {
             PsiError::WorkerPanic { .. } => 7,
             PsiError::Syntax { .. } => 8,
             PsiError::Compile { .. } => 9,
+            PsiError::ForkAfterRun { .. } => 10,
+            PsiError::Snapshot { .. } => 11,
         }
     }
 
@@ -177,6 +195,8 @@ impl PsiError {
             PsiError::WorkerPanic { .. } => "worker_panic",
             PsiError::Syntax { .. } => "syntax",
             PsiError::Compile { .. } => "compile",
+            PsiError::ForkAfterRun { .. } => "fork_after_run",
+            PsiError::Snapshot { .. } => "snapshot",
         }
     }
 }
@@ -216,6 +236,10 @@ impl fmt::Display for PsiError {
                 detail,
             } => write!(f, "syntax error at {line}:{column}: {detail}"),
             PsiError::Compile { detail } => write!(f, "compile error: {detail}"),
+            PsiError::ForkAfterRun { detail } => {
+                write!(f, "machine is not forkable: {detail}")
+            }
+            PsiError::Snapshot { detail } => write!(f, "snapshot error: {detail}"),
         }
     }
 }
@@ -262,6 +286,12 @@ mod tests {
             },
             PsiError::Compile {
                 detail: "head is not callable".into(),
+            },
+            PsiError::ForkAfterRun {
+                detail: "machine has compiled 3 queries".into(),
+            },
+            PsiError::Snapshot {
+                detail: "unsupported schema psi-snapshot-v9".into(),
             },
         ];
         for e in errors {
@@ -320,6 +350,8 @@ mod tests {
                 detail: "x".into(),
             },
             PsiError::Compile { detail: "x".into() },
+            PsiError::ForkAfterRun { detail: "x".into() },
+            PsiError::Snapshot { detail: "x".into() },
         ];
         let mut seen = std::collections::HashSet::new();
         for e in &errors {
@@ -330,9 +362,11 @@ mod tests {
             assert!(!kind.is_empty());
             assert!(kind.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
         }
-        // Codes 1..=9 are claimed, in variant declaration order.
+        // Codes 1..=11 are claimed, in variant declaration order.
         assert_eq!(errors[0].wire_code(), 1);
         assert_eq!(errors[8].wire_code(), 9);
+        assert_eq!(errors[9].wire_code(), 10);
+        assert_eq!(errors[10].wire_code(), 11);
     }
 
     #[test]

@@ -311,6 +311,14 @@ impl CodeImage {
         &self.heap
     }
 
+    /// How many queries have been compiled into this image. Each
+    /// `compile_query` appends a `$queryN` entry predicate, so a
+    /// nonzero count means the image is no longer the pristine result
+    /// of consulting program text — the gate `Machine::fork` checks.
+    pub fn query_count(&self) -> u32 {
+        self.query_counter
+    }
+
     /// The predicate table.
     pub fn predicates(&self) -> &[Predicate] {
         &self.preds

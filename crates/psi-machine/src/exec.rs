@@ -1195,10 +1195,7 @@ impl Machine {
             // Decompose.
             let (name_w, arity) = match t.tag() {
                 Tag::Atom | Tag::Int | Tag::Nil => (t, 0u8),
-                Tag::List => {
-                    let dot = self.image.symbols_mut().intern(".");
-                    (Word::atom(dot), 2)
-                }
+                Tag::List => (Word::atom(self.arith.dot), 2),
                 Tag::Vect => {
                     let ptr = t.address_value().expect("Vect");
                     let f = self.mem_read(InterpModule::Builtin, ptr)?;

@@ -13,6 +13,7 @@ use psi_core::{
 use psi_mem::{MemBus, TraceEntry};
 use psi_obs::{Counter, Histo, MetricsRegistry, MetricsSnapshot};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Per-run resource budgets, all unlimited by default.
@@ -519,7 +520,10 @@ impl Proc {
     }
 }
 
-/// Interned symbol ids for arithmetic functors, resolved at load time.
+/// Interned symbol ids for arithmetic functors (plus the list functor
+/// `.` used by `functor/3`), resolved at load time so the interpreter
+/// never interns — and therefore never mutates a possibly-shared
+/// code image — at run time.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ArithSyms {
     pub plus: SymbolId,
@@ -530,6 +534,7 @@ pub(crate) struct ArithSyms {
     pub abs: SymbolId,
     pub min: SymbolId,
     pub max: SymbolId,
+    pub dot: SymbolId,
 }
 
 /// The simulated PSI machine.
@@ -539,7 +544,13 @@ pub(crate) struct ArithSyms {
 #[derive(Debug, Clone)]
 pub struct Machine {
     pub(crate) config: MachineConfig,
-    pub(crate) image: CodeImage,
+    /// The compiled code image, shared copy-on-write between a
+    /// template machine and its forks ([`Machine::fork`]). Immutable
+    /// while shared; the mutation sites (query compilation,
+    /// incremental consult) go through [`Arc::make_mut`], so the
+    /// first mutation after a fork detaches a private copy and
+    /// earlier sharers are never disturbed.
+    pub(crate) image: Arc<CodeImage>,
     pub(crate) loaded_words: u32,
     pub(crate) bus: MemBus,
     pub(crate) wf: WorkFile,
@@ -588,8 +599,16 @@ pub struct Machine {
     /// Predecoded dispatch cache, one entry per loaded code word
     /// (dense, lazily filled). Consulted only in the throughput lane;
     /// grown with undecoded sentinels by [`Machine::sync_code`] on
-    /// incremental consult, alongside the `ClauseIndex`.
-    pub(crate) decode: Vec<DecodedOp>,
+    /// incremental consult, alongside the `ClauseIndex`. Shared
+    /// copy-on-write with forks, like the image: the fill sites go
+    /// through [`Arc::make_mut`], which is a refcount check once the
+    /// fork has detached its own copy.
+    pub(crate) decode: Arc<Vec<DecodedOp>>,
+    /// The resource limits the machine was loaded with (the pool /
+    /// server defaults). [`Machine::recycle`] restores these, so
+    /// per-session budgets tightened via [`Machine::set_limits`] can
+    /// never leak into the next session of a pooled machine.
+    pub(crate) base_limits: ResourceLimits,
     /// Lane flag hoisted from `config.measurement` at load, so the
     /// dispatch loop and code fetch pay one predictable branch.
     pub(crate) lane_fast: bool,
@@ -622,6 +641,7 @@ impl Machine {
             abs: image.symbols_mut().intern("abs"),
             min: image.symbols_mut().intern("min"),
             max: image.symbols_mut().intern("max"),
+            dot: image.symbols_mut().intern("."),
         };
         let mut bus = match &config.cache {
             Some(c) => MemBus::with_cache(*c),
@@ -640,9 +660,10 @@ impl Machine {
         let mut wf = WorkFile::new();
         wf.set_measurement(config.measurement);
         let lane_fast = !config.measurement.is_full();
+        let base_limits = config.limits.clone();
         let mut machine = Machine {
             config,
-            image,
+            image: Arc::new(image),
             loaded_words: 0,
             bus,
             wf,
@@ -665,11 +686,123 @@ impl Machine {
             governor_countdown: GOVERNOR_INTERVAL,
             metrics: MetricsRegistry::new(),
             run_base_stall_ns: 0,
-            decode: Vec::new(),
+            decode: Arc::new(Vec::new()),
+            base_limits,
             lane_fast,
         };
         machine.sync_code()?;
         Ok(machine)
+    }
+
+    /// Forks a consulted, never-run machine: the compiled code image
+    /// (heap words, predicate table, clause index, symbols) and the
+    /// predecode cache are shared immutably behind [`Arc`]s, while the
+    /// run state — simulated memory, work file, stacks, registers,
+    /// counters, governor budgets — is copied or created fresh. The
+    /// fork solves bit-identically to a machine freshly loaded from
+    /// the same source with the same configuration (regression-tested
+    /// across all Table 1 rows, both lanes and both indexing
+    /// profiles), and keeps the hot path allocation-free: its
+    /// per-process structures are built with the same reservations as
+    /// a fresh load.
+    ///
+    /// Forking is restricted to *templates*: machines that have been
+    /// consulted but never compiled or run a query. Query compilation
+    /// appends a `$queryN` entry stub to the image, so a machine that
+    /// has solved (even a recycled one) is no longer a pristine image
+    /// and forking it would not be bit-identical to a fresh consult.
+    ///
+    /// # Errors
+    ///
+    /// [`psi_core::PsiError::ForkAfterRun`] when the machine has
+    /// compiled a query or executed any microsteps.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    ///
+    /// let program = Program::parse("p(1). p(2).")?;
+    /// let template = Machine::load(&program, MachineConfig::psi())?;
+    /// let mut fork = template.fork()?;
+    /// assert_eq!(fork.solve("p(X)", 9)?.len(), 2);
+    /// // The template is still pristine and can keep forking.
+    /// assert_eq!(template.fork()?.solve("p(X)", 9)?.len(), 2);
+    /// // The run machine itself is no longer forkable.
+    /// assert!(fork.fork().is_err());
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
+    pub fn fork(&self) -> Result<Machine> {
+        if !self.is_pristine() {
+            return Err(PsiError::ForkAfterRun {
+                detail: format!(
+                    "machine has compiled {} queries and executed {} steps; \
+                     fork from a consulted, never-run template",
+                    self.image.query_count(),
+                    self.tally.steps(),
+                ),
+            });
+        }
+        Ok(Machine {
+            config: self.config.clone(),
+            image: Arc::clone(&self.image),
+            loaded_words: self.loaded_words,
+            bus: self.bus.clone(),
+            wf: self.wf.clone(),
+            tally: MicroTally::new(),
+            heap_top: self.heap_top,
+            // Fresh processes, not clones: cloning a `Vec` keeps only
+            // its length, and a pristine template's stacks are empty —
+            // a clone would silently drop the capacity reservations
+            // that keep `hot_path_alloc_count` at zero.
+            procs: vec![Proc::new(ProcessId::ZERO)],
+            cur: 0,
+            output: String::new(),
+            user_calls: 0,
+            builtin_calls: 0,
+            cp_pushed: 0,
+            indexed_calls: 0,
+            index_direct: 0,
+            arith: self.arith,
+            scratch_args: Vec::with_capacity(ARGS_RESERVE),
+            scratch_cp_args: Vec::with_capacity(ARGS_RESERVE),
+            hot_allocs: 0,
+            run_base_steps: 0,
+            run_started: None,
+            governor_countdown: GOVERNOR_INTERVAL,
+            metrics: MetricsRegistry::new(),
+            run_base_stall_ns: 0,
+            decode: Arc::clone(&self.decode),
+            base_limits: self.base_limits.clone(),
+            lane_fast: self.lane_fast,
+        })
+    }
+
+    /// [`Machine::fork`] with a different cache attachment: the fork
+    /// keeps the shared code image and copied run state but drives its
+    /// memory accesses through `cache` (`None` = the cache-less `Tnc`
+    /// baseline). This is the sweep-cell primitive: consult a workload
+    /// once, then fork it under every cache geometry instead of
+    /// re-consulting per cell. Only meaningful in the fidelity lane —
+    /// the throughput lane never drives the cache model.
+    ///
+    /// # Errors
+    ///
+    /// See [`Machine::fork`].
+    pub fn fork_with_cache(&self, cache: Option<CacheConfig>) -> Result<Machine> {
+        let mut fork = self.fork()?;
+        fork.config.cache = cache;
+        fork.bus.set_cache(cache);
+        Ok(fork)
+    }
+
+    /// Is this machine a consulted-but-never-run template — eligible
+    /// for [`Machine::fork`] and for snapshotting? True after `load`
+    /// and after incremental [`Machine::consult`]s; false once any
+    /// query has been compiled (query entry stubs make the image
+    /// diverge from a fresh consult) or any microstep has executed.
+    /// [`Machine::recycle`] does *not* restore pristineness.
+    pub fn is_pristine(&self) -> bool {
+        self.image.query_count() == 0 && self.tally.steps() == 0
     }
 
     /// Copies newly compiled code words into the simulated heap and
@@ -684,7 +817,9 @@ impl Machine {
             let w = self.image.heap()[off as usize];
             self.bus.poke(Address::heap(off), w)?;
         }
-        self.decode.resize(len as usize, DecodedOp::not_decoded());
+        if self.decode.len() != len as usize {
+            Arc::make_mut(&mut self.decode).resize(len as usize, DecodedOp::not_decoded());
+        }
         self.loaded_words = len;
         self.heap_top = self.heap_top.max(len);
         Ok(())
@@ -721,7 +856,7 @@ impl Machine {
     ///
     /// See [`Machine::solve`].
     pub fn solve_term(&mut self, goal: &Term, max_solutions: usize) -> Result<Vec<Solution>> {
-        let qc = self.image.compile_query(goal)?;
+        let qc = Arc::make_mut(&mut self.image).compile_query(goal)?;
         self.sync_code()?;
         if max_solutions == 0 {
             // Zero solutions requested: validated above, nothing to
@@ -751,7 +886,7 @@ impl Machine {
             });
         }
         let goal = kl0::parser::parse_term(goal_src)?;
-        let qc = self.image.compile_query(&goal)?;
+        let qc = Arc::make_mut(&mut self.image).compile_query(&goal)?;
         self.sync_code()?;
         let pid = ProcessId::new(self.procs.len() as u8);
         self.procs.push(Proc::new(pid));
@@ -772,7 +907,7 @@ impl Machine {
         background_goals: &[&str],
     ) -> Result<Vec<Solution>> {
         let goal = kl0::parser::parse_term(main_goal)?;
-        let qc = self.image.compile_query(&goal)?;
+        let qc = Arc::make_mut(&mut self.image).compile_query(&goal)?;
         self.sync_code()?;
         self.reset_run_state();
         for bg in background_goals {
@@ -873,7 +1008,7 @@ impl Machine {
     pub fn consult(&mut self, src: &str) -> Result<()> {
         let program = Program::parse(src)?;
         let lowered = LoweredProgram::lower(&program)?;
-        self.image.add_program(&lowered)?;
+        Arc::make_mut(&mut self.image).add_program(&lowered)?;
         self.sync_code()
     }
 
@@ -889,12 +1024,18 @@ impl Machine {
         self.reset_run_state();
         self.reset_measurement();
         self.hot_allocs = 0;
+        // Per-session budgets must not outlive the session: restore
+        // the limits the machine was loaded with (the pool / server
+        // defaults), so a tightened budget can never leak into the
+        // next tenant's first run.
+        self.config.limits = self.base_limits.clone();
     }
 
     /// Replaces the per-run resource budgets. Takes effect at the next
     /// run boundary (the budgets of a run are armed when it starts),
     /// so a server can re-tier a pooled machine per session without
-    /// reloading it.
+    /// reloading it. The replacement lasts until the next
+    /// [`Machine::recycle`], which restores the load-time limits.
     pub fn set_limits(&mut self, limits: ResourceLimits) {
         self.config.limits = limits;
     }
@@ -1275,7 +1416,10 @@ impl Machine {
             None => self.bus.read(Address::heap(code_ptr))?,
         };
         let d = DecodedOp::decode(w);
-        if let Some(slot) = self.decode.get_mut(idx) {
+        // Copy-on-write: the first miss after a fork detaches this
+        // machine's own predecode vector (one cold memcpy of sentinel
+        // entries); after that `make_mut` is a refcount check.
+        if let Some(slot) = Arc::make_mut(&mut self.decode).get_mut(idx) {
             *slot = d;
         }
         Ok(d)

@@ -265,6 +265,23 @@ impl MemBus {
         }
     }
 
+    /// Replaces the attached cache model (or detaches it with `None`)
+    /// while keeping memory contents, the trace/event configuration
+    /// and the lane flag. The new attachment starts with fresh
+    /// statistics and no occupancy, so this belongs at a run boundary
+    /// — `Machine::fork_with_cache` uses it to re-geometry a pre-run
+    /// fork without re-seeding the simulated heap.
+    pub fn set_cache(&mut self, config: Option<CacheConfig>) {
+        self.attachment = match config {
+            Some(c) => Attachment::Cached(Box::new(Cache::new(c))),
+            None => Attachment::Uncached {
+                stats: Box::new(CacheStats::new()),
+                miss_extra_ns: CacheConfig::psi().miss_extra_ns(),
+            },
+        };
+        self.stall_ns = 0;
+    }
+
     /// The backing storage (for checkpointing in tests).
     pub fn memory(&self) -> &Memory {
         &self.mem

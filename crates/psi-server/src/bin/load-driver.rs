@@ -19,7 +19,7 @@
 //! `BENCH_server.json` at the repository root by default. Exits
 //! nonzero on any verification or isolation failure.
 
-use psi_server::{Client, ClientError, LimitsPatch, Server, ServerOptions};
+use psi_server::{percentile, Client, ClientError, LimitsPatch, Server, ServerOptions};
 use psi_workloads::suite::{table1_suite, Table1Entry};
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -202,7 +202,7 @@ fn main() -> ExitCode {
     let verified = total_mismatches == 0 && transport_errors == 0;
     let throughput = total_queries as f64 / wall.as_secs_f64();
 
-    let mut all: Vec<u64> = per_row
+    let all: Vec<u64> = per_row
         .iter()
         .flat_map(|r| r.latencies_ns.iter().copied())
         .collect();
@@ -210,8 +210,8 @@ fn main() -> ExitCode {
         "{total_queries} queries over {sessions} sessions in {:.2}s ({throughput:.1} q/s), \
          p50 {:.2} ms, p99 {:.2} ms, {} machines left warm",
         wall.as_secs_f64(),
-        percentile(&mut all, 0.50) as f64 / 1e6,
-        percentile(&mut all, 0.99) as f64 / 1e6,
+        percentile(&all, 0.50) as f64 / 1e6,
+        percentile(&all, 0.99) as f64 / 1e6,
         warm_hits,
     );
     println!(
@@ -234,7 +234,7 @@ fn main() -> ExitCode {
         verified,
         isolation_ok,
         &expected,
-        &mut per_row,
+        &per_row,
     );
     // A row subset is a spot check, not the archive.
     if rows_filter.is_none() {
@@ -348,16 +348,6 @@ fn select_rows(suite: Vec<Table1Entry>, filter: Option<&str>) -> Vec<Table1Entry
         .collect()
 }
 
-/// Nearest-rank percentile; sorts in place.
-fn percentile(samples: &mut [u64], q: f64) -> u64 {
-    if samples.is_empty() {
-        return 0;
-    }
-    samples.sort_unstable();
-    let rank = ((samples.len() - 1) as f64 * q).round() as usize;
-    samples[rank.min(samples.len() - 1)]
-}
-
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
@@ -369,7 +359,7 @@ fn render_json(
     verified: bool,
     isolation_ok: bool,
     expected: &[Expected],
-    per_row: &mut [RowStats],
+    per_row: &[RowStats],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -383,9 +373,9 @@ fn render_json(
     out.push_str(&format!("  \"verified\": {verified},\n"));
     out.push_str(&format!("  \"isolation_ok\": {isolation_ok},\n"));
     out.push_str("  \"rows\": [\n");
-    for (i, (e, row)) in expected.iter().zip(per_row.iter_mut()).enumerate() {
-        let p50 = percentile(&mut row.latencies_ns, 0.50);
-        let p99 = percentile(&mut row.latencies_ns, 0.99);
+    for (i, (e, row)) in expected.iter().zip(per_row.iter()).enumerate() {
+        let p50 = percentile(&row.latencies_ns, 0.50);
+        let p99 = percentile(&row.latencies_ns, 0.99);
         let mean = if row.latencies_ns.is_empty() {
             0
         } else {

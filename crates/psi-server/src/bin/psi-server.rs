@@ -1,11 +1,19 @@
 //! Stand-alone PSI query server.
 //!
 //! Usage: `cargo run --release -p psi-server --bin psi-server --
-//! [--addr HOST:PORT] [--max-steps N] [--deadline-ms N]`
+//! [--addr HOST:PORT] [--max-steps N] [--deadline-ms N]
+//! [--preload FILE]...`
 //!
 //! Binds the address (default `127.0.0.1:7878`), prints the bound
 //! address on stdout, and serves until killed. Per-session caps
 //! default to [`psi_server::default_caps`]; the flags tighten them.
+//!
+//! Each `--preload FILE` consults the KL0 program in FILE into a pool
+//! template before serving, so even the *first* session consulting
+//! that exact source text is served by a cheap [fork] instead of a
+//! compile.
+//!
+//! [fork]: psi_machine::Machine::fork
 
 use psi_server::{Server, ServerOptions};
 use std::process::ExitCode;
@@ -16,6 +24,7 @@ fn main() -> ExitCode {
         addr: "127.0.0.1:7878".to_owned(),
         ..ServerOptions::default()
     };
+    let mut preloads: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -31,6 +40,10 @@ fn main() -> ExitCode {
                 Some(n) => options.caps.deadline = Some(Duration::from_millis(n)),
                 None => return usage("--deadline-ms requires an integer"),
             },
+            "--preload" => match args.next() {
+                Some(path) => preloads.push(path),
+                None => return usage("--preload requires a file path"),
+            },
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -41,6 +54,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    for path in &preloads {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("psi-server: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = server.pool().preload(&source) {
+            eprintln!("psi-server: preload {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("psi-server preloaded template from {path}");
+    }
     println!("psi-server listening on {}", server.local_addr());
     loop {
         std::thread::sleep(Duration::from_secs(3600));
@@ -49,6 +76,8 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("psi-server: {msg}");
-    eprintln!("usage: psi-server [--addr HOST:PORT] [--max-steps N] [--deadline-ms N]");
+    eprintln!(
+        "usage: psi-server [--addr HOST:PORT] [--max-steps N] [--deadline-ms N] [--preload FILE]..."
+    );
     ExitCode::FAILURE
 }

@@ -10,15 +10,33 @@
 //! [`Machine::recycle`] contract, regression-tested in
 //! `tests/session_reuse.rs`).
 //!
-//! Two safety rules shape the design:
+//! Shelf *misses* no longer pay a full compile either: the first cold
+//! load of each source is kept as a consulted, never-run **template**,
+//! and later misses are served by [`Machine::fork`] — the compiled
+//! image, predecode cache and clause index are shared behind `Arc`,
+//! only the run state is fresh. Because a template has never executed
+//! a query, a forked lease carries no other session's history and no
+//! recycle hazard at all; forking is also immune to the heap-creep
+//! retirement that bounds shelved machines. Fork-vs-fresh
+//! bit-identity is regression-tested over the whole Table 1 suite in
+//! `tests/fork.rs`.
+//!
+//! Three safety rules shape the design:
 //!
 //! * Reuse requires *string-equal* source, not merely equal hashes —
 //!   a machine cannot unload code, so handing it to a session that
 //!   consulted anything else would leak one tenant's program into
-//!   another's session.
+//!   another's session. A session that consults incrementally extends
+//!   its lease key with each consulted text, so the composite key
+//!   `A + B` never collides with plain `A`.
 //! * A machine is only pooled after a *clean* session end. A session
-//!   that panicked drops its machine on the floor; a possibly
-//!   corrupted interpreter state must never be reused.
+//!   that panicked drops its machine on the floor, and a session
+//!   whose incremental consult failed partway [taints](Lease::taint)
+//!   its lease (the machine may hold a partially-compiled program
+//!   that its pool key does not describe); tainted leases are retired
+//!   at check-in.
+//! * Templates are never run and never handed out directly — every
+//!   lease is a fork, a shelved recycle, or a cold load.
 //!
 //! Each checkout/checkin also counts sessions served per machine and
 //! retires machines after [`PoolOptions::reuse_cap`] sessions: query
@@ -29,17 +47,22 @@ use kl0::Program;
 use psi_core::Result;
 use psi_machine::{Machine, MachineConfig};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Pool tuning knobs.
 #[derive(Debug, Clone)]
 pub struct PoolOptions {
     /// Machines kept warm per distinct source (more concurrent
-    /// sessions of one program than this fall back to cold loads).
+    /// sessions of one program than this fall back to template
+    /// forks).
     pub shelf_cap: usize,
     /// Sessions one machine may serve before it is retired instead of
     /// re-pooled.
     pub reuse_cap: u32,
+    /// Distinct sources whose consulted templates are retained for
+    /// fork-serving. Beyond this many sources, misses on new sources
+    /// fall back to handing out the cold load itself.
+    pub template_cap: usize,
 }
 
 impl Default for PoolOptions {
@@ -47,6 +70,7 @@ impl Default for PoolOptions {
         PoolOptions {
             shelf_cap: 32,
             reuse_cap: 64,
+            template_cap: 64,
         }
     }
 }
@@ -65,6 +89,26 @@ pub struct Lease {
     sessions_served: u32,
     /// Whether this lease was served warm from the pool.
     pub warm: bool,
+    /// Whether this lease was forked from a consulted template
+    /// (shelf miss served without a compile).
+    pub forked: bool,
+    tainted: bool,
+}
+
+impl Lease {
+    /// Marks the machine as no longer described by its pool key — for
+    /// example after an incremental consult failed partway, leaving a
+    /// partially-compiled program loaded. A tainted lease still
+    /// serves its own session but is retired at
+    /// [`MachinePool::checkin`] instead of shelved.
+    pub fn taint(&mut self) {
+        self.tainted = true;
+    }
+
+    /// Whether [`Lease::taint`] has been called.
+    pub fn is_tainted(&self) -> bool {
+        self.tainted
+    }
 }
 
 /// Thread-safe warm pool of consulted machines, keyed by source text.
@@ -72,6 +116,7 @@ pub struct MachinePool {
     config: MachineConfig,
     options: PoolOptions,
     shelves: Mutex<HashMap<String, Vec<Shelved>>>,
+    templates: Mutex<HashMap<String, Arc<Machine>>>,
 }
 
 impl MachinePool {
@@ -81,6 +126,7 @@ impl MachinePool {
             config,
             options,
             shelves: Mutex::new(HashMap::new()),
+            templates: Mutex::new(HashMap::new()),
         }
     }
 
@@ -90,8 +136,10 @@ impl MachinePool {
     }
 
     /// Checks out a machine consulted with exactly `source`: warm from
-    /// the shelf when available, otherwise a cold load. Nothing heavy
-    /// happens under the pool lock — cold loads compile outside it.
+    /// the shelf when available, else a cheap fork of the source's
+    /// consulted template, else a cold load (which seeds the
+    /// template). Nothing heavy happens under a pool lock — compiles
+    /// and forks run outside it.
     ///
     /// # Errors
     ///
@@ -107,27 +155,84 @@ impl MachinePool {
                 source: source.to_owned(),
                 sessions_served: shelved.sessions_served,
                 warm: true,
+                forked: false,
+                tainted: false,
+            });
+        }
+        let template = {
+            let templates = self.templates.lock().unwrap_or_else(|e| e.into_inner());
+            templates.get(source).cloned()
+        };
+        if let Some(template) = template {
+            // Templates are consulted and never run, so fork cannot
+            // fail; shared-image forking makes the miss path cheap.
+            let machine = template.fork()?;
+            return Ok(Lease {
+                machine,
+                source: source.to_owned(),
+                sessions_served: 0,
+                warm: false,
+                forked: true,
+                tainted: false,
             });
         }
         let program = Program::parse(source)?;
         let machine = Machine::load(&program, self.config.clone())?;
+        let machine = self.seed_template(source, machine)?;
         Ok(Lease {
             machine,
             source: source.to_owned(),
             sessions_served: 0,
             warm: false,
+            forked: false,
+            tainted: false,
         })
+    }
+
+    /// Consults `source` into a template without handing out a lease,
+    /// so the first real checkout of that source is already a fork.
+    ///
+    /// # Errors
+    ///
+    /// Typed parse/compile errors from loading `source`.
+    pub fn preload(&self, source: &str) -> Result<()> {
+        {
+            let templates = self.templates.lock().unwrap_or_else(|e| e.into_inner());
+            if templates.contains_key(source) {
+                return Ok(());
+            }
+        }
+        let program = Program::parse(source)?;
+        let machine = Machine::load(&program, self.config.clone())?;
+        self.seed_template(source, machine)?;
+        Ok(())
+    }
+
+    /// Retains `machine` as the template for `source` (capacity
+    /// permitting) and returns a machine to hand out: a fork of the
+    /// retained template, or `machine` itself when the template map is
+    /// full or another thread seeded the source first.
+    fn seed_template(&self, source: &str, machine: Machine) -> Result<Machine> {
+        let mut templates = self.templates.lock().unwrap_or_else(|e| e.into_inner());
+        if templates.contains_key(source) || templates.len() >= self.options.template_cap {
+            return Ok(machine);
+        }
+        let template = Arc::new(machine);
+        templates.insert(source.to_owned(), Arc::clone(&template));
+        drop(templates);
+        template.fork()
     }
 
     /// Returns a lease after a clean session end: the machine is
     /// recycled and shelved for the next session consulting the same
-    /// source — unless its shelf is full or it served its
-    /// [`PoolOptions::reuse_cap`]'th session, in which case it is
-    /// retired (dropped). Never call this for a session that
-    /// panicked; drop the lease instead.
+    /// source — unless its shelf is full, it served its
+    /// [`PoolOptions::reuse_cap`]'th session, or the lease was
+    /// [tainted](Lease::taint), in which case it is retired (dropped).
+    /// Never call this for a session that panicked; drop the lease
+    /// instead.
     pub fn checkin(&self, mut lease: Lease) {
         lease.sessions_served += 1;
-        if lease.sessions_served >= self.options.reuse_cap {
+        if lease.tainted || lease.sessions_served >= self.options.reuse_cap {
             return;
         }
         lease.machine.recycle();
@@ -145,6 +250,12 @@ impl MachinePool {
     pub fn idle_count(&self) -> usize {
         let shelves = self.shelves.lock().unwrap_or_else(|e| e.into_inner());
         shelves.values().map(Vec::len).sum()
+    }
+
+    /// Consulted templates currently retained for fork-serving.
+    pub fn template_count(&self) -> usize {
+        let templates = self.templates.lock().unwrap_or_else(|e| e.into_inner());
+        templates.len()
     }
 }
 
@@ -176,6 +287,36 @@ mod tests {
     }
 
     #[test]
+    fn shelf_misses_fork_the_template_instead_of_recompiling() {
+        let pool = pool();
+        // First checkout of a source compiles once and seeds the
+        // template.
+        let a = pool.checkout("t(1). t(2).").unwrap();
+        assert!(!a.warm);
+        assert_eq!(pool.template_count(), 1);
+        // Concurrent second session on the same source: the shelf is
+        // empty (the first lease is still out), so this is a fork.
+        let mut b = pool.checkout("t(1). t(2).").unwrap();
+        assert!(!b.warm);
+        assert!(b.forked);
+        assert_eq!(b.machine.solve("t(X)", 9).unwrap().len(), 2);
+        drop(a);
+        drop(b);
+    }
+
+    #[test]
+    fn forked_leases_solve_bit_identically_to_cold_loads() {
+        let pool = pool();
+        let mut cold = pool.checkout("f(a). f(b). g(X) :- f(X).").unwrap();
+        let mut fork = pool.checkout("f(a). f(b). g(X) :- f(X).").unwrap();
+        assert!(fork.forked);
+        let cold_solutions = cold.machine.solve("g(X)", 9).unwrap();
+        let fork_solutions = fork.machine.solve("g(X)", 9).unwrap();
+        assert_eq!(cold_solutions, fork_solutions);
+        assert_eq!(cold.machine.stats(), fork.machine.stats());
+    }
+
+    #[test]
     fn warm_machines_solve_like_fresh_ones() {
         let pool = pool();
         let mut lease = pool.checkout("q(a). q(b).").unwrap();
@@ -203,6 +344,7 @@ mod tests {
             PoolOptions {
                 shelf_cap: 8,
                 reuse_cap: 2,
+                template_cap: 8,
             },
         );
         let lease = pool.checkout("r(1).").unwrap();
@@ -212,6 +354,61 @@ mod tests {
         assert!(lease.warm);
         pool.checkin(lease); // served 2 → retired
         assert_eq!(pool.idle_count(), 0);
+    }
+
+    #[test]
+    fn tainted_leases_are_retired_not_shelved() {
+        let pool = pool();
+        let mut lease = pool.checkout("w(1).").unwrap();
+        lease.taint();
+        assert!(lease.is_tainted());
+        pool.checkin(lease);
+        assert_eq!(
+            pool.idle_count(),
+            0,
+            "tainted machines must never be shelved"
+        );
+        // The next checkout of the same source is a template fork, not
+        // the tainted machine.
+        let lease = pool.checkout("w(1).").unwrap();
+        assert!(!lease.warm);
+        assert!(lease.forked);
+    }
+
+    #[test]
+    fn template_cap_bounds_retained_sources() {
+        let pool = MachinePool::new(
+            MachineConfig::psi_throughput(),
+            PoolOptions {
+                shelf_cap: 8,
+                reuse_cap: 64,
+                template_cap: 2,
+            },
+        );
+        let a = pool.checkout("a(1).").unwrap();
+        let b = pool.checkout("b(1).").unwrap();
+        let mut c = pool.checkout("c(1).").unwrap();
+        assert_eq!(
+            pool.template_count(),
+            2,
+            "third source must not be retained"
+        );
+        assert!(!c.forked, "over-cap miss hands out the cold load itself");
+        assert_eq!(c.machine.solve("c(X)", 9).unwrap().len(), 1);
+        drop((a, b, c));
+    }
+
+    #[test]
+    fn preload_makes_the_first_checkout_a_fork() {
+        let pool = pool();
+        pool.preload("pre(1). pre(2).").unwrap();
+        assert_eq!(pool.template_count(), 1);
+        pool.preload("pre(1). pre(2).").unwrap(); // idempotent
+        assert_eq!(pool.template_count(), 1);
+        let mut lease = pool.checkout("pre(1). pre(2).").unwrap();
+        assert!(lease.forked);
+        assert_eq!(lease.machine.solve("pre(X)", 9).unwrap().len(), 2);
+        assert!(pool.preload("broken(").is_err());
     }
 
     #[test]

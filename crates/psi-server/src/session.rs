@@ -172,6 +172,13 @@ impl Session {
                 SessionTurn::Continue
             }
             Ok(Err(e)) => {
+                // A failed consult can leave the program partially
+                // compiled (the compiler registers predicate entries
+                // before it compiles clause bodies), and the pool key
+                // was not extended — so the machine no longer matches
+                // its key. It keeps serving *this* session, but must
+                // never be shelved for another tenant.
+                lease.taint();
                 out.push(error_line(&e));
                 SessionTurn::Continue
             }
@@ -385,6 +392,82 @@ mod tests {
             pool.idle_count(),
             0,
             "poisoned machines are never re-pooled"
+        );
+    }
+
+    /// Two-tenant isolation across incremental consults: a machine
+    /// that consulted `A` then `B` is pooled under the composite key
+    /// `A + "\n" + B`, so a later tenant consulting plain `A` must
+    /// never see `B`'s predicates.
+    #[test]
+    fn incremental_consult_pools_under_the_composite_key_only() {
+        let mut config = MachineConfig::psi_throughput();
+        config.clause_indexing = true;
+        let pool = Arc::new(MachinePool::new(config, PoolOptions::default()));
+
+        // Tenant 1: consult A, then incrementally consult B, end clean.
+        let mut s = Session::new(Arc::clone(&pool), ResourceLimits::unlimited());
+        let (_, _) = one(&mut s, r#"{"cmd":"consult","src":"a(1)."}"#);
+        let (out, turn) = one(&mut s, r#"{"cmd":"consult","src":"b(2)."}"#);
+        assert_eq!(turn, SessionTurn::Continue);
+        assert_eq!(
+            parse_object(&out[0]).unwrap().str_field("event").unwrap(),
+            "consulted"
+        );
+        s.finish();
+        assert_eq!(pool.idle_count(), 1);
+
+        // Tenant 2: consults plain A. The composite machine must not
+        // be handed over; b/1 must be undefined here.
+        let mut s = Session::new(Arc::clone(&pool), ResourceLimits::unlimited());
+        let (_, _) = one(&mut s, r#"{"cmd":"consult","src":"a(1)."}"#);
+        let (out, _) = one(&mut s, r#"{"cmd":"solve","goal":"b(X)"}"#);
+        assert_eq!(
+            parse_object(&out[0]).unwrap().str_field("kind").unwrap(),
+            "undefined_predicate",
+            "tenant 2 saw tenant 1's incremental consult: {out:?}"
+        );
+        s.finish();
+
+        // The composite key, by contrast, is served warm.
+        let lease = pool.checkout("a(1).\nb(2).").unwrap();
+        assert!(lease.warm, "composite-key machine should be shelved");
+        drop(lease);
+    }
+
+    /// A failed incremental consult may leave the program partially
+    /// compiled while the pool key stays unextended; that machine must
+    /// be retired at session end, never shelved for another tenant.
+    #[test]
+    fn failed_incremental_consult_retires_the_machine() {
+        let mut config = MachineConfig::psi_throughput();
+        config.clause_indexing = true;
+        let pool = Arc::new(MachinePool::new(config, PoolOptions::default()));
+
+        let mut s = Session::new(Arc::clone(&pool), ResourceLimits::unlimited());
+        let (_, _) = one(&mut s, r#"{"cmd":"consult","src":"a(1)."}"#);
+        let (out, turn) = one(&mut s, r#"{"cmd":"consult","src":"broken("}"#);
+        assert_eq!(turn, SessionTurn::Continue, "typed error, session survives");
+        assert_eq!(
+            parse_object(&out[0]).unwrap().str_field("kind").unwrap(),
+            "syntax"
+        );
+        // The session itself keeps serving its own (possibly partial)
+        // program...
+        let (out, _) = one(&mut s, r#"{"cmd":"solve","goal":"a(X)"}"#);
+        assert_eq!(
+            parse_object(&out[0])
+                .unwrap()
+                .str_field("bindings")
+                .unwrap(),
+            "X = 1"
+        );
+        s.finish();
+        // ...but the machine is retired, not shelved under "a(1).".
+        assert_eq!(
+            pool.idle_count(),
+            0,
+            "a machine whose consult failed partway must not be re-pooled"
         );
     }
 

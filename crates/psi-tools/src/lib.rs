@@ -23,3 +23,4 @@ pub mod events;
 pub mod json;
 pub mod map;
 pub mod pmms;
+pub mod snapshot;

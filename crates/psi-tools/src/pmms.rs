@@ -10,6 +10,7 @@
 //! studies.
 
 use psi_cache::{Cache, CacheConfig, CacheStats};
+use psi_machine::Machine;
 use psi_mem::TraceEntry;
 
 /// Replays a trace through a cache configuration, advancing the cache
@@ -109,6 +110,77 @@ pub fn capacity_sweep_parallel(
     slots
         .into_iter()
         .map(|s| s.expect("every capacity replayed"))
+        .collect()
+}
+
+/// [`capacity_sweep`] computed live instead of by trace replay: each
+/// capacity cell [forks](Machine::fork) the consulted template with
+/// its own cache geometry and runs the goal for real, reading `Tc`
+/// from the forked machine's clock and `Tnc` from its step and access
+/// counts. One consult serves all eleven cells (previously each cell
+/// re-parsed and re-compiled the program), and because the memory
+/// trace is a pure function of execution — not of cache geometry —
+/// the ratios are bit-identical to replaying a collected trace
+/// through the same configurations (regression-tested below).
+///
+/// The template must be a consulted, never-run machine in the
+/// fidelity lane; the goal runs with memory tracing off, since the
+/// live cache statistics replace the trace.
+///
+/// # Errors
+///
+/// [`psi_core::PsiError::ForkAfterRun`] if `template` has already
+/// compiled or run a query; any machine error from running `goal`.
+pub fn capacity_sweep_forked(
+    template: &Machine,
+    goal: &str,
+    max_solutions: usize,
+    threads: usize,
+) -> psi_core::Result<Vec<(u32, f64)>> {
+    let caps: Vec<u32> = (0..11).map(|i| 8u32 << i).collect(); // 8 .. 8192
+    let cycle_ns = template.config().cycle_ns;
+    let cell = |cap: u32| -> psi_core::Result<(u32, f64)> {
+        let config = CacheConfig::psi_with_capacity(cap);
+        let mut m = template.fork_with_cache(Some(config))?;
+        m.solve(goal, max_solutions)?;
+        let stats = m.stats();
+        let tc = stats.time_ns;
+        if tc == 0 {
+            return Ok((cap, 0.0));
+        }
+        let tnc = stats.steps * cycle_ns + stats.cache.total().accesses() * config.miss_extra_ns();
+        Ok((cap, (tnc as f64 / tc as f64 - 1.0) * 100.0))
+    };
+    let threads = threads.clamp(1, caps.len());
+    if threads <= 1 {
+        return caps.into_iter().map(cell).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<psi_core::Result<(u32, f64)>>> =
+        (0..caps.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&cap) = caps.get(i) else { return done };
+                        done.push((i, cell(cap)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every capacity ran"))
         .collect()
 }
 
@@ -214,6 +286,48 @@ mod tests {
         assert!(sweep.iter().all(|(_, r)| r.is_finite() && *r == 0.0));
         let (two, one) = associativity_study(&[], 200, 0);
         assert_eq!((two, one), (0.0, 0.0));
+    }
+
+    /// The fork-based live sweep must agree bit-for-bit with replaying
+    /// a collected trace through the same configurations — the memory
+    /// trace is a pure function of execution, not of cache geometry,
+    /// so both paths feed identical access streams to identical cache
+    /// models.
+    #[test]
+    fn forked_sweep_matches_trace_replay() {
+        use kl0::Program;
+        use psi_machine::MachineConfig;
+
+        const SRC: &str = "app([], L, L).\n\
+                           app([H|T], L, [H|R]) :- app(T, L, R).\n\
+                           rev([], []).\n\
+                           rev([H|T], R) :- rev(T, RT), app(RT, [H], R).";
+        let goal = "rev([1,2,3,4,5,6,7,8], R)";
+
+        // Trace branch: one traced run on the stock PSI cache.
+        let mut config = MachineConfig::psi();
+        config.trace_memory = true;
+        let mut traced = Machine::load(&Program::parse(SRC).unwrap(), config).unwrap();
+        traced.solve(goal, 1).unwrap();
+        let steps = traced.stats().steps;
+        let t = traced.take_trace();
+        assert!(!t.is_empty());
+        let replayed = capacity_sweep_parallel(&t, 200, steps, 2);
+
+        // Live branch: eleven forks of one consulted template.
+        let template = Machine::load(&Program::parse(SRC).unwrap(), MachineConfig::psi()).unwrap();
+        let forked = capacity_sweep_forked(&template, goal, 1, 2).unwrap();
+        assert_eq!(forked, replayed);
+
+        // The template stayed pristine, so the sweep can run again.
+        assert_eq!(
+            capacity_sweep_forked(&template, goal, 1, 1).unwrap(),
+            forked
+        );
+
+        // A run machine is not a template.
+        let err = capacity_sweep_forked(&traced, goal, 1, 1).unwrap_err();
+        assert_eq!(err.wire_kind(), "fork_after_run");
     }
 
     #[test]

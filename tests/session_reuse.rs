@@ -125,6 +125,34 @@ fn each_run_records_a_fresh_event_stream() {
     );
 }
 
+/// Regression: `recycle` must restore the machine's load-time
+/// budgets. Previously a tenant that tightened its limits via
+/// `set_limits` and checked the machine back in left those limits
+/// armed, so the next tenant of the warm machine ran under the
+/// previous tenant's (possibly hostile, 1-step) budget instead of the
+/// server default — a behavioral difference between a warm and a cold
+/// checkout that the pool's bit-identity contract forbids.
+#[test]
+fn recycle_restores_load_time_limits() {
+    let program = Program::parse("spin :- spin.\nnat(z). nat(s(X)) :- nat(X).").expect("parses");
+    let mut m = Machine::load(&program, serving_config()).expect("loads");
+
+    // Tenant 1 tightens its own budget and trips it.
+    m.set_limits(ResourceLimits::unlimited().with_max_steps(100));
+    assert!(m.solve("spin", 1).is_err(), "tightened budget must fire");
+
+    // Check-in is recycle alone: the pool cannot know what the
+    // departing tenant did to the limits.
+    m.recycle();
+
+    // Tenant 2 gets the load-time (unlimited) budgets back; this
+    // enumeration costs far more than 100 steps and must succeed.
+    let solutions = m
+        .solve("nat(X)", 200)
+        .expect("stale tenant-1 step cap leaked through recycle");
+    assert_eq!(solutions.len(), 200);
+}
+
 /// `set_limits` re-tiers a pooled machine per session: tightened
 /// budgets fire for the new session, lifted budgets stop firing.
 #[test]
