@@ -1,7 +1,7 @@
 //! Profiling driver: runs one Table 1 row repeatedly in a chosen
 //! lane so a sampling profiler can attribute the hot path, and so
 //! lane speedups can be timed outside the full perfbench harness.
-//! Usage: lane_profile <name-substring> <fidelity|throughput> <reps>
+//! Usage: lane_profile <name-substring> <fidelity|throughput|compiled> <reps>
 use psi_core::Measurement;
 use psi_machine::MachineConfig;
 use psi_workloads::runner::run_on_psi;
@@ -13,8 +13,11 @@ fn main() {
     let lane = args.next().unwrap_or_else(|| "throughput".into());
     let reps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(5);
     let mut config = MachineConfig::psi();
-    if lane == "throughput" {
+    if lane == "throughput" || lane == "compiled" {
         config.measurement = Measurement::Off;
+    }
+    if lane == "compiled" {
+        config.compiled = true;
     }
     let entry = table1_suite()
         .into_iter()

@@ -5,10 +5,12 @@
 //!   ([`MachineConfig::psi`]) vs the opt-in first-argument indexing
 //!   profile ([`MachineConfig::psi_indexed`]);
 //! * **lane** — the fidelity lane (full cache/trace/event
-//!   measurement, [`psi_core::Measurement::Full`]) vs the throughput
-//!   lane ([`psi_core::Measurement::Off`]), which must produce
-//!   bit-identical solutions and step totals while running well over
-//!   2× faster on the heavy rows.
+//!   measurement, [`psi_core::Measurement::Full`]), the throughput
+//!   lane ([`psi_core::Measurement::Off`]), and the compiled lane
+//!   ([`MachineConfig::psi_compiled`]: measurement off plus fused
+//!   dispatch). Both fast lanes must produce bit-identical solutions
+//!   and step totals while running well over 2× faster on the heavy
+//!   rows (compiled over throughput again).
 //!
 //! Unlike the table regenerators — which report *simulated* PSI time
 //! and are bit-reproducible — this harness also measures host wall
@@ -20,8 +22,8 @@
 //!
 //! The report serializes to `BENCH_psi.json` (hand-rolled JSON — the
 //! workspace deliberately has no serde dependency) and doubles as an
-//! equivalence check: all four cells of a row must produce identical
-//! solution lists, and the two lanes must agree exactly on every
+//! equivalence check: all six cells of a row must produce identical
+//! solution lists, and the three lanes must agree exactly on every
 //! deterministic counter.
 
 use psi_core::Measurement;
@@ -80,8 +82,8 @@ pub struct ProfileMeasurement {
     /// Indexed calls whose single surviving candidate was entered
     /// with no choice point.
     pub index_direct_entries: u64,
-    /// Dispatches served from the predecoded code cache (throughput
-    /// lane only; always zero in the fidelity lane).
+    /// Dispatches served from the predecoded code cache (fast lanes
+    /// only; always zero in the fidelity lane).
     pub predecode_hits: u64,
     /// Rendered solutions, for cross-cell comparison.
     pub solutions: Vec<String>,
@@ -96,7 +98,7 @@ pub struct LaneMeasurements {
     pub indexed: ProfileMeasurement,
 }
 
-/// One Table 1 row measured under both profiles in both lanes.
+/// One Table 1 row measured under both profiles in all three lanes.
 #[derive(Debug, Clone)]
 pub struct PerfRow {
     /// Row number in Table 1 (1-based).
@@ -107,6 +109,8 @@ pub struct PerfRow {
     pub fidelity: LaneMeasurements,
     /// Throughput lane (measurement off).
     pub throughput: LaneMeasurements,
+    /// Compiled lane (measurement off, fused dispatch).
+    pub compiled: LaneMeasurements,
 }
 
 /// Do two cells agree on everything that must be lane-invariant?
@@ -119,26 +123,56 @@ fn cells_equivalent(a: &ProfileMeasurement, b: &ProfileMeasurement) -> bool {
         && a.solutions == b.solutions
 }
 
+/// Wall-time speedup of a fast-lane cell over the fidelity cell.
+/// Zero-guarded: a zero fast-lane wall time (possible on trivial rows
+/// where the median timed iteration is below the clock resolution)
+/// reports 0.0 rather than a nonsense near-infinite ratio.
+fn speedup(fidelity_wall_ns: u64, lane_wall_ns: u64) -> f64 {
+    if lane_wall_ns == 0 {
+        return 0.0;
+    }
+    fidelity_wall_ns as f64 / lane_wall_ns as f64
+}
+
 impl PerfRow {
-    /// Whether all four cells produced identical solution lists.
+    /// Whether all six cells produced identical solution lists.
     pub fn solutions_match(&self) -> bool {
-        self.fidelity.linear.solutions == self.fidelity.indexed.solutions
-            && self.fidelity.linear.solutions == self.throughput.linear.solutions
-            && self.fidelity.linear.solutions == self.throughput.indexed.solutions
+        let reference = &self.fidelity.linear.solutions;
+        *reference == self.fidelity.indexed.solutions
+            && *reference == self.throughput.linear.solutions
+            && *reference == self.throughput.indexed.solutions
+            && *reference == self.compiled.linear.solutions
+            && *reference == self.compiled.indexed.solutions
     }
 
-    /// Whether the throughput lane matched the fidelity lane exactly
-    /// on every deterministic counter (steps, choice points,
-    /// backtracks, indexing statistics) and on solutions, per profile.
+    /// Whether both fast lanes matched the fidelity lane exactly on
+    /// every deterministic counter (steps, choice points, backtracks,
+    /// indexing statistics) and on solutions, per profile.
     pub fn lanes_match(&self) -> bool {
         cells_equivalent(&self.fidelity.linear, &self.throughput.linear)
             && cells_equivalent(&self.fidelity.indexed, &self.throughput.indexed)
+            && cells_equivalent(&self.fidelity.linear, &self.compiled.linear)
+            && cells_equivalent(&self.fidelity.indexed, &self.compiled.indexed)
     }
 
     /// Wall-time speedup of the throughput lane over the fidelity
-    /// lane, linear profile.
+    /// lane, linear profile (zero-guarded, see [`PerfRow::speedup_lane_b`]).
     pub fn speedup_linear(&self) -> f64 {
-        self.fidelity.linear.wall_ns as f64 / self.throughput.linear.wall_ns.max(1) as f64
+        self.speedup_lane_b()
+    }
+
+    /// Wall-time speedup of the throughput lane (lane B) over the
+    /// fidelity lane, linear profile. 0.0 when the throughput cell's
+    /// wall time rounded to zero.
+    pub fn speedup_lane_b(&self) -> f64 {
+        speedup(self.fidelity.linear.wall_ns, self.throughput.linear.wall_ns)
+    }
+
+    /// Wall-time speedup of the compiled lane (lane C) over the
+    /// fidelity lane, linear profile. 0.0 when the compiled cell's
+    /// wall time rounded to zero.
+    pub fn speedup_lane_c(&self) -> f64 {
+        speedup(self.fidelity.linear.wall_ns, self.compiled.linear.wall_ns)
     }
 }
 
@@ -165,15 +199,19 @@ impl PerfReport {
 
     /// Serializes the report as pretty-printed JSON.
     ///
-    /// Schema `psi-bench-perf-v2`: top-level `warmup`, `repetitions`,
-    /// and `rows`; each row carries a `fidelity` and a `throughput`
-    /// lane object, each with a `linear` and an `indexed` measurement.
-    /// Solution texts are not embedded (they can be thousands of
-    /// bindings); only their count and the `solutions_match` /
-    /// `lanes_match` verdicts are.
+    /// Schema `psi-bench-perf-v3`: top-level `warmup`, `repetitions`,
+    /// and `rows`; each row carries a `fidelity`, a `throughput` and a
+    /// `compiled` lane object (in that order — readers of the archive
+    /// rely on the fidelity lane coming first, see [`archived_steps`]),
+    /// each with a `linear` and an `indexed` measurement, plus
+    /// per-lane wall-time speedups `speedup_lane_b` / `speedup_lane_c`
+    /// (`speedup_linear` is kept as an alias of `speedup_lane_b` for
+    /// v2 readers). Solution texts are not embedded (they can be
+    /// thousands of bindings); only their count and the
+    /// `solutions_match` / `lanes_match` verdicts are.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"schema\": \"psi-bench-perf-v2\",\n");
+        out.push_str("{\n  \"schema\": \"psi-bench-perf-v3\",\n");
         let _ = writeln!(out, "  \"warmup\": {},", self.options.warmup);
         let _ = writeln!(out, "  \"repetitions\": {},", self.options.repetitions);
         out.push_str("  \"rows\": [\n");
@@ -193,30 +231,30 @@ impl PerfReport {
                 "      \"speedup_linear\": {:.3},",
                 row.speedup_linear()
             );
-            let _ = writeln!(out, "      \"fidelity\": {{");
             let _ = writeln!(
                 out,
-                "        \"linear\": {},",
-                measurement_json(&row.fidelity.linear)
+                "      \"speedup_lane_b\": {:.3},",
+                row.speedup_lane_b()
             );
             let _ = writeln!(
                 out,
-                "        \"indexed\": {}",
-                measurement_json(&row.fidelity.indexed)
+                "      \"speedup_lane_c\": {:.3},",
+                row.speedup_lane_c()
             );
-            let _ = writeln!(out, "      }},");
-            let _ = writeln!(out, "      \"throughput\": {{");
-            let _ = writeln!(
-                out,
-                "        \"linear\": {},",
-                measurement_json(&row.throughput.linear)
-            );
-            let _ = writeln!(
-                out,
-                "        \"indexed\": {}",
-                measurement_json(&row.throughput.indexed)
-            );
-            let _ = writeln!(out, "      }}");
+            for (j, (lane, m)) in [
+                ("fidelity", &row.fidelity),
+                ("throughput", &row.throughput),
+                ("compiled", &row.compiled),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let _ = writeln!(out, "      \"{lane}\": {{");
+                let _ = writeln!(out, "        \"linear\": {},", measurement_json(&m.linear));
+                let _ = writeln!(out, "        \"indexed\": {}", measurement_json(&m.indexed));
+                let comma = if j < 2 { "," } else { "" };
+                let _ = writeln!(out, "      }}{comma}");
+            }
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             let _ = writeln!(out, "    }}{comma}");
         }
@@ -229,19 +267,20 @@ impl PerfReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<22} {:>12} {:>9} {:>10} {:>10} {:>8}  match lanes",
-            "program", "steps lin", "cp lin", "wall fid", "wall thr", "speedup"
+            "{:<22} {:>12} {:>10} {:>10} {:>10} {:>7} {:>7}  match lanes",
+            "program", "steps lin", "wall fid", "wall thr", "wall cmp", "spd B", "spd C"
         );
         for row in &self.rows {
             let _ = writeln!(
                 out,
-                "{:<22} {:>12} {:>9} {:>8.2}ms {:>8.2}ms {:>7.2}x  {:<5} {}",
+                "{:<22} {:>12} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>6.2}x {:>6.2}x  {:<5} {}",
                 row.program,
                 row.fidelity.linear.steps,
-                row.fidelity.linear.choice_points,
                 row.fidelity.linear.wall_ns as f64 / 1e6,
                 row.throughput.linear.wall_ns as f64 / 1e6,
-                row.speedup_linear(),
+                row.compiled.linear.wall_ns as f64 / 1e6,
+                row.speedup_lane_b(),
+                row.speedup_lane_c(),
                 if row.solutions_match() { "yes" } else { "NO" },
                 if row.lanes_match() { "yes" } else { "NO" },
             );
@@ -299,8 +338,8 @@ pub fn row_matches(spec: &str, index: usize, program: &str) -> bool {
 
 /// Extracts `(program, fidelity-lane linear steps)` pairs from a
 /// previously written `BENCH_psi.json`, for the microstep-regression
-/// gate. Works on both the v1 schema (one `"linear"` object per row)
-/// and the v2 schema (fidelity lane first): in either layout the
+/// gate. Works on the v1 schema (one `"linear"` object per row) and
+/// the v2/v3 schemas (fidelity lane first): in every layout the
 /// first `"linear"` line after a `"program"` line is the fidelity
 /// lane's linear measurement.
 pub fn archived_steps(json: &str) -> Vec<(String, u64)> {
@@ -371,7 +410,12 @@ fn with_lane(mut config: MachineConfig, lane: Measurement) -> MachineConfig {
     config
 }
 
-/// Measures one suite entry across all four (profile, lane) cells.
+fn with_compiled(mut config: MachineConfig) -> MachineConfig {
+    config.compiled = true;
+    config
+}
+
+/// Measures one suite entry across all six (profile, lane) cells.
 fn measure_row(
     entry: &psi_workloads::suite::Table1Entry,
     options: &PerfOptions,
@@ -393,15 +437,24 @@ fn measure_row(
             options,
         )?,
     };
+    let compiled = LaneMeasurements {
+        linear: measure(w, &MachineConfig::psi_compiled(), options)?,
+        indexed: measure(
+            w,
+            &with_compiled(with_lane(MachineConfig::psi_indexed(), Measurement::Off)),
+            options,
+        )?,
+    };
     Ok(PerfRow {
         index: entry.index,
         program: w.name.clone(),
         fidelity,
         throughput,
+        compiled,
     })
 }
 
-/// Runs the Table 1 suite under both profiles in both lanes.
+/// Runs the Table 1 suite under both profiles in all three lanes.
 ///
 /// # Errors
 ///
@@ -443,14 +496,52 @@ mod tests {
     fn json_shape_is_stable() {
         let report = sample_report();
         let json = report.to_json();
-        assert!(json.starts_with("{\n  \"schema\": \"psi-bench-perf-v2\""));
+        assert!(json.starts_with("{\n  \"schema\": \"psi-bench-perf-v3\""));
         assert!(json.contains("\"program\": \"nreverse 30\""));
         assert!(json.contains("\"solutions_match\": true"));
         assert!(json.contains("\"lanes_match\": true"));
+        assert!(json.contains("\"speedup_lane_b\": "));
+        assert!(json.contains("\"speedup_lane_c\": "));
         assert!(json.contains("\"fidelity\": {"));
         assert!(json.contains("\"throughput\": {"));
+        assert!(json.contains("\"compiled\": {"));
         assert!(json.contains("\"choice_points\": 10"));
         assert!(json.trim_end().ends_with('}'));
+        // The fidelity lane must serialize before the fast lanes —
+        // archived_steps picks the first "linear" after "program".
+        let fid = json.find("\"fidelity\"").expect("fidelity present");
+        let thr = json.find("\"throughput\"").expect("throughput present");
+        let cmp = json.find("\"compiled\"").expect("compiled present");
+        assert!(fid < thr && thr < cmp, "lane order must be fid, thr, cmp");
+    }
+
+    #[test]
+    fn speedups_are_zero_guarded_and_per_lane() {
+        let mut row = sample_report().rows.remove(0);
+        row.fidelity.linear.wall_ns = 9000;
+        row.throughput.linear.wall_ns = 3000;
+        row.compiled.linear.wall_ns = 1500;
+        assert!((row.speedup_lane_b() - 3.0).abs() < 1e-12);
+        assert!((row.speedup_lane_c() - 6.0).abs() < 1e-12);
+        assert_eq!(row.speedup_linear(), row.speedup_lane_b());
+        // A sub-resolution fast cell must not explode into a
+        // near-infinite ratio.
+        row.throughput.linear.wall_ns = 0;
+        row.compiled.linear.wall_ns = 0;
+        assert_eq!(row.speedup_lane_b(), 0.0);
+        assert_eq!(row.speedup_lane_c(), 0.0);
+        assert_eq!(row.speedup_linear(), 0.0);
+    }
+
+    #[test]
+    fn lanes_match_covers_the_compiled_lane() {
+        let mut row = sample_report().rows.remove(0);
+        assert!(row.lanes_match());
+        row.compiled.linear.steps += 1;
+        assert!(!row.lanes_match(), "a compiled-lane step drift must trip");
+        let mut row = sample_report().rows.remove(0);
+        row.compiled.indexed.solutions.push("X = 2".into());
+        assert!(!row.solutions_match());
     }
 
     #[test]
@@ -465,7 +556,7 @@ mod tests {
     }
 
     #[test]
-    fn archived_steps_reads_own_v2_output() {
+    fn archived_steps_reads_own_v3_output() {
         let report = sample_report();
         let pairs = archived_steps(&report.to_json());
         assert_eq!(pairs, vec![("nreverse 30".to_owned(), 30)]);
@@ -499,6 +590,7 @@ mod tests {
                 program: "nreverse 30".into(),
                 fidelity: lane(),
                 throughput: lane(),
+                compiled: lane(),
             }],
         }
     }

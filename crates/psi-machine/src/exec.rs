@@ -3,18 +3,332 @@
 
 use crate::codegen::{IndexKey, BUCKET_LINEAR, BUCKET_VAR_ONLY};
 use crate::machine::{Activation, ChoicePoint, Flow, Machine, ProcStatus};
-use crate::ucode::{BranchOp, InterpModule};
+use crate::ucode::{
+    BranchOp, ChargePacket, ChargeTable, FusedOp, InterpModule, PackedArg, ARGS_GENERIC,
+    ARGS_PACKED,
+};
 use crate::wf::{WfField, WfMode};
 use crate::Builtin;
 use psi_core::{Address, Area, PsiError, Result, Tag, Word};
+use std::sync::OnceLock;
 
 /// Words in a control frame (environment or choice point), §2.1:
 /// "The control stack contains 10-word control frames".
 pub(crate) const CONTROL_FRAME_WORDS: u32 = 10;
 
+static CHARGE_TABLE: OnceLock<ChargeTable> = OnceLock::new();
+
+/// The compiled lane's charge table, recorded once per process. Lives
+/// here, next to the microstep sequences it mirrors: every packet is
+/// recorded by replaying the corresponding `Machine` sequence's
+/// `step_*` calls (same branch ops, same order, same data flags), so
+/// the packets cannot drift from the fidelity lane without the
+/// equivalence tests catching it.
+pub(crate) fn charge_table() -> &'static ChargeTable {
+    CHARGE_TABLE.get_or_init(|| {
+        let mut t = ChargeTable::build();
+        t.finalize_ids();
+        t
+    })
+}
+
+impl ChargeTable {
+    /// Records every packet. Each closure mirrors one named sequence
+    /// below — the comments say which.
+    fn build() -> ChargeTable {
+        use InterpModule as M;
+        // `fetch_code` / `charge_code_fetch`: fetch, decode+advance,
+        // two tag tests, dispatch.
+        let fetch = |m: InterpModule, op: BranchOp| {
+            ChargePacket::record(move |t| {
+                t.step(m, op, true);
+                t.step_seq(m, true);
+                t.step_cond(m, true);
+                t.step_cond(m, false);
+                t.step_goto(m, true);
+            })
+        };
+        ChargeTable {
+            code_fetch: std::array::from_fn(|mi| {
+                let m = M::ALL[mi];
+                [fetch(m, BranchOp::CaseOpcode), fetch(m, BranchOp::CaseTag)]
+            }),
+            // `mem_read` / `mem_write` / `mem_push`: address
+            // generation (bounds or permission test), access cycle.
+            addr_cycle: std::array::from_fn(|mi| {
+                let m = M::ALL[mi];
+                ChargePacket::record(move |t| {
+                    t.step_cond(m, true);
+                    t.step_seq(m, true);
+                })
+            }),
+            // `mem_read_dispatch`: tag test, tag dispatch.
+            read_dispatch: std::array::from_fn(|mi| {
+                let m = M::ALL[mi];
+                ChargePacket::record(move |t| {
+                    t.step(m, BranchOp::IfTag, true);
+                    t.step(m, BranchOp::CaseTag, true);
+                })
+            }),
+            // `materialize_env`: load-jr, 10-word burst.
+            env_save: ChargePacket::record(|t| {
+                t.step(M::Control, BranchOp::LoadJr, true);
+                for _ in 0..CONTROL_FRAME_WORDS {
+                    t.step_goto(M::Control, true);
+                }
+            }),
+            // `push_choice_point`: load-jr, two ALU steps, 10-word
+            // burst.
+            cp_save: ChargePacket::record(|t| {
+                t.step(M::Control, BranchOp::LoadJr, true);
+                t.step_seq(M::Control, true);
+                t.step_seq(M::Control, true);
+                for _ in 0..CONTROL_FRAME_WORDS {
+                    t.step_goto(M::Control, true);
+                }
+            }),
+            // `handle_user_call` post-argument overhead: two ALU
+            // steps, a condition, the predicate-table indirect jump.
+            call_overhead: ChargePacket::record(|t| {
+                t.step_seq(M::Control, true);
+                t.step_seq(M::Control, true);
+                t.step_cond(M::Control, true);
+                t.step(M::Control, BranchOp::GotoJr1, false);
+            }),
+            // `enter_clause` entry: gosub, header fetch (the five
+            // fetch steps), two ALU steps, frame setup.
+            enter_clause: ChargePacket::record(|t| {
+                t.step(M::Control, BranchOp::Gosub, false);
+                t.step(M::Control, BranchOp::CaseOpcode, true);
+                t.step_seq(M::Control, true);
+                t.step_cond(M::Control, true);
+                t.step_cond(M::Control, false);
+                t.step_goto(M::Control, true);
+                t.step_seq(M::Control, true);
+                t.step_seq(M::Control, true);
+                t.step_seq(M::Control, true);
+            }),
+            // `backtrack_loop` iteration head: goto, two ALU steps, a
+            // condition, then the clause-alternative word read (the
+            // host copies the rest of the frame out of the choice
+            // point, which charges nothing in between).
+            backtrack_head: ChargePacket::record(|t| {
+                t.step_goto(M::Control, false);
+                t.step_seq(M::Control, true);
+                t.step_seq(M::Control, true);
+                t.step_cond(M::Control, true);
+                t.step_cond(M::Control, true);
+                t.step_seq(M::Control, true);
+            }),
+            // One trail unwind of a bound cell: the dispatch read plus
+            // the reset write's address and write cycles.
+            trail_undo: ChargePacket::record(|t| {
+                t.step(M::Trail, BranchOp::IfTag, true);
+                t.step(M::Trail, BranchOp::CaseTag, true);
+                t.step_cond(M::Trail, true);
+                t.step_seq(M::Trail, true);
+            }),
+            // `unify`'s microsubroutine bracket (gosub + return). Both
+            // ops are rotor-independent, so charging the pair up front
+            // commutes with everything the body charges.
+            unify_frame: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::Gosub, false);
+                t.step(M::Unify, BranchOp::Return, false);
+            }),
+            // One `unify_inner` pair dispatch (the tag-pair case
+            // branch) with no further charges in its arm.
+            unify_case: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+            }),
+            // Pair dispatch + the constant-compare test
+            // (`test_const_step`) of the atom/int arm.
+            unify_const: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_cond(M::Unify, true);
+            }),
+            // Pair dispatch + the four element reads of the list/list
+            // arm (two cars, two cdrs — `mem_read` each).
+            unify_list: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                for _ in 0..4 {
+                    t.step_cond(M::Unify, true);
+                    t.step_seq(M::Unify, true);
+                }
+            }),
+            // Pair dispatch + the two functor reads and the functor
+            // compare of the vect/vect arm.
+            unify_vect_head: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                for _ in 0..2 {
+                    t.step_cond(M::Unify, true);
+                    t.step_seq(M::Unify, true);
+                }
+                t.step_cond(M::Unify, true);
+            }),
+            // One element-pair read of the vect/vect arm (two
+            // `mem_read`s).
+            unify_pair_read: ChargePacket::record(|t| {
+                for _ in 0..2 {
+                    t.step_cond(M::Unify, true);
+                    t.step_seq(M::Unify, true);
+                }
+            }),
+            // `bind` without a trail entry: the conditional-trailing
+            // test plus the cell write.
+            bind_plain: ChargePacket::record(|t| {
+                t.step_cond(M::Trail, false);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+            }),
+            // `bind` with a trail entry: the test, the trail push,
+            // the cell write.
+            bind_trailed: ChargePacket::record(|t| {
+                t.step_cond(M::Trail, false);
+                t.step_cond(M::Trail, true);
+                t.step_seq(M::Trail, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+            }),
+            // `handle_return` through a materialized frame: three
+            // frame-word reads, register reload, continuation test,
+            // return op (reclaim between them is host-only).
+            ret_frame: ChargePacket::record(|t| {
+                for _ in 0..3 {
+                    t.step_cond(M::Control, true);
+                    t.step_seq(M::Control, true);
+                }
+                t.step_seq(M::Control, true);
+                t.step_cond(M::Control, true);
+                t.step(M::Control, BranchOp::Return, false);
+            }),
+            // `handle_return` from the WF-resident registers.
+            ret_quick: ChargePacket::record(|t| {
+                t.step_seq(M::Control, true);
+                t.step_cond(M::Control, true);
+                t.step(M::Control, BranchOp::Return, false);
+            }),
+            // One skeleton element: code fetch + element read/push.
+            skel_fetch_cycle: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+            }),
+            // `unify_skeleton` list head: skeleton-kind dispatch +
+            // first element cycle.
+            skel_head: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+            }),
+            // `unify_skeleton` vector head: kind dispatch, functor
+            // fetch, functor read, functor compare. The arity load-jr
+            // stays eager — the fidelity lane only charges it after
+            // the compare passes.
+            skel_vect_test: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+            }),
+            // `copy_skeleton` vector head: functor fetch, functor
+            // push, arity load-jr (charged unconditionally there).
+            skel_vect_copy_head: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+                t.step(M::Unify, BranchOp::LoadJr, true);
+            }),
+            // One head-argument cycle ending in a buffered slot
+            // access: code fetch + the frame-buffer access step.
+            head_slot_buf: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step_seq(M::Unify, true);
+            }),
+            // One constant head argument: code fetch + the unify
+            // gosub/return bracket (rotor-independent, so it commutes
+            // with the unify body's own charges).
+            head_const: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step(M::Unify, BranchOp::Gosub, false);
+                t.step(M::Unify, BranchOp::Return, false);
+            }),
+            // One copied slot-variable element, slot buffered: fetch,
+            // frame-buffer read, push.
+            skel_var_buf: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+            }),
+            // One copied slot-variable element, slot flushed: fetch,
+            // local-stack read, push.
+            skel_var_mem: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_seq(M::Unify, true);
+            }),
+            // One skeleton head argument derefing in a single hop:
+            // code fetch + the dispatch read (both dispatch ops are
+            // fixed, so the fused position is exact).
+            head_skel_ref: ChargePacket::record(|t| {
+                t.step(M::Unify, BranchOp::CaseTag, true);
+                t.step_seq(M::Unify, true);
+                t.step_cond(M::Unify, true);
+                t.step_cond(M::Unify, false);
+                t.step_goto(M::Unify, true);
+                t.step(M::Unify, BranchOp::IfTag, true);
+                t.step(M::Unify, BranchOp::CaseTag, true);
+            }),
+            // `backtrack_loop` resume with a remaining alternative:
+            // restore step + the in-place alternative-advance write.
+            bt_resume: ChargePacket::record(|t| {
+                t.step_seq(M::Control, true);
+                t.step_cond(M::Control, true);
+                t.step_seq(M::Control, true);
+            }),
+        }
+    }
+}
+
 /// Resolved location of a local-variable slot (see
 /// [`Machine::slot_place`]).
-enum SlotPlace {
+pub(crate) enum SlotPlace {
     /// Still in WF frame buffer `0` or `1`.
     Buffered(usize),
     /// Flushed to the local stack at this address.
@@ -42,6 +356,16 @@ impl Machine {
     pub(crate) fn micro_goto(&mut self, m: InterpModule, data: bool) {
         self.tally.step_goto(m, data);
         self.bus.tick(self.config.cycle_ns);
+    }
+
+    /// Applies one pre-recorded charge packet (compiled lane): the
+    /// tally deltas of the whole sequence in one lookup, plus a batch
+    /// bus-step advance standing in for the sequence's ticks.
+    #[inline]
+    pub(crate) fn charge_packet(&mut self, p: &ChargePacket) {
+        let steps = p.charge_deferred(&mut self.tally, &mut self.charge_counts);
+        self.deferred_steps += steps;
+        self.bus.advance(steps);
     }
 
     /// An ALU step combining two registers into a third.
@@ -83,6 +407,7 @@ impl Machine {
 
     /// Instruction fetch from the heap area (the dominant heap traffic
     /// of Table 4).
+    #[inline]
     pub(crate) fn fetch_code(&mut self, m: InterpModule, op: BranchOp, off: u32) -> Result<Word> {
         if self.lane_fast {
             return self.fetch_code_fast(m, op, off);
@@ -123,13 +448,39 @@ impl Machine {
     /// copies the image verbatim into the simulated heap and code is
     /// immutable once loaded; an offset beyond the image falls back to
     /// the bus so error behaviour matches the fidelity lane.
+    #[inline]
     fn fetch_code_fast(&mut self, m: InterpModule, op: BranchOp, off: u32) -> Result<Word> {
         let w = match self.image.heap().get(off as usize) {
             Some(&w) => Ok(w),
             None => self.bus.read(self.heap_addr(off)),
         };
-        self.charge_code_fetch(m, op);
+        if self.lane_compiled {
+            // The compiled lane fetches only through the two fetch
+            // ops; charge the matching pre-recorded packet.
+            let oi = match op {
+                BranchOp::CaseOpcode => 0,
+                BranchOp::CaseTag => 1,
+                _ => {
+                    self.charge_code_fetch(m, op);
+                    return w;
+                }
+            };
+            self.charge_packet(&self.charges.code_fetch[m.index()][oi]);
+        } else {
+            self.charge_code_fetch(m, op);
+        }
         w
+    }
+
+    /// The host-side read of [`Machine::fetch_code_fast`] without its
+    /// charge — for compiled-lane callers whose fused packet already
+    /// covers the fetch.
+    #[inline]
+    pub(crate) fn fetch_code_uncharged(&mut self, off: u32) -> Result<Word> {
+        match self.image.heap().get(off as usize) {
+            Some(&w) => Ok(w),
+            None => self.bus.read(self.heap_addr(off)),
+        }
     }
 
     /// Reads a cell that may hold a raw unbound marker, converting it
@@ -144,6 +495,10 @@ impl Machine {
     }
 
     pub(crate) fn mem_read(&mut self, m: InterpModule, addr: Address) -> Result<Word> {
+        if self.lane_compiled {
+            self.charge_packet(&self.charges.addr_cycle[m.index()]);
+            return self.bus.read(addr);
+        }
         // Address generation (with an area bounds test), then the
         // access cycle.
         self.micro_cond(m, true);
@@ -156,6 +511,10 @@ impl Machine {
 
     /// A read that dispatches on the tag of the fetched word.
     pub(crate) fn mem_read_dispatch(&mut self, m: InterpModule, addr: Address) -> Result<Word> {
+        if self.lane_compiled {
+            self.charge_packet(&self.charges.read_dispatch[m.index()]);
+            return self.bus.read(addr);
+        }
         self.micro(m, BranchOp::IfTag, true);
         self.wf.touch_read(WfField::Source1, WfMode::Direct10);
         self.wf.touch_read(WfField::Source2, WfMode::Direct00);
@@ -166,6 +525,10 @@ impl Machine {
     }
 
     pub(crate) fn mem_write(&mut self, m: InterpModule, addr: Address, w: Word) -> Result<()> {
+        if self.lane_compiled {
+            self.charge_packet(&self.charges.addr_cycle[m.index()]);
+            return self.bus.write(addr, w);
+        }
         // Address generation (write-permission test), then the write
         // cycle.
         self.micro_cond(m, true);
@@ -189,6 +552,10 @@ impl Machine {
     /// A push to a stack top, using the specialized write-stack cache
     /// command (cache spec item (g)).
     pub(crate) fn mem_push(&mut self, m: InterpModule, addr: Address, w: Word) -> Result<()> {
+        if self.lane_compiled {
+            self.charge_packet(&self.charges.addr_cycle[m.index()]);
+            return self.bus.write_stack(addr, w);
+        }
         // Top-of-stack pointer update with overflow test, then the
         // push cycle.
         self.micro_cond(m, true);
@@ -206,7 +573,7 @@ impl Machine {
     /// its WF frame buffer while buffered, its local-stack address
     /// once flushed. The single place the buffered-vs-flushed decision
     /// is made — all four slot accessors go through it.
-    fn slot_place(&self, slot: u16) -> SlotPlace {
+    pub(crate) fn slot_place(&self, slot: u16) -> SlotPlace {
         let env = self.procs[self.cur].regs.env;
         let act = &self.procs[self.cur].envs[env];
         match act.buffer {
@@ -542,23 +909,32 @@ impl Machine {
             return Ok(());
         }
         let base = self.procs[self.cur].ctl_top;
-        let act = self.procs[self.cur].envs[env_id];
-        let payloads = [
-            0, // kind = environment
-            act.cont_code,
-            act.cont_env.map(|e| e as u32 + 1).unwrap_or(0),
-            act.locals_base,
-            act.nlocals as u32,
-            act.cut_barrier as u32,
-            act.entry_cps as u32,
-            self.procs[self.cur].pid.get() as u32,
-            0,
-            0,
-        ];
-        self.micro(InterpModule::Control, BranchOp::LoadJr, true);
-        for (i, p) in payloads.iter().enumerate() {
-            let addr = self.ctl_addr(base + i as u32);
-            self.mem_push_burst(InterpModule::Control, addr, Word::ctl(*p))?;
+        if self.lane_compiled {
+            // Charge the frame burst but skip the simulated-memory
+            // image: the compiled lane never reads control frames back
+            // (returns and retries reload from the host-side
+            // activation and choice-point structs), so the words would
+            // be write-only.
+            self.charge_packet(&self.charges.env_save);
+        } else {
+            let act = self.procs[self.cur].envs[env_id];
+            let payloads = [
+                0, // kind = environment
+                act.cont_code,
+                act.cont_env.map(|e| e as u32 + 1).unwrap_or(0),
+                act.locals_base,
+                act.nlocals as u32,
+                act.cut_barrier as u32,
+                act.entry_cps as u32,
+                self.procs[self.cur].pid.get() as u32,
+                0,
+                0,
+            ];
+            self.micro(InterpModule::Control, BranchOp::LoadJr, true);
+            for (i, p) in payloads.iter().enumerate() {
+                let addr = self.ctl_addr(base + i as u32);
+                self.mem_push_burst(InterpModule::Control, addr, Word::ctl(*p))?;
+            }
         }
         self.procs[self.cur].ctl_top = base + CONTROL_FRAME_WORDS;
         self.procs[self.cur].envs[env_id].materialized = Some(base);
@@ -661,24 +1037,31 @@ impl Machine {
             ctl_addr: p.ctl_top,
         };
         let base = cp.ctl_addr;
-        let payloads = [
-            1, // kind = choice point
-            pred,
-            next_clause as u32,
-            cont_code,
-            cp.saved_local_top,
-            cp.saved_global_top,
-            cp.saved_trail_top,
-            cp.saved_envs_len as u32,
-            cp.barrier as u32,
-            cp.cont_env.map(|e| e as u32 + 1).unwrap_or(0),
-        ];
-        self.micro(InterpModule::Control, BranchOp::LoadJr, true);
-        self.alu_step(InterpModule::Control);
-        self.alu_step(InterpModule::Control);
-        for (i, p) in payloads.iter().enumerate() {
-            let addr = self.ctl_addr(base + i as u32);
-            self.mem_push_burst(InterpModule::Control, addr, Word::ctl(*p))?;
+        if self.lane_compiled {
+            // Same write-only elision as `materialize_env`: the charge
+            // stands in for the burst, the host-side `ChoicePoint` is
+            // the live copy.
+            self.charge_packet(&self.charges.cp_save);
+        } else {
+            let payloads = [
+                1, // kind = choice point
+                pred,
+                next_clause as u32,
+                cont_code,
+                cp.saved_local_top,
+                cp.saved_global_top,
+                cp.saved_trail_top,
+                cp.saved_envs_len as u32,
+                cp.barrier as u32,
+                cp.cont_env.map(|e| e as u32 + 1).unwrap_or(0),
+            ];
+            self.micro(InterpModule::Control, BranchOp::LoadJr, true);
+            self.alu_step(InterpModule::Control);
+            self.alu_step(InterpModule::Control);
+            for (i, p) in payloads.iter().enumerate() {
+                let addr = self.ctl_addr(base + i as u32);
+                self.mem_push_burst(InterpModule::Control, addr, Word::ctl(*p))?;
+            }
         }
         self.procs[self.cur].ctl_top = base + CONTROL_FRAME_WORDS;
         self.procs[self.cur].cps.push(cp);
@@ -699,14 +1082,21 @@ impl Machine {
         let cc = self.image.predicate(pred).clauses[clause_idx];
         // Clause entry microsubroutine: header decode, local frame
         // allocation, WF buffer setup.
-        self.micro(InterpModule::Control, BranchOp::Gosub, false);
-        let header = self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, cc.addr)?;
-        debug_assert_eq!(header.tag(), Tag::ClauseHead);
-        self.alu_step(InterpModule::Control);
-        self.alu_step(InterpModule::Control);
-        self.micro_seq(InterpModule::Control, true);
-        self.wf.touch_read(WfField::Source1, WfMode::Direct10);
-        self.wf.touch_write(WfMode::Direct10);
+        if self.lane_compiled {
+            // One packet for the whole entry sequence (gosub, header
+            // fetch, frame setup). The header word is known valid at
+            // fuse time, so the image read is elided with it.
+            self.charge_packet(&self.charges.enter_clause);
+        } else {
+            self.micro(InterpModule::Control, BranchOp::Gosub, false);
+            let header = self.fetch_code(InterpModule::Control, BranchOp::CaseOpcode, cc.addr)?;
+            debug_assert_eq!(header.tag(), Tag::ClauseHead);
+            self.alu_step(InterpModule::Control);
+            self.alu_step(InterpModule::Control);
+            self.micro_seq(InterpModule::Control, true);
+            self.wf.touch_read(WfField::Source1, WfMode::Direct10);
+            self.wf.touch_write(WfMode::Direct10);
+        }
 
         let buffer = self.acquire_buffer(cc.nlocals)?;
         let locals_base = self.procs[self.cur].local_top;
@@ -743,17 +1133,113 @@ impl Machine {
 
         // Head unification, argument by argument.
         for (i, &arg) in args.iter().enumerate().take(cc.arity as usize) {
-            let w = self.fetch_code(
-                InterpModule::Unify,
-                BranchOp::CaseTag,
-                cc.addr + 1 + i as u32,
-            )?;
-            if !self.unify_head_arg(w, arg)? {
+            let off = cc.addr + 1 + i as u32;
+            let ok = if self.lane_compiled {
+                self.unify_head_arg_compiled(off, arg)?
+            } else {
+                let w = self.fetch_code(InterpModule::Unify, BranchOp::CaseTag, off)?;
+                self.unify_head_arg(w, arg)?
+            };
+            if !ok {
                 return Ok(false);
             }
         }
         self.procs[self.cur].regs.code_ptr = cc.addr + 1 + cc.arity as u32;
         Ok(true)
+    }
+
+    /// Compiled-lane head-argument step, the twin of one
+    /// `fetch_code` + [`Machine::unify_head_arg`] iteration: the code
+    /// fetch is fused with the arm's first charge (the slot access,
+    /// the unify bracket, or nothing), one packet per arm kind.
+    fn unify_head_arg_compiled(&mut self, off: u32, arg: Word) -> Result<bool> {
+        let w = self.fetch_code_uncharged(off)?;
+        match w.tag() {
+            Tag::FirstVar => {
+                let slot = w.var_slot().expect("FirstVar");
+                match self.slot_place(slot) {
+                    SlotPlace::Buffered(buf) => {
+                        self.charge_packet(&self.charges.head_slot_buf);
+                        self.wf.write_buffer(buf, slot as u32, arg, false, true);
+                    }
+                    SlotPlace::Flushed(addr) => {
+                        // Fetch + address generation + write — the
+                        // same shape as a skeleton element cycle.
+                        self.charge_packet(&self.charges.skel_fetch_cycle);
+                        self.bus.write(addr, arg)?;
+                    }
+                }
+                Ok(true)
+            }
+            Tag::Void => {
+                self.charge_packet(&self.charges.code_fetch[InterpModule::Unify.index()][1]);
+                Ok(true)
+            }
+            Tag::LocalVar => {
+                let slot = w.var_slot().expect("LocalVar");
+                let v = match self.slot_place(slot) {
+                    SlotPlace::Buffered(buf) => {
+                        self.charge_packet(&self.charges.head_slot_buf);
+                        self.wf.read_buffer(buf, slot as u32, false, true)
+                    }
+                    SlotPlace::Flushed(addr) => {
+                        self.charge_packet(&self.charges.skel_fetch_cycle);
+                        self.bus.read(addr)?
+                    }
+                };
+                self.charge_packet(&self.charges.unify_frame);
+                self.unify_inner(v, arg)
+            }
+            Tag::Atom | Tag::Int | Tag::Nil => {
+                self.charge_packet(&self.charges.head_const);
+                self.unify_inner(w, arg)
+            }
+            Tag::CodeList | Tag::CodeVect => {
+                // Walk the reference chain host-side first, then
+                // charge by hop count: the dominant single-hop case
+                // fuses the fetch with the dispatch read. The
+                // dispatch ops are fixed, so hop charges commute and
+                // the multi-hop split stays exact.
+                let mut hops = 0u32;
+                let mut cur = arg;
+                let (v, cell) = loop {
+                    if cur.tag() != Tag::Ref {
+                        break (cur, None);
+                    }
+                    let addr = cur.address_value().ok_or_else(|| PsiError::EvalError {
+                        detail: "corrupt reference word".into(),
+                    })?;
+                    let content = self.bus.read(addr)?;
+                    hops += 1;
+                    match content.tag() {
+                        Tag::Undef => break (cur, Some(addr)),
+                        Tag::Ref => cur = content,
+                        _ => break (content, None),
+                    }
+                };
+                if hops == 1 {
+                    self.charge_packet(&self.charges.head_skel_ref);
+                } else {
+                    self.charge_packet(&self.charges.code_fetch[InterpModule::Unify.index()][1]);
+                    for _ in 0..hops {
+                        self.charge_packet(
+                            &self.charges.read_dispatch[InterpModule::Unify.index()],
+                        );
+                    }
+                }
+                match cell {
+                    Some(addr) => {
+                        let copied = self.copy_skeleton(w)?;
+                        self.bind(addr, copied)?;
+                        Ok(true)
+                    }
+                    None => self.unify_skeleton_compiled(w, v),
+                }
+            }
+            other => Err(PsiError::EvalError {
+                detail: format!("corrupt head argument word ({other})"),
+            }),
+        }
     }
 
     // -------------------------------------------------------- backtrack
@@ -772,8 +1258,10 @@ impl Machine {
         self.metrics.incr(psi_obs::Counter::Backtracks);
         self.metrics
             .observe(psi_obs::Histo::BacktrackDepth, remaining as u64);
-        let ev = psi_core::ObsEvent::backtrack(self.bus.step(), remaining);
-        self.bus.record_event(ev);
+        if self.bus.events_enabled() {
+            let ev = psi_core::ObsEvent::backtrack(self.bus.step(), remaining);
+            self.bus.record_event(ev);
+        }
         result
     }
 
@@ -782,10 +1270,14 @@ impl Machine {
             if self.procs[self.cur].cps.is_empty() {
                 return Ok(false);
             }
-            self.micro_goto(InterpModule::Control, false);
-            self.alu_step(InterpModule::Control);
-            self.alu_step(InterpModule::Control);
-            self.micro_cond(InterpModule::Control, true);
+            if self.lane_compiled {
+                self.charge_packet(&self.charges.backtrack_head);
+            } else {
+                self.micro_goto(InterpModule::Control, false);
+                self.alu_step(InterpModule::Control);
+                self.alu_step(InterpModule::Control);
+                self.micro_cond(InterpModule::Control, true);
+            }
 
             // Restore machine state from the choice point. The newest
             // choice point's registers are held in the WF (§2.1:
@@ -799,16 +1291,44 @@ impl Machine {
                 cp_args.clear();
                 cp_args.extend_from_slice(&p.arg_arena[start..start + cp.args_len as usize]);
             }
-            self.mem_read(InterpModule::Control, self.ctl_addr(cp.ctl_addr + 2))?;
+            if !self.lane_compiled {
+                // (The compiled lane's `backtrack_head` packet already
+                // covers this read — the alternative word lives in the
+                // host `ChoicePoint`, so the memory access is dead.)
+                self.mem_read(InterpModule::Control, self.ctl_addr(cp.ctl_addr + 2))?;
+            }
             self.wf.touch_read(WfField::Source1, WfMode::Direct00);
             // Unwind the trail (Table 2 "trail" module).
-            while self.procs[self.cur].trail_top > cp.saved_trail_top {
-                let t = self.procs[self.cur].trail_top - 1;
-                self.procs[self.cur].trail_top = t;
-                self.wf.touch_trail_buffer(false);
-                let entry = self.mem_read_dispatch(InterpModule::Trail, self.trail_addr(t))?;
-                if let Some(cell) = entry.address_value() {
-                    self.mem_write(InterpModule::Trail, cell, Word::undef())?;
+            if self.lane_compiled {
+                // Fused unwind: one packet per bound entry (dispatch
+                // read + reset write), one per plain entry. The tally
+                // totals and rotor state are order-insensitive, so
+                // charging after the read is equivalent.
+                while self.procs[self.cur].trail_top > cp.saved_trail_top {
+                    let t = self.procs[self.cur].trail_top - 1;
+                    self.procs[self.cur].trail_top = t;
+                    let entry = self.procs[self.cur]
+                        .trail
+                        .pop()
+                        .expect("host trail underflow");
+                    if let Some(cell) = entry.address_value() {
+                        self.charge_packet(&self.charges.trail_undo);
+                        self.bus.write(cell, Word::undef())?;
+                    } else {
+                        self.charge_packet(
+                            &self.charges.read_dispatch[InterpModule::Trail.index()],
+                        );
+                    }
+                }
+            } else {
+                while self.procs[self.cur].trail_top > cp.saved_trail_top {
+                    let t = self.procs[self.cur].trail_top - 1;
+                    self.procs[self.cur].trail_top = t;
+                    self.wf.touch_trail_buffer(false);
+                    let entry = self.mem_read_dispatch(InterpModule::Trail, self.trail_addr(t))?;
+                    if let Some(cell) = entry.address_value() {
+                        self.mem_write(InterpModule::Trail, cell, Word::undef())?;
+                    }
                 }
             }
             // Restore stack tops and the activation arena.
@@ -837,8 +1357,6 @@ impl Machine {
                 self.bus.memory_mut().truncate(pid, Area::ControlStack, ct);
                 self.bus.memory_mut().truncate(pid, Area::TrailStack, tt);
             }
-            self.micro_seq(InterpModule::Control, true);
-
             // Resolve the retried position through the choice point's
             // candidate bucket. The linear bucket (the only one the
             // default profile creates) maps positions to clause
@@ -852,8 +1370,9 @@ impl Machine {
                 )
             };
             if cp.next_clause + 1 >= ncand {
-                // Last alternative: pop the choice point (trust) and
-                // give its arena extent back.
+                // Last alternative: the restore step, then pop the
+                // choice point (trust) and give its arena extent back.
+                self.micro_seq(InterpModule::Control, true);
                 let p = &mut self.procs[self.cur];
                 p.cps.pop();
                 p.arg_arena.truncate(cp.args_start as usize);
@@ -865,15 +1384,22 @@ impl Machine {
                 let pid = p.pid;
                 self.bus.memory_mut().truncate(pid, Area::ControlStack, ct);
             } else {
-                // Advance the alternative in place (one frame write).
+                // The restore step, then advance the alternative in
+                // place (one frame write). The compiled lane fuses
+                // both into one packet — nothing charges in between.
                 let idx = self.procs[self.cur].cps.len() - 1;
                 self.procs[self.cur].cps[idx].next_clause += 1;
-                let addr = self.ctl_addr(cp.ctl_addr + 2);
-                self.mem_write(
-                    InterpModule::Control,
-                    addr,
-                    Word::ctl(cp.next_clause as u32 + 1),
-                )?;
+                if self.lane_compiled {
+                    self.charge_packet(&self.charges.bt_resume);
+                } else {
+                    self.micro_seq(InterpModule::Control, true);
+                    let addr = self.ctl_addr(cp.ctl_addr + 2);
+                    self.mem_write(
+                        InterpModule::Control,
+                        addr,
+                        Word::ctl(cp.next_clause as u32 + 1),
+                    )?;
+                }
             }
 
             if self.enter_clause(
@@ -920,16 +1446,31 @@ impl Machine {
             return Ok(Flow::Solution);
         };
         // Reload the caller's control registers from its saved frame.
-        if let Some(frame) = self.procs[self.cur].envs[cont_env].materialized {
-            for i in 0..3 {
-                let addr = self.ctl_addr(frame + i);
-                self.mem_read(InterpModule::Control, addr)?;
+        let materialized = self.procs[self.cur].envs[cont_env].materialized;
+        if self.lane_compiled {
+            // One packet for the whole return: the three frame-word
+            // reads (when the frame was materialized — without
+            // touching the write-only, elided simulated frame image),
+            // the register reload, the continuation test and the
+            // return op. Reclaim between them is host-only.
+            self.charge_packet(if materialized.is_some() {
+                &self.charges.ret_frame
+            } else {
+                &self.charges.ret_quick
+            });
+            self.try_reclaim(env);
+        } else {
+            if let Some(frame) = materialized {
+                for i in 0..3 {
+                    let addr = self.ctl_addr(frame + i);
+                    self.mem_read(InterpModule::Control, addr)?;
+                }
             }
+            self.try_reclaim(env);
+            self.alu_step(InterpModule::Control);
+            self.micro_cond(InterpModule::Control, true);
+            self.micro(InterpModule::Control, BranchOp::Return, false);
         }
-        self.try_reclaim(env);
-        self.alu_step(InterpModule::Control);
-        self.micro_cond(InterpModule::Control, true);
-        self.micro(InterpModule::Control, BranchOp::Return, false);
         let p = &mut self.procs[self.cur];
         p.regs.env = cont_env;
         p.regs.code_ptr = act.cont_code;
@@ -1090,6 +1631,135 @@ impl Machine {
         })();
         self.scratch_args = args;
         flow
+    }
+
+    // ------------------------------------------------ fused dispatch
+
+    /// Executes a fused user-predicate call (compiled lane). Charges
+    /// the same microsteps as the decoded path — one dispatch fetch,
+    /// the argument build, the call overhead — through packets, with
+    /// the argument classification already done at fuse time.
+    pub(crate) fn exec_goal_fused(&mut self, op: FusedOp) -> Result<Flow> {
+        self.charge_packet(&self.charges.code_fetch[InterpModule::Control.index()][0]);
+        if op.flags & ARGS_GENERIC != 0 {
+            let code_ptr = self.procs[self.cur].regs.code_ptr;
+            return self.handle_user_call(op.operand, op.nargs, code_ptr);
+        }
+        let mut args = std::mem::take(&mut self.scratch_args);
+        let flow = (|| {
+            self.build_args_fused(op, InterpModule::Control, &mut args)?;
+            self.user_calls += 1;
+            self.charge_packet(&self.charges.call_overhead);
+            self.call_predicate(op.operand, &args, op.next)
+        })();
+        self.scratch_args = args;
+        flow
+    }
+
+    /// Executes a fused built-in call (compiled lane); mirrors
+    /// [`Machine::handle_builtin_call`] charge for charge.
+    pub(crate) fn exec_builtin_fused(&mut self, op: FusedOp) -> Result<Flow> {
+        self.charge_packet(&self.charges.code_fetch[InterpModule::Control.index()][0]);
+        if op.flags & ARGS_GENERIC != 0 {
+            let code_ptr = self.procs[self.cur].regs.code_ptr;
+            return self.handle_builtin_call(op.operand, op.nargs, code_ptr);
+        }
+        let b = Builtin::from_id(op.operand).ok_or_else(|| PsiError::EvalError {
+            detail: format!("corrupt builtin id {}", op.operand),
+        })?;
+        let mut args = std::mem::take(&mut self.scratch_args);
+        let flow = (|| {
+            self.build_args_fused(op, InterpModule::GetArg, &mut args)?;
+            self.builtin_calls += 1;
+            self.procs[self.cur].regs.code_ptr = op.next;
+            self.micro(InterpModule::GetArg, BranchOp::CaseOpcode, true);
+            self.micro(InterpModule::Builtin, BranchOp::Gosub, false);
+            let flow = self.exec_builtin(b, &args)?;
+            self.micro(InterpModule::Builtin, BranchOp::Return, false);
+            Ok(flow)
+        })();
+        self.scratch_args = args;
+        flow
+    }
+
+    /// Builds a fused goal's argument vector from its pre-classified
+    /// [`PackedArg`]s, charging exactly what `build_args` charges for
+    /// the same words: one fetch packet per argument word (one total
+    /// for a packed word, plus a `case (irn)` per operand), and the
+    /// same allocation/slot charges per argument kind.
+    fn build_args_fused(
+        &mut self,
+        op: FusedOp,
+        m: InterpModule,
+        args: &mut Vec<Word>,
+    ) -> Result<()> {
+        args.clear();
+        if op.nargs == 0 {
+            return Ok(());
+        }
+        // Copy the pre-classified arguments out of the shared fused
+        // program (a few `Copy` words) so no borrow of `self.fused`
+        // is held across the `&mut self` build calls — this keeps the
+        // dispatch loop free of per-call `Arc` refcount traffic.
+        let mut pargs = std::mem::take(&mut self.scratch_pargs);
+        pargs.clear();
+        pargs.extend_from_slice(self.fused.args_of(op));
+        let table = self.charges;
+        let flow = (|| {
+            if op.flags & ARGS_PACKED != 0 {
+                self.charge_packet(&table.code_fetch[m.index()][1]);
+                for &pa in &pargs {
+                    self.micro(m, BranchOp::CaseIrn, true);
+                    let w = self.build_arg_fused(m, pa, true)?;
+                    args.push(w);
+                }
+                return Ok(());
+            }
+            for &pa in &pargs {
+                self.charge_packet(&table.code_fetch[m.index()][1]);
+                let w = self.build_arg_fused(m, pa, false)?;
+                args.push(w);
+            }
+            Ok(())
+        })();
+        self.scratch_pargs = pargs;
+        flow
+    }
+
+    /// Materializes one pre-classified argument. `base_relative`
+    /// selects the packed-operand PDR/CDR slot path, exactly as
+    /// `build_packed_arg` vs `build_arg` do.
+    fn build_arg_fused(
+        &mut self,
+        m: InterpModule,
+        pa: PackedArg,
+        base_relative: bool,
+    ) -> Result<Word> {
+        match pa {
+            PackedArg::Const(w) => Ok(w),
+            PackedArg::FirstVar(slot) => {
+                let cell = self.new_global_cell(m)?;
+                let w = Word::reference(cell);
+                if base_relative {
+                    self.write_slot_base_relative(m, slot, w)?;
+                } else {
+                    self.write_slot(m, slot, w, true)?;
+                }
+                Ok(w)
+            }
+            PackedArg::LocalVar(slot) => {
+                if base_relative {
+                    self.read_slot_base_relative(m, slot)
+                } else {
+                    self.read_slot(m, slot, true)
+                }
+            }
+            PackedArg::Void => {
+                let cell = self.new_global_cell(m)?;
+                Ok(Word::reference(cell))
+            }
+            PackedArg::Skeleton(w) => self.copy_skeleton(w),
+        }
     }
 
     fn exec_builtin(&mut self, b: Builtin, args: &[Word]) -> Result<Flow> {
@@ -1428,7 +2098,17 @@ impl Machine {
         while self.procs[self.cur].trail_top > mark {
             let t = self.procs[self.cur].trail_top - 1;
             self.procs[self.cur].trail_top = t;
-            let entry = self.mem_read_dispatch(InterpModule::Trail, self.trail_addr(t))?;
+            let entry = if self.lane_compiled {
+                // Compiled lane: the entry lives host-side (see
+                // `Proc::trail`); charge the dispatch read it stands for.
+                self.charge_packet(&self.charges.read_dispatch[InterpModule::Trail.index()]);
+                self.procs[self.cur]
+                    .trail
+                    .pop()
+                    .expect("host trail underflow")
+            } else {
+                self.mem_read_dispatch(InterpModule::Trail, self.trail_addr(t))?
+            };
             if let Some(cell) = entry.address_value() {
                 self.mem_write(InterpModule::Trail, cell, Word::undef())?;
             }

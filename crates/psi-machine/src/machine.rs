@@ -1,8 +1,10 @@
 //! Machine state, configuration, and the public API.
 
 use crate::codegen::{CodeImage, QueryCode};
+use crate::exec::charge_table;
 use crate::ucode::{
-    BranchOp, BranchTally, DecodedOp, InterpModule, MicroTally, ModuleTally, OpKind,
+    BranchOp, BranchTally, ChargeTable, DecodedOp, FusedKind, FusedProgram, InterpModule,
+    MicroTally, ModuleTally, OpKind, PackedArg, CHARGE_PHASES, FUSE_NEXT,
 };
 use crate::wf::{WfStats, WorkFile};
 use kl0::{LoweredProgram, Program, Term};
@@ -151,6 +153,16 @@ pub struct MachineConfig {
     /// bit-identical to the fidelity lane (step accounting is charged
     /// identically), while cache statistics and stall time read zero.
     pub measurement: Measurement,
+    /// Run the compiled lane (Lane C): fuse the loaded code into a
+    /// dense program of pre-classified ops at load/consult time and
+    /// dispatch over it with pre-recorded microstep charge packets and
+    /// superinstruction chaining. Only honored together with
+    /// [`Measurement::Off`] — the fidelity lane must drive the cache
+    /// model access by access, which the batched charging elides.
+    /// Solutions, microstep totals, per-module/branch tallies and
+    /// budget-exhaustion behaviour stay bit-identical to the other
+    /// lanes (see `tests/three_lane.rs`); only host wall time changes.
+    pub compiled: bool,
 }
 
 impl MachineConfig {
@@ -167,6 +179,7 @@ impl MachineConfig {
             trace_events: false,
             clause_indexing: false,
             measurement: Measurement::Full,
+            compiled: false,
         }
     }
 
@@ -235,6 +248,38 @@ impl MachineConfig {
     pub fn psi_throughput() -> MachineConfig {
         MachineConfig {
             measurement: Measurement::Off,
+            ..MachineConfig::psi()
+        }
+    }
+
+    /// The compiled lane (Lane C): [`MachineConfig::psi_throughput`]
+    /// plus [`MachineConfig::compiled`] — the loaded code is fused into
+    /// a dense pre-classified op array and dispatched with
+    /// superinstruction chaining and packetized microstep charging.
+    /// Observable behaviour (solutions, step totals, module and branch
+    /// tallies, resource-budget errors) is bit-identical to both other
+    /// lanes; the host just gets there faster.
+    ///
+    /// ```
+    /// use kl0::Program;
+    /// use psi_machine::{Machine, MachineConfig};
+    ///
+    /// let src = "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).";
+    /// let program = Program::parse(src)?;
+    /// let mut fid = Machine::load(&program, MachineConfig::psi())?;
+    /// let mut cmp = Machine::load(&program, MachineConfig::psi_compiled())?;
+    /// let goal = "app([1,2,3], [4], X)";
+    /// assert_eq!(fid.solve(goal, 2)?, cmp.solve(goal, 2)?);
+    /// let (f, c) = (fid.stats(), cmp.stats());
+    /// assert_eq!(f.steps, c.steps);
+    /// assert_eq!(f.modules, c.modules);
+    /// assert_eq!(f.branches, c.branches);
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
+    pub fn psi_compiled() -> MachineConfig {
+        MachineConfig {
+            measurement: Measurement::Off,
+            compiled: true,
             ..MachineConfig::psi()
         }
     }
@@ -477,6 +522,14 @@ pub(crate) struct Proc {
     /// stale; consumers verify `envs[id].materialized == Some(base)`
     /// before clearing.
     pub mat_stack: Vec<(u32, u32)>,
+    /// Host-side trail image, used only by the compiled lane. The
+    /// interpreter lanes keep the trail in simulated `TrailStack`
+    /// memory; the compiled lane charges the same trail microsteps
+    /// (via packets) but stores entries here, since nothing in the
+    /// deterministic view ever observes trail *memory* contents —
+    /// only the restores it drives. Invariant while compiled:
+    /// `trail.len() == trail_top as usize`.
+    pub trail: Vec<Word>,
     pub query: Option<QueryState>,
 }
 
@@ -493,6 +546,7 @@ const ENVS_RESERVE: usize = 8192;
 const CPS_RESERVE: usize = 8192;
 const BUFFERED_RESERVE: usize = 8;
 const ARG_ARENA_RESERVE: usize = 32768;
+const TRAIL_RESERVE: usize = 32768;
 /// Scratch argument buffers: predicate arity fits in a `u8`, so 256
 /// words can never be outgrown.
 const ARGS_RESERVE: usize = 256;
@@ -515,6 +569,7 @@ impl Proc {
             buffered: Vec::with_capacity(BUFFERED_RESERVE),
             arg_arena: Vec::with_capacity(ARG_ARENA_RESERVE),
             mat_stack: Vec::with_capacity(ENVS_RESERVE),
+            trail: Vec::with_capacity(TRAIL_RESERVE),
             query: None,
         }
     }
@@ -555,6 +610,22 @@ pub struct Machine {
     pub(crate) bus: MemBus,
     pub(crate) wf: WorkFile,
     pub(crate) tally: MicroTally,
+    /// Deferred charge-packet counts, one `u64` per (packet, phase)
+    /// pair (compiled lane). A packet charge bumps one counter here
+    /// instead of applying the packet's tally deltas eagerly; the
+    /// deltas are materialized lazily by [`Machine::effective_tally`]
+    /// whenever the tally is observed. Exact because the per-phase
+    /// counter additions commute — only the rotor phases are order
+    /// sensitive, and those stay live in `tally` itself.
+    pub(crate) charge_counts: Box<[u64]>,
+    /// Steps represented in `charge_counts` but not yet folded into
+    /// `tally`, kept as a running scalar so step budgets and
+    /// `total_steps` never need a flush.
+    pub(crate) deferred_steps: u64,
+    /// The process-wide charge-packet table, hoisted out of its
+    /// `OnceLock` at load so the hot charge sites pay a plain field
+    /// read instead of an atomic-ordered initialization check.
+    pub(crate) charges: &'static ChargeTable,
     pub(crate) heap_top: u32,
     pub(crate) procs: Vec<Proc>,
     pub(crate) cur: usize,
@@ -576,6 +647,14 @@ pub struct Machine {
     /// Reusable buffer for replaying choice-point arguments out of the
     /// argument arena on backtracking.
     pub(crate) scratch_cp_args: Vec<Word>,
+    /// Reusable buffer for copying a fused op's pre-classified
+    /// arguments out of the shared [`FusedProgram`] (compiled lane) —
+    /// see `build_args_fused`.
+    pub(crate) scratch_pargs: Vec<PackedArg>,
+    /// Reusable work stack for iterative unification and `==/2`
+    /// structural comparison — one unification runs per head argument,
+    /// so a fresh `Vec` there would malloc on every dispatch.
+    pub(crate) scratch_unify: Vec<(Word, Word)>,
     /// Host heap (re)allocations taken by the interpreter hot path —
     /// see [`Machine::hot_path_alloc_count`].
     pub(crate) hot_allocs: u64,
@@ -612,6 +691,17 @@ pub struct Machine {
     /// Lane flag hoisted from `config.measurement` at load, so the
     /// dispatch loop and code fetch pay one predictable branch.
     pub(crate) lane_fast: bool,
+    /// Compiled-lane flag, resolved at load from
+    /// [`MachineConfig::compiled`] gated on the throughput lane.
+    pub(crate) lane_compiled: bool,
+    /// The compiled lane's fused program: one pre-classified op per
+    /// loaded code word plus the side array of pre-classified goal
+    /// arguments. Grown append-only by [`Machine::sync_code`] in
+    /// lockstep with the predecode cache (same events, same
+    /// append-only discipline) and shared copy-on-write with forks
+    /// behind an [`Arc`], exactly like `decode`. Empty off the
+    /// compiled lane.
+    pub(crate) fused: Arc<FusedProgram>,
 }
 
 /// Internal control-flow outcome of dispatching one goal.
@@ -660,6 +750,7 @@ impl Machine {
         let mut wf = WorkFile::new();
         wf.set_measurement(config.measurement);
         let lane_fast = !config.measurement.is_full();
+        let lane_compiled = lane_fast && config.compiled;
         let base_limits = config.limits.clone();
         let mut machine = Machine {
             config,
@@ -668,6 +759,9 @@ impl Machine {
             bus,
             wf,
             tally: MicroTally::new(),
+            charge_counts: vec![0; ChargeTable::PACKETS * CHARGE_PHASES].into_boxed_slice(),
+            deferred_steps: 0,
+            charges: charge_table(),
             heap_top: 0,
             procs: vec![Proc::new(ProcessId::ZERO)],
             cur: 0,
@@ -680,6 +774,8 @@ impl Machine {
             arith,
             scratch_args: Vec::with_capacity(ARGS_RESERVE),
             scratch_cp_args: Vec::with_capacity(ARGS_RESERVE),
+            scratch_pargs: Vec::with_capacity(ARGS_RESERVE),
+            scratch_unify: Vec::with_capacity(ARGS_RESERVE),
             hot_allocs: 0,
             run_base_steps: 0,
             run_started: None,
@@ -689,6 +785,8 @@ impl Machine {
             decode: Arc::new(Vec::new()),
             base_limits,
             lane_fast,
+            lane_compiled,
+            fused: Arc::new(FusedProgram::default()),
         };
         machine.sync_code()?;
         Ok(machine)
@@ -738,7 +836,7 @@ impl Machine {
                     "machine has compiled {} queries and executed {} steps; \
                      fork from a consulted, never-run template",
                     self.image.query_count(),
-                    self.tally.steps(),
+                    self.total_steps(),
                 ),
             });
         }
@@ -749,6 +847,9 @@ impl Machine {
             bus: self.bus.clone(),
             wf: self.wf.clone(),
             tally: MicroTally::new(),
+            charge_counts: vec![0; ChargeTable::PACKETS * CHARGE_PHASES].into_boxed_slice(),
+            deferred_steps: 0,
+            charges: self.charges,
             heap_top: self.heap_top,
             // Fresh processes, not clones: cloning a `Vec` keeps only
             // its length, and a pristine template's stacks are empty —
@@ -765,6 +866,8 @@ impl Machine {
             arith: self.arith,
             scratch_args: Vec::with_capacity(ARGS_RESERVE),
             scratch_cp_args: Vec::with_capacity(ARGS_RESERVE),
+            scratch_pargs: Vec::with_capacity(ARGS_RESERVE),
+            scratch_unify: Vec::with_capacity(ARGS_RESERVE),
             hot_allocs: 0,
             run_base_steps: 0,
             run_started: None,
@@ -774,6 +877,8 @@ impl Machine {
             decode: Arc::clone(&self.decode),
             base_limits: self.base_limits.clone(),
             lane_fast: self.lane_fast,
+            lane_compiled: self.lane_compiled,
+            fused: Arc::clone(&self.fused),
         })
     }
 
@@ -802,7 +907,23 @@ impl Machine {
     /// diverge from a fresh consult) or any microstep has executed.
     /// [`Machine::recycle`] does *not* restore pristineness.
     pub fn is_pristine(&self) -> bool {
-        self.image.query_count() == 0 && self.tally.steps() == 0
+        self.image.query_count() == 0 && self.total_steps() == 0
+    }
+
+    pub(crate) fn total_steps(&self) -> u64 {
+        self.tally.steps() + self.deferred_steps
+    }
+
+    /// The tally with all deferred charge-packet counts materialized —
+    /// the observation point of the compiled lane's lazy accounting.
+    /// Off the compiled lane `charge_counts` stays all-zero and this
+    /// is a plain clone.
+    pub(crate) fn effective_tally(&self) -> MicroTally {
+        let mut t = self.tally.clone();
+        if self.deferred_steps > 0 {
+            self.charges.apply_deferred(&mut t, &self.charge_counts);
+        }
+        t
     }
 
     /// Copies newly compiled code words into the simulated heap and
@@ -819,6 +940,14 @@ impl Machine {
         }
         if self.decode.len() != len as usize {
             Arc::make_mut(&mut self.decode).resize(len as usize, DecodedOp::not_decoded());
+        }
+        // The fused program rides the same append-only pass: it is
+        // (re)extended on exactly the events that grow the predecode
+        // cache, so the two can never disagree about the code extent.
+        // Copy-on-write like `decode` — the first consult after a fork
+        // detaches a private copy.
+        if self.lane_compiled && self.fused.ops.len() != len as usize {
+            Arc::make_mut(&mut self.fused).extend(self.image.heap());
         }
         self.loaded_words = len;
         self.heap_top = self.heap_top.max(len);
@@ -944,7 +1073,7 @@ impl Machine {
         // Arm the resource governor for the new run: budgets meter
         // this run only, and the clock is read only when a deadline is
         // actually configured.
-        self.run_base_steps = self.tally.steps();
+        self.run_base_steps = self.total_steps();
         self.run_base_stall_ns = self.bus.stall_ns();
         self.run_started = self.config.limits.deadline.map(|_| Instant::now());
         self.governor_countdown = GOVERNOR_INTERVAL;
@@ -953,7 +1082,7 @@ impl Machine {
     /// Folds the finished (or aborted) run into the per-run metrics
     /// histograms.
     fn record_run_metrics(&mut self) {
-        let steps = self.tally.steps().saturating_sub(self.run_base_steps);
+        let steps = self.total_steps().saturating_sub(self.run_base_steps);
         let stall = self.bus.stall_ns().saturating_sub(self.run_base_stall_ns);
         self.metrics.observe(Histo::RunSteps, steps);
         self.metrics.observe(Histo::RunStallNs, stall);
@@ -965,6 +1094,8 @@ impl Machine {
     /// measurements.
     pub fn reset_measurement(&mut self) {
         self.tally = MicroTally::new();
+        self.charge_counts.fill(0);
+        self.deferred_steps = 0;
         self.wf.reset_stats();
         self.bus.reset_measurement();
         self.user_calls = 0;
@@ -1061,14 +1192,15 @@ impl Machine {
     /// # Ok::<(), psi_core::PsiError>(())
     /// ```
     pub fn stats(&self) -> MachineStats {
-        let steps = self.tally.steps();
+        let tally = self.effective_tally();
+        let steps = tally.steps();
         let stall = self.bus.stall_ns();
         MachineStats {
             steps,
             time_ns: steps * self.config.cycle_ns + stall,
             stall_ns: stall,
-            modules: self.tally.modules,
-            branches: self.tally.branches,
+            modules: tally.modules,
+            branches: tally.branches,
             wf: *self.wf.stats(),
             // `CacheStats` is `Copy` (fixed per-area arrays), so the
             // snapshot is a plain bit copy — no per-run heap clone.
@@ -1142,8 +1274,9 @@ impl Machine {
     /// ```
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut reg = self.metrics;
+        let tally = self.effective_tally();
         for m in InterpModule::ALL {
-            reg.add_module_steps(m.index(), self.tally.modules.count(m));
+            reg.add_module_steps(m.index(), tally.modules.count(m));
         }
         let cache = self.bus.cache_stats();
         let t = cache.total();
@@ -1331,29 +1464,16 @@ impl Machine {
     /// Fetches and dispatches the goal word at the current code
     /// pointer.
     fn dispatch(&mut self) -> Result<Flow> {
-        // Resource governor, off the hot path: one decrement and a
-        // predictable branch per dispatch; the actual budget
-        // comparisons (and the clock read, when a deadline is armed)
-        // run once every GOVERNOR_INTERVAL dispatches.
-        self.governor_countdown -= 1;
-        if self.governor_countdown == 0 {
-            self.governor_countdown = GOVERNOR_INTERVAL;
-            self.metrics.incr(Counter::GovernorChecks);
-            let check_ev = ObsEvent::governor_check(self.bus.step());
-            self.bus.record_event(check_ev);
-            if let Err(e) = self.check_budgets() {
-                if let PsiError::ResourceExhausted { resource, .. } = &e {
-                    self.metrics.incr(Counter::GovernorTrips);
-                    let trip_ev = ObsEvent::governor_trip(self.bus.step(), resource.code());
-                    self.bus.record_event(trip_ev);
-                }
-                return Err(e);
-            }
-        }
+        self.governor_tick()?;
         self.metrics.incr(Counter::Dispatches);
         let code_ptr = self.procs[self.cur].regs.code_ptr;
-        let dispatch_ev = ObsEvent::dispatch(self.bus.step(), code_ptr);
-        self.bus.record_event(dispatch_ev);
+        if self.bus.events_enabled() {
+            let dispatch_ev = ObsEvent::dispatch(self.bus.step(), code_ptr);
+            self.bus.record_event(dispatch_ev);
+        }
+        if self.lane_compiled {
+            return self.dispatch_fused(code_ptr);
+        }
         if self.lane_fast {
             return self.dispatch_decoded(code_ptr);
         }
@@ -1372,6 +1492,91 @@ impl Machine {
             other => Err(PsiError::EvalError {
                 detail: format!("corrupt code word ({other}) at heap:{code_ptr:#x}"),
             }),
+        }
+    }
+
+    /// Resource governor, off the hot path: one decrement and a
+    /// predictable branch per dispatch; the actual budget comparisons
+    /// (and the clock read, when a deadline is armed) run once every
+    /// [`GOVERNOR_INTERVAL`] dispatches. The compiled lane runs this
+    /// once per *constituent* of a fused chain — each constituent's
+    /// charges land before its own tick — so `ResourceExhausted`'s
+    /// `consumed` count and the deadline-overshoot bound are identical
+    /// across all three lanes.
+    #[inline]
+    fn governor_tick(&mut self) -> Result<()> {
+        self.governor_countdown -= 1;
+        if self.governor_countdown == 0 {
+            self.governor_slow_check()?;
+        }
+        Ok(())
+    }
+
+    /// The every-[`GOVERNOR_INTERVAL`] half of [`Machine::governor_tick`].
+    #[cold]
+    fn governor_slow_check(&mut self) -> Result<()> {
+        self.governor_countdown = GOVERNOR_INTERVAL;
+        self.metrics.incr(Counter::GovernorChecks);
+        let check_ev = ObsEvent::governor_check(self.bus.step());
+        self.bus.record_event(check_ev);
+        if let Err(e) = self.check_budgets() {
+            if let PsiError::ResourceExhausted { resource, .. } = &e {
+                self.metrics.incr(Counter::GovernorTrips);
+                let trip_ev = ObsEvent::governor_trip(self.bus.step(), resource.code());
+                self.bus.record_event(trip_ev);
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Compiled-lane dispatch: runs over the fused op array,
+    /// executing superinstruction chains (builtin→next, cut→next)
+    /// without returning to the run loop between constituents. Every
+    /// constituent still pays the full per-dispatch protocol — governor
+    /// tick, dispatch counter, dispatch event, the five fetch
+    /// microsteps — so all deterministic statistics stay bit-identical
+    /// to the other lanes; only the host-side loop overhead is fused
+    /// away.
+    fn dispatch_fused(&mut self, mut code_ptr: u32) -> Result<Flow> {
+        loop {
+            let Some(&op) = self.fused.ops.get(code_ptr as usize) else {
+                // Past the fused extent (a runtime heap-vector address
+                // or a corrupt code pointer): fall back to the decoded
+                // path, which reproduces the fidelity lane's errors.
+                self.metrics.incr(psi_obs::Counter::FusedDispatches);
+                return self.dispatch_decoded(code_ptr);
+            };
+            self.metrics.incr(psi_obs::Counter::FusedDispatches);
+            let flow = match op.kind {
+                FusedKind::Goal => self.exec_goal_fused(op)?,
+                FusedKind::Builtin => self.exec_builtin_fused(op)?,
+                FusedKind::Cut => {
+                    self.charge_packet(&self.charges.code_fetch[InterpModule::Control.index()][0]);
+                    self.handle_cut(code_ptr)?
+                }
+                FusedKind::Return => {
+                    self.charge_packet(&self.charges.code_fetch[InterpModule::Control.index()][0]);
+                    self.handle_return()?
+                }
+                FusedKind::NotOp => {
+                    self.charge_packet(&self.charges.code_fetch[InterpModule::Control.index()][0]);
+                    return self.corrupt_code(code_ptr);
+                }
+            };
+            if flow != Flow::Continue || op.flags & FUSE_NEXT == 0 {
+                return Ok(flow);
+            }
+            // Chain into the statically fused continuation: repeat the
+            // per-dispatch protocol the run loop would have performed.
+            self.metrics.incr(psi_obs::Counter::FusionHits);
+            self.governor_tick()?;
+            self.metrics.incr(Counter::Dispatches);
+            code_ptr = self.procs[self.cur].regs.code_ptr;
+            if self.bus.events_enabled() {
+                let dispatch_ev = ObsEvent::dispatch(self.bus.step(), code_ptr);
+                self.bus.record_event(dispatch_ev);
+            }
         }
     }
 
@@ -1453,7 +1658,7 @@ impl Machine {
             })
         };
         if let Some(max) = limits.max_steps {
-            let consumed = self.tally.steps().saturating_sub(self.run_base_steps);
+            let consumed = self.total_steps().saturating_sub(self.run_base_steps);
             if consumed > max {
                 return exhausted(Resource::Steps, max, consumed);
             }

@@ -46,6 +46,20 @@ impl Machine {
             },
             None => false,
         };
+        if self.lane_compiled {
+            // Compiled lane: one fused packet for the whole bind
+            // (trail test + optional trail push + cell write), with
+            // the trail entry kept host-side (see `Proc::trail`).
+            if needs_trail {
+                let t = self.procs[self.cur].trail_top;
+                self.charge_packet(&self.charges.bind_trailed);
+                self.procs[self.cur].trail.push(Word::trail_ref(addr));
+                self.procs[self.cur].trail_top = t + 1;
+            } else {
+                self.charge_packet(&self.charges.bind_plain);
+            }
+            return self.bus.write(addr, value);
+        }
         self.micro_cond(InterpModule::Trail, false);
         if needs_trail {
             let t = self.procs[self.cur].trail_top;
@@ -61,6 +75,12 @@ impl Machine {
     /// succeeded; bindings stand either way (failure is followed by
     /// backtracking, which unwinds them).
     pub(crate) fn unify(&mut self, a: Word, b: Word) -> Result<bool> {
+        if self.lane_compiled {
+            // Gosub and return are rotor-independent, so the fused
+            // bracket packet commutes with the body's charges.
+            self.charge_packet(&self.charges.unify_frame);
+            return self.unify_inner(a, b);
+        }
         // The unify microsubroutine (gosub/return, Table 7 rows 9/10).
         self.micro(InterpModule::Unify, BranchOp::Gosub, false);
         let r = self.unify_inner(a, b);
@@ -68,8 +88,124 @@ impl Machine {
         r
     }
 
-    fn unify_inner(&mut self, a: Word, b: Word) -> Result<bool> {
-        let mut work = vec![(a, b)];
+    pub(crate) fn unify_inner(&mut self, a: Word, b: Word) -> Result<bool> {
+        // The work stack is a machine-owned scratch buffer: unification
+        // runs once per head argument, so a fresh `Vec` here would put
+        // a malloc/free pair on the hottest path of every lane.
+        let mut work = std::mem::take(&mut self.scratch_unify);
+        work.clear();
+        work.push((a, b));
+        let r = if self.lane_compiled {
+            self.unify_work_compiled(&mut work)
+        } else {
+            self.unify_work(&mut work)
+        };
+        work.clear();
+        self.scratch_unify = work;
+        r
+    }
+
+    /// Compiled-lane twin of [`Machine::unify_work`]: identical host
+    /// semantics and identical charges, but each pair's eager
+    /// microstep sequence is one fused packet per case arm (the
+    /// packets are recorded from the same `step_*` calls the eager
+    /// loop makes, so the lanes cannot diverge).
+    fn unify_work_compiled(&mut self, work: &mut Vec<(Word, Word)>) -> Result<bool> {
+        while let Some((a, b)) = work.pop() {
+            let (av, acell) = self.deref(InterpModule::Unify, a)?;
+            let (bv, bcell) = self.deref(InterpModule::Unify, b)?;
+            match (acell, bcell) {
+                (Some(ac), Some(bc)) => {
+                    self.charge_packet(&self.charges.unify_case);
+                    if ac == bc {
+                        continue;
+                    }
+                    if ac.raw() < bc.raw() {
+                        self.bind(bc, Word::reference(ac))?;
+                    } else {
+                        self.bind(ac, Word::reference(bc))?;
+                    }
+                }
+                (Some(ac), None) => {
+                    self.charge_packet(&self.charges.unify_case);
+                    self.bind(ac, bv)?;
+                }
+                (None, Some(bc)) => {
+                    self.charge_packet(&self.charges.unify_case);
+                    self.bind(bc, av)?;
+                }
+                (None, None) => match (av.tag(), bv.tag()) {
+                    (Tag::Int, Tag::Int) | (Tag::Atom, Tag::Atom) => {
+                        self.charge_packet(&self.charges.unify_const);
+                        if av.data() != bv.data() {
+                            return Ok(false);
+                        }
+                    }
+                    (Tag::Nil, Tag::Nil) => self.charge_packet(&self.charges.unify_case),
+                    (Tag::List, Tag::List) => {
+                        let ap = av.address_value().expect("List");
+                        let bp = bv.address_value().expect("List");
+                        if ap == bp {
+                            self.charge_packet(&self.charges.unify_case);
+                        } else {
+                            self.charge_packet(&self.charges.unify_list);
+                            let acar = self.read_value_uncharged(ap)?;
+                            let bcar = self.read_value_uncharged(bp)?;
+                            let acdr = self.read_value_uncharged(ap.offset_by(1))?;
+                            let bcdr = self.read_value_uncharged(bp.offset_by(1))?;
+                            work.push((acdr, bcdr));
+                            work.push((acar, bcar));
+                        }
+                    }
+                    (Tag::Vect, Tag::Vect) => {
+                        let ap = av.address_value().expect("Vect");
+                        let bp = bv.address_value().expect("Vect");
+                        if ap == bp {
+                            self.charge_packet(&self.charges.unify_case);
+                        } else {
+                            self.charge_packet(&self.charges.unify_vect_head);
+                            let af = self.bus.read(ap)?;
+                            let bf = self.bus.read(bp)?;
+                            if af != bf {
+                                return Ok(false);
+                            }
+                            let arity = af.functor_value().map(|f| f.arity).unwrap_or(0);
+                            for i in (1..=arity as u32).rev() {
+                                self.charge_packet(&self.charges.unify_pair_read);
+                                let aa = self.read_value_uncharged(ap.offset_by(i))?;
+                                let ba = self.read_value_uncharged(bp.offset_by(i))?;
+                                work.push((aa, ba));
+                            }
+                        }
+                    }
+                    (Tag::HeapVect, Tag::HeapVect) => {
+                        self.charge_packet(&self.charges.unify_case);
+                        if av.data() != bv.data() {
+                            return Ok(false);
+                        }
+                    }
+                    _ => {
+                        self.charge_packet(&self.charges.unify_case);
+                        return Ok(false);
+                    }
+                },
+            }
+        }
+        Ok(true)
+    }
+
+    /// A value read whose memory charges are already covered by the
+    /// caller's fused packet (compiled lane only).
+    fn read_value_uncharged(&mut self, addr: Address) -> Result<Word> {
+        let w = self.bus.read(addr)?;
+        Ok(if w.is_undef() {
+            Word::reference(addr)
+        } else {
+            w
+        })
+    }
+
+    fn unify_work(&mut self, work: &mut Vec<(Word, Word)>) -> Result<bool> {
         while let Some((a, b)) = work.pop() {
             let (av, acell) = self.deref(InterpModule::Unify, a)?;
             let (bv, bcell) = self.deref(InterpModule::Unify, b)?;
@@ -145,7 +281,16 @@ impl Machine {
 
     /// Structural identity (`==/2`) without binding.
     pub(crate) fn term_identical(&mut self, a: Word, b: Word) -> Result<bool> {
-        let mut work = vec![(a, b)];
+        let mut work = std::mem::take(&mut self.scratch_unify);
+        work.clear();
+        work.push((a, b));
+        let r = self.term_identical_work(&mut work);
+        work.clear();
+        self.scratch_unify = work;
+        r
+    }
+
+    fn term_identical_work(&mut self, work: &mut Vec<(Word, Word)>) -> Result<bool> {
         while let Some((a, b)) = work.pop() {
             let (av, acell) = self.deref(InterpModule::Builtin, a)?;
             let (bv, bcell) = self.deref(InterpModule::Builtin, b)?;
@@ -236,6 +381,9 @@ impl Machine {
             self.bind(addr, copied)?;
             return Ok(true);
         }
+        if self.lane_compiled {
+            return self.unify_skeleton_compiled(code_word, v);
+        }
         let off = code_word.data();
         self.micro(InterpModule::Unify, BranchOp::CaseTag, true);
         match (code_word.tag(), v.tag()) {
@@ -273,6 +421,61 @@ impl Machine {
         }
     }
 
+    /// Compiled-lane twin of the bound-value half of
+    /// [`Machine::unify_skeleton`]: the skeleton-kind dispatch and
+    /// each element's fetch + read are fused into one packet per
+    /// element (recorded from the eager lane's exact step sequence —
+    /// nothing charges between a fetch and its paired read there).
+    pub(crate) fn unify_skeleton_compiled(&mut self, code_word: Word, v: Word) -> Result<bool> {
+        let off = code_word.data();
+        match (code_word.tag(), v.tag()) {
+            (Tag::CodeList, Tag::List) => {
+                let ptr = v.address_value().expect("List");
+                self.charge_packet(&self.charges.skel_head);
+                let cw = self.fetch_code_uncharged(off)?;
+                let mv = self.read_value_uncharged(ptr)?;
+                if !self.unify_code_arg(cw, mv)? {
+                    return Ok(false);
+                }
+                self.charge_packet(&self.charges.skel_fetch_cycle);
+                let cw = self.fetch_code_uncharged(off + 1)?;
+                let mv = self.read_value_uncharged(ptr.offset_by(1))?;
+                self.unify_code_arg(cw, mv)
+            }
+            (Tag::CodeVect, Tag::Vect) => {
+                let ptr = v.address_value().expect("Vect");
+                self.charge_packet(&self.charges.skel_vect_test);
+                let cf = self.fetch_code_uncharged(off)?;
+                let mf = self.bus.read(ptr)?;
+                if cf != mf {
+                    return Ok(false);
+                }
+                let arity = cf.functor_value().map(|f| f.arity).unwrap_or(0);
+                // The fidelity lane charges the arity load-jr only
+                // after the functor compare passes, so it stays out of
+                // the head packet. It is a fixed (rotor-independent)
+                // op, and a one-step eager micro is cheaper than a
+                // packet charge anyway.
+                self.micro(InterpModule::Unify, BranchOp::LoadJr, true);
+                for i in 1..=arity as u32 {
+                    self.charge_packet(&self.charges.skel_fetch_cycle);
+                    let cw = self.fetch_code_uncharged(off + i)?;
+                    let mv = self.read_value_uncharged(ptr.offset_by(i))?;
+                    if !self.unify_code_arg(cw, mv)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => {
+                // Kind-mismatch arm: just the dispatch (same shape as
+                // a bare unify pair dispatch).
+                self.charge_packet(&self.charges.unify_case);
+                Ok(false)
+            }
+        }
+    }
+
     /// Unifies one skeleton element word against a runtime value.
     fn unify_code_arg(&mut self, code_word: Word, value: Word) -> Result<bool> {
         match code_word.tag() {
@@ -299,6 +502,11 @@ impl Machine {
     /// cells for first-occurrence variables, and returns the value
     /// word for the copy.
     pub(crate) fn copy_skeleton(&mut self, code_word: Word) -> Result<Word> {
+        if self.lane_compiled {
+            // Same rotor-independent gosub/return bracket as `unify`.
+            self.charge_packet(&self.charges.unify_frame);
+            return self.copy_skeleton_inner(code_word);
+        }
         self.micro(InterpModule::Unify, BranchOp::Gosub, false);
         let r = self.copy_skeleton_inner(code_word);
         self.micro(InterpModule::Unify, BranchOp::Return, false);
@@ -306,6 +514,9 @@ impl Machine {
     }
 
     fn copy_skeleton_inner(&mut self, code_word: Word) -> Result<Word> {
+        if self.lane_compiled {
+            return self.copy_skeleton_inner_compiled(code_word);
+        }
         let off = code_word.data();
         match code_word.tag() {
             Tag::CodeList => {
@@ -336,6 +547,74 @@ impl Machine {
                 detail: format!("not a skeleton word ({other})"),
             }),
         }
+    }
+
+    /// Compiled-lane twin of [`Machine::copy_skeleton_inner`]. A
+    /// constant element's fetch and push are consecutive charges in
+    /// the eager lane, so they fuse into one packet; a variable or
+    /// nested element charges between its fetch and its push
+    /// (`copy_code_arg`), so those stay split.
+    fn copy_skeleton_inner_compiled(&mut self, code_word: Word) -> Result<Word> {
+        let off = code_word.data();
+        match code_word.tag() {
+            Tag::CodeList => {
+                let base = self.procs[self.cur].global_top;
+                self.procs[self.cur].global_top = base + 2;
+                for i in 0..2 {
+                    self.copy_skel_elem(off + i, base + i)?;
+                }
+                Ok(Word::list(self.global_addr(base)))
+            }
+            Tag::CodeVect => {
+                self.charge_packet(&self.charges.skel_vect_copy_head);
+                let cf = self.fetch_code_uncharged(off)?;
+                let arity = cf.functor_value().map(|f| f.arity).unwrap_or(0) as u32;
+                let base = self.procs[self.cur].global_top;
+                self.procs[self.cur].global_top = base + 1 + arity;
+                self.bus.write_stack(self.global_addr(base), cf)?;
+                for i in 1..=arity {
+                    self.copy_skel_elem(off + i, base + i)?;
+                }
+                Ok(Word::vect(self.global_addr(base)))
+            }
+            other => Err(PsiError::EvalError {
+                detail: format!("not a skeleton word ({other})"),
+            }),
+        }
+    }
+
+    /// Copies one skeleton element (code offset `off`) to global-stack
+    /// offset `dst` — compiled lane only; picks the fused or the split
+    /// charge shape by the element's kind.
+    fn copy_skel_elem(&mut self, off: u32, dst: u32) -> Result<()> {
+        use crate::exec::SlotPlace;
+        let cw = self.fetch_code_uncharged(off)?;
+        let w = match cw.tag() {
+            Tag::Atom | Tag::Int | Tag::Nil => {
+                self.charge_packet(&self.charges.skel_fetch_cycle);
+                cw
+            }
+            Tag::LocalVar => {
+                let slot = cw.var_slot().expect("LocalVar");
+                match self.slot_place(slot) {
+                    SlotPlace::Buffered(buf) => {
+                        self.charge_packet(&self.charges.skel_var_buf);
+                        self.wf.read_buffer(buf, slot as u32, false, true)
+                    }
+                    SlotPlace::Flushed(addr) => {
+                        self.charge_packet(&self.charges.skel_var_mem);
+                        self.bus.read(addr)?
+                    }
+                }
+            }
+            _ => {
+                self.charge_packet(&self.charges.code_fetch[InterpModule::Unify.index()][1]);
+                let w = self.copy_code_arg(cw)?;
+                self.charge_packet(&self.charges.addr_cycle[InterpModule::Unify.index()]);
+                w
+            }
+        };
+        self.bus.write_stack(self.global_addr(dst), w)
     }
 
     /// Copies one skeleton element into a runtime value word.

@@ -228,6 +228,17 @@ impl MemBus {
         }
     }
 
+    /// Batch-advances the microstep counter by `n` ticks without
+    /// consulting the cache model — the throughput/compiled lanes'
+    /// equivalent of `n` [`MemBus::tick`]s, whose cache advance is
+    /// measurement-gated off anyway. Never call this on a measuring
+    /// bus: the cache-occupancy model would silently miss `n` cycles.
+    #[inline]
+    pub fn advance(&mut self, n: u64) {
+        debug_assert!(!self.measured, "batch advance would bypass the cache model");
+        self.step += n;
+    }
+
     /// The current microstep counter.
     pub fn step(&self) -> u64 {
         self.step

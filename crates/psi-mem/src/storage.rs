@@ -32,6 +32,7 @@ impl Memory {
         }
     }
 
+    #[inline]
     fn slot(&self, addr: Address) -> usize {
         addr.process().index() * AREA_COUNT + addr.area().index()
     }
@@ -42,13 +43,23 @@ impl Memory {
     ///
     /// Returns [`PsiError::OutOfArea`] if `addr` is beyond the written
     /// extent of its area.
+    #[inline]
     pub fn read(&self, addr: Address) -> Result<Word> {
         let area = &self.areas[self.slot(addr)];
-        area.get(addr.offset() as usize)
-            .copied()
-            .ok_or_else(|| PsiError::OutOfArea {
-                access: format!("read {addr}"),
-            })
+        match area.get(addr.offset() as usize) {
+            Some(&w) => Ok(w),
+            None => Err(Self::out_of_area(addr)),
+        }
+    }
+
+    /// Cold error constructor, kept out of the inlined read path (the
+    /// `format!` machinery would otherwise bloat every call site).
+    #[cold]
+    #[inline(never)]
+    fn out_of_area(addr: Address) -> PsiError {
+        PsiError::OutOfArea {
+            access: format!("read {addr}"),
+        }
     }
 
     /// Writes `word` at `addr`, growing the area if `addr` is at or
@@ -58,21 +69,41 @@ impl Memory {
     ///
     /// Returns [`PsiError::StackOverflow`] if growth would exceed the
     /// configured limit.
+    #[inline]
     pub fn write(&mut self, addr: Address, word: Word) -> Result<()> {
-        let limit = self.limit;
         let slot = self.slot(addr);
-        let area_label = addr.area().label();
         let area = &mut self.areas[slot];
         let off = addr.offset() as usize;
-        if off >= area.len() {
-            if off >= limit {
-                return Err(PsiError::StackOverflow {
-                    area: area_label,
-                    limit,
-                });
-            }
-            area.resize(off + 1, Word::undef());
+        if let Some(cell) = area.get_mut(off) {
+            *cell = word;
+            Ok(())
+        } else if off == area.len() && off < self.limit {
+            // Write exactly at the extent: a stack push. Hot — every
+            // trail/stack push lands here — so it stays inline.
+            area.push(word);
+            Ok(())
+        } else {
+            self.write_grow(addr, word)
         }
+    }
+
+    /// Out-of-line slow half of [`Memory::write`]: a write past the
+    /// extent with a gap (materializes the undef cells in between) or
+    /// one that exceeds the configured limit.
+    #[cold]
+    #[inline(never)]
+    fn write_grow(&mut self, addr: Address, word: Word) -> Result<()> {
+        let limit = self.limit;
+        let slot = self.slot(addr);
+        let area = &mut self.areas[slot];
+        let off = addr.offset() as usize;
+        if off >= limit {
+            return Err(PsiError::StackOverflow {
+                area: addr.area().label(),
+                limit,
+            });
+        }
+        area.resize(off + 1, Word::undef());
         area[off] = word;
         Ok(())
     }

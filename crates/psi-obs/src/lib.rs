@@ -89,11 +89,18 @@ pub enum Counter {
     /// Throughput-lane dispatches that decoded their code word and
     /// filled the cache entry.
     PredecodeMisses,
+    /// Compiled-lane dispatches served from the fused op array (zero
+    /// off the compiled lane).
+    FusedDispatches,
+    /// Compiled-lane superinstruction chain continuations: fused ops
+    /// executed directly from a predecessor's dispatch, without a
+    /// run-loop round trip.
+    FusionHits,
 }
 
 impl Counter {
     /// Every counter, in index order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 27] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheReads,
@@ -119,6 +126,8 @@ impl Counter {
         Counter::IndexDirectEntries,
         Counter::PredecodeHits,
         Counter::PredecodeMisses,
+        Counter::FusedDispatches,
+        Counter::FusionHits,
     ];
 
     /// Number of counters (the registry's array length).
@@ -157,6 +166,8 @@ impl Counter {
             Counter::IndexDirectEntries => "index_direct_entries",
             Counter::PredecodeHits => "predecode_hits",
             Counter::PredecodeMisses => "predecode_misses",
+            Counter::FusedDispatches => "fused_dispatches",
+            Counter::FusionHits => "fusion_hits",
         }
     }
 }

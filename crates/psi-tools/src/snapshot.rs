@@ -59,7 +59,8 @@ pub fn snapshot(machine: &Machine, source: &str) -> Result<String> {
         .bool("trace_memory", config.trace_memory)
         .bool("trace_events", config.trace_events)
         .bool("clause_indexing", config.clause_indexing)
-        .str("measurement", config.measurement.label());
+        .str("measurement", config.measurement.label())
+        .bool("compiled", config.compiled);
     b = match &config.cache {
         Some(c) => b
             .bool("cache", true)
@@ -133,6 +134,10 @@ pub fn restore(line: &str) -> Result<Machine> {
                 })
             }
         },
+        // Absent in snapshots written before the compiled lane
+        // existed; those machines ran uncompiled, so false is the
+        // faithful default, not a guess.
+        compiled: bool_field(&obj, "compiled").unwrap_or(false),
     };
     let program = Program::parse(&source)?;
     let machine = Machine::load(&program, config)?;

@@ -1,0 +1,75 @@
+//! Three-lane execution end to end: run the same workload in the
+//! fidelity lane (full measurement, the lane the archived tables come
+//! from), the throughput lane (measurement off) and the compiled lane
+//! (measurement off + fused dispatch), show that every deterministic
+//! quantity matches bit-for-bit, and time the differences.
+//!
+//! ```sh
+//! cargo run --release --example three_lane_demo
+//! ```
+
+use psi::psi_machine::MachineConfig;
+use psi::psi_workloads::runner::run_on_psi;
+use psi::psi_workloads::suite::table1_suite;
+use std::time::Instant;
+
+fn main() {
+    let entry = table1_suite()
+        .into_iter()
+        .find(|e| e.workload.name.contains("tarai3"))
+        .expect("tarai3 is a Table 1 row");
+    let w = &entry.workload;
+
+    let t = Instant::now();
+    let fid = run_on_psi(w, MachineConfig::psi()).expect("fidelity run");
+    let fid_wall = t.elapsed();
+
+    let t = Instant::now();
+    let thr = run_on_psi(w, MachineConfig::psi_throughput()).expect("throughput run");
+    let thr_wall = t.elapsed();
+
+    let t = Instant::now();
+    let cmp = run_on_psi(w, MachineConfig::psi_compiled()).expect("compiled run");
+    let cmp_wall = t.elapsed();
+
+    for (lane, run) in [("throughput", &thr), ("compiled", &cmp)] {
+        assert_eq!(fid.solutions, run.solutions, "{lane}: solutions must match");
+        assert_eq!(
+            fid.stats.steps, run.stats.steps,
+            "{lane}: microsteps must match"
+        );
+        assert_eq!(
+            fid.stats.modules, run.stats.modules,
+            "{lane}: Table 2 must match"
+        );
+        assert_eq!(
+            fid.stats.branches, run.stats.branches,
+            "{lane}: Table 7 must match"
+        );
+    }
+
+    println!("workload            {}", w.name);
+    println!(
+        "solutions           {} (identical in all three lanes)",
+        fid.solutions.len()
+    );
+    println!(
+        "microsteps          {} (identical in all three lanes)",
+        fid.stats.steps
+    );
+    println!("fidelity wall       {fid_wall:?}");
+    println!(
+        "throughput wall     {thr_wall:?} ({:.2}x)",
+        fid_wall.as_secs_f64() / thr_wall.as_secs_f64()
+    );
+    println!(
+        "compiled wall       {cmp_wall:?} ({:.2}x, {:.2}x over throughput)",
+        fid_wall.as_secs_f64() / cmp_wall.as_secs_f64(),
+        thr_wall.as_secs_f64() / cmp_wall.as_secs_f64()
+    );
+    let cache = fid.stats.cache.total();
+    println!(
+        "skipped in B and C  cache stats (fidelity recorded {} memory commands), WF counts, stall time",
+        cache.reads + cache.writes + cache.write_stacks
+    );
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Profile-guided optimization build of the perfbench harness:
+# instrument -> train on the heavy Table 1 rows -> merge profiles ->
+# rebuild with the merged profile. The training run uses `--rows`, so
+# it never overwrites the archived BENCH_psi.json.
+#
+# Usage: scripts/pgo.sh [--build-only] [--train-rows SPEC]
+#
+#   --build-only      stop after the instrumented build. CI smoke mode:
+#                     proves the toolchain accepts the PGO flags
+#                     without paying for training and the rebuild.
+#   --train-rows SPEC Table 1 rows to train on, in perfbench --rows
+#                     syntax (default: "tarai3,fib10,BUP-3,queens").
+#
+# Degrades gracefully instead of failing the build:
+#   * no llvm-profdata on PATH            -> warn, exit 0
+#   * profile merge fails (LLVM version   -> warn, exit 0
+#     mismatch between rustc and the
+#     system llvm-profdata is the usual
+#     cause)
+# A hard failure of cargo itself still exits nonzero.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+build_only=0
+train_rows="tarai3,fib10,BUP-3,queens"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-only) build_only=1 ;;
+        --train-rows)
+            shift
+            [ $# -gt 0 ] || { echo "pgo.sh: --train-rows needs a value" >&2; exit 2; }
+            train_rows="$1"
+            ;;
+        *) echo "usage: scripts/pgo.sh [--build-only] [--train-rows SPEC]" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+prof_dir="$root/target/pgo-profiles"
+target_dir="$root/target/pgo"
+rm -rf "$prof_dir"
+mkdir -p "$prof_dir"
+
+echo "pgo: instrumented build (profile-generate)"
+RUSTFLAGS="-Cprofile-generate=$prof_dir" \
+    cargo build --release -p psi-bench --bin perfbench --target-dir "$target_dir"
+
+if [ "$build_only" = 1 ]; then
+    echo "pgo: --build-only, stopping after the instrumented build"
+    exit 0
+fi
+
+# Prefer the toolchain's own llvm-profdata (its profile format always
+# matches rustc's LLVM); fall back to the system binary.
+profdata=""
+sysroot="$(rustc --print sysroot)"
+for cand in "$sysroot"/lib/rustlib/*/bin/llvm-profdata; do
+    [ -x "$cand" ] && profdata="$cand" && break
+done
+if [ -z "$profdata" ]; then
+    profdata="$(command -v llvm-profdata || true)"
+fi
+if [ -z "$profdata" ]; then
+    echo "pgo: no llvm-profdata found (install the llvm-tools rustup" >&2
+    echo "pgo: component or a system LLVM); skipping the PGO rebuild" >&2
+    exit 0
+fi
+
+echo "pgo: training on rows: $train_rows"
+"$target_dir/release/perfbench" --quick --rows "$train_rows"
+
+echo "pgo: merging profiles with $profdata"
+if ! "$profdata" merge -o "$prof_dir/merged.profdata" "$prof_dir"/*.profraw; then
+    echo "pgo: profile merge failed — usually an LLVM version mismatch" >&2
+    echo "pgo: (rustc: $(rustc -vV | sed -n 's/^LLVM version: //p');" >&2
+    echo "pgo:  profdata: $profdata); skipping the PGO rebuild" >&2
+    exit 0
+fi
+
+echo "pgo: optimized rebuild (profile-use)"
+RUSTFLAGS="-Cprofile-use=$prof_dir/merged.profdata" \
+    cargo build --release -p psi-bench --bin perfbench --target-dir "$target_dir"
+
+echo "pgo: done — PGO binary at $target_dir/release/perfbench"
+if [ -x "$root/target/release/perfbench" ]; then
+    echo "pgo: before/after spot check (3 runs each, heavy rows):"
+    for label in baseline pgo; do
+        bin="$root/target/release/perfbench"
+        [ "$label" = pgo ] && bin="$target_dir/release/perfbench"
+        for i in 1 2 3; do
+            echo "--- $label run $i"
+            "$bin" --quick --rows "tarai3,fib10" | tail -n +2
+        done
+    done
+fi

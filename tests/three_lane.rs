@@ -1,0 +1,336 @@
+//! Three-lane equivalence: the compiled lane
+//! (`MachineConfig::psi_compiled()` — fused ops, superinstruction
+//! chaining, packetized microstep charging) must be observationally
+//! identical to both the fidelity lane and the throughput lane for
+//! everything the paper's tables derive from microstep accounting —
+//! solutions and bindings, total steps, per-module tallies (Table 2),
+//! branch-field tallies (Table 7), call/choice-point counts and
+//! indexing stats — on every Table 1 row, under both indexing
+//! profiles, including resource-budget trip points and panic
+//! containment.
+
+use psi::kl0::Program;
+use psi::psi_core::{Measurement, PsiError, Resource};
+use psi::psi_machine::{Machine, MachineConfig, MachineStats, ResourceLimits};
+use psi::psi_obs::Counter;
+use psi::psi_workloads::runner::{
+    run_on_psi, run_on_psi_machine, run_suite_governed_with_runner, Outcome, SuiteOptions,
+};
+use psi::psi_workloads::suite::table1_suite;
+use psi::psi_workloads::Workload;
+
+/// Everything that must be bit-identical across lanes (same view as
+/// `tests/two_lane.rs`): `wf`, `cache`, `stall_ns` and `time_ns`
+/// legitimately differ when measurement is off.
+fn deterministic_view(stats: &MachineStats) -> impl PartialEq + std::fmt::Debug {
+    (
+        stats.steps,
+        stats.modules,
+        stats.branches,
+        stats.user_calls,
+        stats.builtin_calls,
+        stats.choice_points,
+        stats.indexed_calls,
+        stats.index_direct_entries,
+    )
+}
+
+/// The three lanes in comparison order.
+fn lanes() -> [(&'static str, MachineConfig); 3] {
+    [
+        ("fidelity", MachineConfig::psi()),
+        ("throughput", MachineConfig::psi_throughput()),
+        ("compiled", MachineConfig::psi_compiled()),
+    ]
+}
+
+#[test]
+fn all_table1_rows_are_lane_invariant_across_three_lanes() {
+    for entry in table1_suite() {
+        let w = &entry.workload;
+        let (fid, _) = run_on_psi_machine(w, MachineConfig::psi())
+            .unwrap_or_else(|e| panic!("{} fidelity: {e}", w.name));
+        for (lane, config) in [
+            ("throughput", MachineConfig::psi_throughput()),
+            ("compiled", MachineConfig::psi_compiled()),
+        ] {
+            let (run, machine) =
+                run_on_psi_machine(w, config).unwrap_or_else(|e| panic!("{} {lane}: {e}", w.name));
+            assert_eq!(
+                fid.solutions, run.solutions,
+                "{}: solutions differ ({lane} vs fidelity)",
+                w.name
+            );
+            assert_eq!(
+                deterministic_view(&fid.stats),
+                deterministic_view(&run.stats),
+                "{}: deterministic counters differ ({lane} vs fidelity)",
+                w.name
+            );
+            assert_eq!(
+                machine.hot_path_alloc_count(),
+                0,
+                "{}: {lane} lane allocated on the hot path",
+                w.name
+            );
+        }
+    }
+}
+
+/// Same property under the first-argument-indexing profile: the lane
+/// flags and the indexing flag must compose without interference.
+#[test]
+fn indexed_profile_is_lane_invariant_across_three_lanes() {
+    for entry in table1_suite() {
+        let w = &entry.workload;
+        let fid = run_on_psi(w, MachineConfig::psi_indexed())
+            .unwrap_or_else(|e| panic!("{} fidelity/indexed: {e}", w.name));
+        for (lane, mut config) in lanes() {
+            if lane == "fidelity" {
+                continue;
+            }
+            config.clause_indexing = true;
+            let run =
+                run_on_psi(w, config).unwrap_or_else(|e| panic!("{} {lane}/indexed: {e}", w.name));
+            assert_eq!(fid.solutions, run.solutions, "{} ({lane})", w.name);
+            assert_eq!(
+                deterministic_view(&fid.stats),
+                deterministic_view(&run.stats),
+                "{}: indexed deterministic counters differ ({lane} vs fidelity)",
+                w.name
+            );
+        }
+    }
+}
+
+/// Bindings, not just rendered solution lines: one query with a named
+/// variable through all three lanes, comparing the bound terms.
+#[test]
+fn solution_bindings_are_lane_invariant_across_three_lanes() {
+    let src = "app([], L, L).\n\
+               app([H|T], L, [H|R]) :- app(T, L, R).\n\
+               perm([], []).\n\
+               perm(L, [H|T]) :- sel(H, L, R), perm(R, T).\n\
+               sel(X, [X|T], T).\n\
+               sel(X, [H|T], [H|R]) :- sel(X, T, R).";
+    let program = Program::parse(src).expect("parses");
+    let reference: Vec<Option<String>> = {
+        let mut m = Machine::load(&program, MachineConfig::psi()).expect("loads");
+        let solutions = m.solve("perm([1,2,3], P)", usize::MAX).expect("solves");
+        assert_eq!(solutions.len(), 6);
+        solutions
+            .iter()
+            .map(|s| s.binding("P").map(|b| b.to_string()))
+            .collect()
+    };
+    for (lane, config) in lanes() {
+        let mut m = Machine::load(&program, config).expect("loads");
+        let solutions = m.solve("perm([1,2,3], P)", usize::MAX).expect("solves");
+        let got: Vec<Option<String>> = solutions
+            .iter()
+            .map(|s| s.binding("P").map(|b| b.to_string()))
+            .collect();
+        assert_eq!(reference, got, "bindings diverge in the {lane} lane");
+    }
+}
+
+/// A fused superinstruction covering N microsteps must charge all N
+/// before its constituent's governor tick, so the budget trips at the
+/// same typed error with the same consumption in all three lanes.
+#[test]
+fn step_budget_exhaustion_is_lane_invariant_across_three_lanes() {
+    let program = Program::parse("spin :- spin.").expect("parses");
+    let limit = 150_000u64;
+    let mut consumed_by_lane = Vec::new();
+    for (lane, mut config) in lanes() {
+        config.limits = ResourceLimits::unlimited().with_max_steps(limit);
+        let mut machine = Machine::load(&program, config).expect("loads");
+        match machine.solve("spin", 1) {
+            Err(PsiError::ResourceExhausted {
+                resource: Resource::Steps,
+                limit: l,
+                consumed,
+            }) => {
+                assert_eq!(l, limit, "{lane}");
+                consumed_by_lane.push(consumed);
+            }
+            other => panic!("{lane}: expected step exhaustion, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        consumed_by_lane[0], consumed_by_lane[1],
+        "throughput lane tripped the step budget at a different point"
+    );
+    assert_eq!(
+        consumed_by_lane[0], consumed_by_lane[2],
+        "compiled lane tripped the step budget at a different point"
+    );
+}
+
+/// A builtin-heavy chain actually exercises the superinstruction path:
+/// the compiled lane must report fused dispatches and fusion hits,
+/// while its deterministic statistics still match fidelity.
+#[test]
+fn compiled_lane_fuses_builtin_chains() {
+    let src = "count(N, N).\n\
+               count(I, N) :- I < N, J is I + 1, count(J, N).";
+    let goal = "count(0, 500)";
+    let program = Program::parse(src).expect("parses");
+    let mut fid = Machine::load(&program, MachineConfig::psi()).expect("loads");
+    let mut cmp = Machine::load(&program, MachineConfig::psi_compiled()).expect("loads");
+    assert_eq!(
+        fid.solve(goal, 1).expect("solves"),
+        cmp.solve(goal, 1).expect("solves")
+    );
+    assert_eq!(
+        deterministic_view(&fid.stats()),
+        deterministic_view(&cmp.stats())
+    );
+    let snap = cmp.metrics_snapshot();
+    assert!(
+        snap.get(Counter::FusedDispatches) > 0,
+        "compiled lane never dispatched from the fused array"
+    );
+    assert!(
+        snap.get(Counter::FusionHits) > 0,
+        "builtin chain produced no superinstruction continuations"
+    );
+    // The fused array, not the predecode cache, serves the hot path.
+    assert_eq!(
+        snap.get(Counter::PredecodeMisses),
+        0,
+        "compiled lane fell back to the predecode path"
+    );
+    // The other lanes report no fused activity at all.
+    assert_eq!(fid.metrics_snapshot().get(Counter::FusedDispatches), 0);
+}
+
+/// Regression (fork × append-only consult): `sync_code` grows the
+/// shared predecode cache and fused program behind `Arc::make_mut`.
+/// A fork followed by an incremental consult — in either order, in
+/// both fast lanes — must never serve a stale entry for any code word,
+/// and must stay bit-identical to a machine freshly loaded with the
+/// same final source.
+#[test]
+fn fork_then_consult_never_serves_stale_decode_or_fused_entries() {
+    let base = "gen(z).\ngen(s(X)) :- gen(X).";
+    let extra = "top(T) :- gen(T), big(T).\n\
+                 big(s(s(s(_)))).";
+    let combined = format!("{base}\n{extra}");
+    let goal = "top(T)";
+    for (lane, config) in lanes() {
+        if lane == "fidelity" {
+            continue; // decode/fused caches exist only off the fidelity lane
+        }
+        let reference = {
+            let program = Program::parse(&combined).expect("parses");
+            let mut m = Machine::load(&program, config.clone()).expect("loads");
+            let solutions = m.solve(goal, 2).expect("solves");
+            (solutions, format!("{:?}", deterministic_view(&m.stats())))
+        };
+
+        // Direction 1: fork first, consult the extra clauses in the
+        // fork. The fork's consult must detach its own caches, not
+        // mutate the template's.
+        let program = Program::parse(base).expect("parses");
+        let template = Machine::load(&program, config.clone()).expect("loads");
+        let mut fork = template.fork().expect("forks");
+        fork.consult(extra).expect("consults");
+        let solutions = fork.solve(goal, 2).expect("solves");
+        assert_eq!(reference.0, solutions, "{lane}: fork-then-consult diverged");
+        assert_eq!(
+            reference.1,
+            format!("{:?}", deterministic_view(&fork.stats())),
+            "{lane}: fork-then-consult stats diverged"
+        );
+
+        // The template is untouched and still forks the base program.
+        let mut plain = template.fork().expect("template still pristine");
+        assert_eq!(
+            plain.solve("gen(s(z))", 1).expect("solves").len(),
+            1,
+            "{lane}: template corrupted by the fork's consult"
+        );
+
+        // Direction 2: consult the extra clauses in the template
+        // *before* forking; the fork inherits the full caches and
+        // must see every entry, including ones the template already
+        // warmed by... never running (templates cannot run), so warm
+        // the fork itself twice to cover the warmed-cache path too.
+        let program = Program::parse(base).expect("parses");
+        let mut template = Machine::load(&program, config.clone()).expect("loads");
+        template.consult(extra).expect("consults");
+        let mut fork = template.fork().expect("forks");
+        let solutions = fork.solve(goal, 2).expect("solves");
+        assert_eq!(reference.0, solutions, "{lane}: consult-then-fork diverged");
+        let again = fork.solve(goal, 2).expect("re-solves");
+        assert_eq!(reference.0, again, "{lane}: warmed re-solve diverged");
+    }
+}
+
+/// Panic containment composes with the compiled lane: one injected
+/// fault costs exactly its own row, and the surviving rows carry the
+/// same deterministic counters as serial fidelity runs.
+#[test]
+fn fault_isolation_holds_in_the_compiled_lane() {
+    let workloads: Vec<Workload> = table1_suite().into_iter().map(|e| e.workload).collect();
+    let poisoned = "quick sort";
+    let config = MachineConfig::psi_compiled();
+    let options = SuiteOptions {
+        threads: 4,
+        deadline: None,
+        max_retries: 0,
+    };
+    let report = run_suite_governed_with_runner(&workloads, &config, &options, |w, c| {
+        if w.name == poisoned {
+            panic!("injected fault");
+        }
+        run_on_psi(w, c)
+    });
+    assert_eq!(report.rows.len(), workloads.len());
+    assert_eq!(report.panicked_count(), 1);
+    assert_eq!(report.ok_count(), workloads.len() - 1);
+
+    for (w, row) in workloads.iter().zip(&report.rows) {
+        if w.name == poisoned {
+            assert!(
+                matches!(&row.outcome, Outcome::Panicked { detail } if detail.contains(poisoned)),
+                "poisoned row not contained: {}",
+                row.outcome.label()
+            );
+            continue;
+        }
+        let governed = row
+            .run()
+            .unwrap_or_else(|| panic!("{} should be ok", w.name));
+        let serial = run_on_psi(w, MachineConfig::psi()).expect("serial fidelity run succeeds");
+        assert_eq!(serial.solutions, governed.solutions, "{}", w.name);
+        assert_eq!(
+            deterministic_view(&serial.stats),
+            deterministic_view(&governed.stats),
+            "{}: governed compiled-lane row diverges from serial fidelity run",
+            w.name
+        );
+    }
+}
+
+/// The compiled flag is only honored together with measurement-off:
+/// a full-measurement config with `compiled: true` still runs the
+/// fidelity lane (the cache model needs per-access fidelity), with
+/// cache statistics intact.
+#[test]
+fn compiled_flag_is_inert_in_the_fidelity_lane() {
+    let mut config = MachineConfig::psi();
+    config.compiled = true;
+    assert_eq!(config.measurement, Measurement::Full);
+    let program = Program::parse("p(1). p(2).").expect("parses");
+    let mut m = Machine::load(&program, config).expect("loads");
+    let mut reference = Machine::load(&program, MachineConfig::psi()).expect("loads");
+    assert_eq!(
+        m.solve("p(X)", 9).expect("solves"),
+        reference.solve("p(X)", 9).expect("solves")
+    );
+    let (a, b) = (m.stats(), reference.stats());
+    assert_eq!(a, b, "fidelity stats (including cache) must be untouched");
+    assert_eq!(m.metrics_snapshot().get(Counter::FusedDispatches), 0);
+}
