@@ -15,6 +15,11 @@
 //!   (`;`, `->`, `\+`) into plain clauses with auxiliary predicates,
 //!   so both back ends only ever see conjunctions and cut.
 //!
+//! The language itself — grammar, the full operator table, every
+//! builtin with its charging behavior on the three execution lanes,
+//! and the dynamic clause database semantics — is specified in
+//! `docs/KL0.md` at the repository root.
+//!
 //! # Example
 //!
 //! ```

@@ -53,7 +53,43 @@ impl LoweredProgram {
     /// Returns [`PsiError::Compile`] if a body goal is an integer or
     /// other non-callable term.
     pub fn lower(program: &Program) -> Result<LoweredProgram> {
-        let mut lp = LoweredProgram::default();
+        LoweredProgram::lower_from(program, 0)
+    }
+
+    /// Lowers a parsed program with the aux-predicate counter seeded
+    /// at `aux_base`, so the generated `$auxN` names start at
+    /// `$aux{aux_base + 1}`.
+    ///
+    /// Incremental compilation (consult, query compilation, dynamic
+    /// `assert`) lowers each batch of clauses as its own
+    /// [`LoweredProgram`]; seeding the counter with the number of aux
+    /// predicates the target image has already compiled keeps the
+    /// generated names globally unique. Without the seed, a second
+    /// batch containing `;`/`->`/`\+` would regenerate `$aux1` and its
+    /// clauses would be appended to the *first* batch's aux predicate.
+    ///
+    /// ```
+    /// use kl0::{LoweredProgram, Program};
+    ///
+    /// let first = LoweredProgram::lower(&Program::parse("p :- (a ; b).")?)?;
+    /// assert_eq!(first.aux_counter(), 1);
+    /// // The next batch continues the numbering instead of reusing $aux1.
+    /// let next = LoweredProgram::lower_from(
+    ///     &Program::parse("q :- (c ; d).")?,
+    ///     first.aux_counter(),
+    /// )?;
+    /// assert!(next.predicates().any(|(n, _)| n == "$aux2"));
+    /// # Ok::<(), psi_core::PsiError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// See [`LoweredProgram::lower`].
+    pub fn lower_from(program: &Program, aux_base: u32) -> Result<LoweredProgram> {
+        let mut lp = LoweredProgram {
+            aux_counter: aux_base,
+            ..LoweredProgram::default()
+        };
         for key in program.predicates() {
             for clause in program.clauses_for(key) {
                 let flat = lp.lower_clause(clause)?;
@@ -61,6 +97,14 @@ impl LoweredProgram {
             }
         }
         Ok(lp)
+    }
+
+    /// The aux-predicate counter after lowering: the highest `N` of
+    /// any generated `$auxN`, suitable as the `aux_base` seed of the
+    /// next incremental [`LoweredProgram::lower_from`] against the
+    /// same image.
+    pub fn aux_counter(&self) -> u32 {
+        self.aux_counter
     }
 
     /// Iterates over predicate keys in definition order (generated aux

@@ -40,8 +40,8 @@ fn infix_op(name: &str) -> Option<(u32, InfixKind)> {
         // ',' handled specially (it is a token, not an atom)
         "=" | "\\=" | "==" | "\\==" | "is" | "<" | ">" | "=<" | ">=" | "=:=" | "=\\=" | "@<"
         | "@>" | "@=<" | "@>=" | "=.." => (700, InfixKind::Xfx),
-        "+" | "-" => (500, InfixKind::Yfx),
-        "*" | "//" | "mod" => (400, InfixKind::Yfx),
+        "+" | "-" | "/\\" | "\\/" | "xor" => (500, InfixKind::Yfx),
+        "*" | "/" | "//" | "mod" | "rem" | "<<" | ">>" => (400, InfixKind::Yfx),
         _ => return None,
     })
 }
@@ -424,5 +424,19 @@ mod tests {
         assert_eq!(p("X =< 3").to_string(), "=<(X,3)");
         assert_eq!(p("X =:= Y").to_string(), "=:=(X,Y)");
         assert_eq!(p("X \\== Y").to_string(), "\\==(X,Y)");
+    }
+
+    #[test]
+    fn extended_arithmetic_operators() {
+        // Shifts and division bind like multiplication (400 yfx)...
+        assert_eq!(p("1 + 2 << 3").to_string(), "+(1,<<(2,3))");
+        assert_eq!(p("X is 7 / 2").to_string(), "is(X,/(7,2))");
+        assert_eq!(p("10 rem 3 >> 1").to_string(), ">>(rem(10,3),1)");
+        // ...bitwise and/or/xor like addition (500 yfx).
+        assert_eq!(p("1 /\\ 2 \\/ 3").to_string(), "\\/(/\\(1,2),3)");
+        assert_eq!(p("a xor b xor c").to_string(), "xor(xor(a,b),c)");
+        assert_eq!(p("1 \\/ 2 /\\ 4").to_string(), "/\\(\\/(1,2),4)");
+        // A bare `xor`/`rem` atom in argument position is still an atom.
+        assert_eq!(p("f(xor, rem)").to_string(), "f(xor,rem)");
     }
 }

@@ -1,4 +1,11 @@
-//! Clause database.
+//! Clause database: parsed clauses grouped by predicate, in source
+//! order.
+//!
+//! A [`Program`] is the unit both engines load and `consult` extends;
+//! it preserves clause order within each predicate (Prolog's solution
+//! order depends on it) and the first-seen order of predicates
+//! themselves. Bodies are still operator trees at this stage — see
+//! [`crate::lower`] for the flattened form the engines consume.
 
 use crate::parser::parse_terms;
 use crate::Term;

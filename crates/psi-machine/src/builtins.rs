@@ -69,11 +69,17 @@ pub enum Builtin {
     Yield,
     /// `halt/0` — terminate the current process successfully.
     Halt,
+    /// `assert/1` (also `assertz/1`) — append a clause to the database.
+    Assert,
+    /// `asserta/1` — prepend a clause to the database.
+    Asserta,
+    /// `retract/1` — remove the first matching clause.
+    Retract,
 }
 
 impl Builtin {
     /// All built-ins.
-    pub const ALL: [Builtin; 28] = [
+    pub const ALL: [Builtin; 31] = [
         Builtin::True,
         Builtin::Fail,
         Builtin::Unify,
@@ -102,6 +108,9 @@ impl Builtin {
         Builtin::VectorSet,
         Builtin::Yield,
         Builtin::Halt,
+        Builtin::Assert,
+        Builtin::Asserta,
+        Builtin::Retract,
     ];
 
     /// Resolves `name/arity` to a built-in.
@@ -135,6 +144,9 @@ impl Builtin {
             ("vset", 3) => Builtin::VectorSet,
             ("yield", 0) => Builtin::Yield,
             ("halt", 0) => Builtin::Halt,
+            ("assert", 1) | ("assertz", 1) => Builtin::Assert,
+            ("asserta", 1) => Builtin::Asserta,
+            ("retract", 1) => Builtin::Retract,
             _ => return None,
         })
     }
@@ -160,7 +172,10 @@ impl Builtin {
             | Builtin::Atomic
             | Builtin::Integer
             | Builtin::Write
-            | Builtin::Tab => 1,
+            | Builtin::Tab
+            | Builtin::Assert
+            | Builtin::Asserta
+            | Builtin::Retract => 1,
             Builtin::Functor | Builtin::Arg | Builtin::VectorGet | Builtin::VectorSet => 3,
             _ => 2,
         }

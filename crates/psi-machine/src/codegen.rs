@@ -116,6 +116,75 @@ impl ClauseIndex {
     pub fn key_count(&self) -> usize {
         self.map.len()
     }
+
+    /// Removes clause position `pos` from every bucket it joined (a
+    /// var-headed clause joined all of them plus `var_only`) and
+    /// shifts the higher positions down. Bucket ids are stable across
+    /// removal — a bucket chosen by a live choice point keeps meaning
+    /// the same key, its candidate list merely shrinks.
+    fn remove(&mut self, pos: u32) {
+        fn fix(v: &mut Vec<u32>, pos: u32) {
+            v.retain(|&p| p != pos);
+            for p in v.iter_mut() {
+                if *p > pos {
+                    *p -= 1;
+                }
+            }
+        }
+        for bucket in &mut self.buckets {
+            fix(bucket, pos);
+        }
+        fix(&mut self.var_only, pos);
+    }
+
+    /// Inserts a new clause at position 0 (`asserta`), shifting every
+    /// recorded position up. As with [`ClauseIndex::remove`], bucket
+    /// ids stay stable.
+    fn insert_front(&mut self, key: Option<IndexKey>) {
+        for bucket in &mut self.buckets {
+            for p in bucket.iter_mut() {
+                *p += 1;
+            }
+        }
+        for p in self.var_only.iter_mut() {
+            *p += 1;
+        }
+        match key {
+            None => {
+                self.var_only.insert(0, 0);
+                for bucket in &mut self.buckets {
+                    bucket.insert(0, 0);
+                }
+            }
+            Some(k) => {
+                let b = match self.map.get(&k) {
+                    Some(&b) => b,
+                    None => {
+                        let b = self.buckets.len() as u32;
+                        // All var-headed positions were just shifted
+                        // past 0, so seeding + front insertion keeps
+                        // source order.
+                        self.buckets.push(self.var_only.clone());
+                        self.map.insert(k, b);
+                        b
+                    }
+                };
+                self.buckets[b as usize].insert(0, 0);
+            }
+        }
+    }
+}
+
+/// The source form of a compiled clause, retained so `retract` can
+/// trial-unify against it and report the clause it removed. Control
+/// constructs (`;`, `->`, `\+`) have already been lowered away, so
+/// `body` is a plain conjunction of calls, `!`, or `true`.
+#[derive(Debug, Clone)]
+pub struct ClauseSource {
+    /// The clause head.
+    pub head: Term,
+    /// The (lowered) clause body; the atom `true` for facts.
+    pub body: Term,
 }
 
 /// A predicate table entry.
@@ -126,11 +195,19 @@ pub struct Predicate {
     /// Arity.
     pub arity: u8,
     /// Clauses in source order. Empty means "called but never
-    /// defined" (a runtime error, as on the real system).
+    /// defined" (a runtime error, as on the real system) — unless the
+    /// predicate is `dynamic`, in which case the call just fails.
     pub clauses: Vec<ClauseCode>,
+    /// Source form of each clause, parallel to `clauses` (used by
+    /// `retract` for trial unification).
+    pub sources: Vec<ClauseSource>,
     /// First-argument index over `clauses` (consulted only when
     /// [`crate::MachineConfig::clause_indexing`] is on).
     pub index: ClauseIndex,
+    /// Has this predicate been touched by `assert`/`retract`? A
+    /// dynamic predicate with no clauses fails cleanly instead of
+    /// raising an undefined-predicate error.
+    pub dynamic: bool,
 }
 
 impl Predicate {
@@ -149,12 +226,14 @@ impl Predicate {
         }
     }
 
-    /// Number of candidate clauses in `bucket`.
+    /// Number of candidate clauses in `bucket`. A bucket id the index
+    /// does not know (possible only for a stale choice point over a
+    /// dynamic predicate) has zero candidates.
     pub fn candidate_count(&self, bucket: u32) -> usize {
         match bucket {
             BUCKET_LINEAR => self.clauses.len(),
             BUCKET_VAR_ONLY => self.index.var_only.len(),
-            b => self.index.buckets[b as usize].len(),
+            b => self.index.buckets.get(b as usize).map_or(0, Vec::len),
         }
     }
 
@@ -187,6 +266,7 @@ pub struct CodeImage {
     index: HashMap<PredicateKey, u32>,
     symbols: SymbolTable,
     query_counter: u32,
+    aux_counter: u32,
 }
 
 impl CodeImage {
@@ -198,6 +278,7 @@ impl CodeImage {
             index: HashMap::new(),
             symbols: SymbolTable::new(),
             query_counter: 0,
+            aux_counter: 0,
         }
     }
 
@@ -240,10 +321,75 @@ impl CodeImage {
                 let idx = self.pred_index(key)? as usize;
                 let pos = self.preds[idx].clauses.len() as u32;
                 self.preds[idx].clauses.push(code);
+                self.preds[idx].sources.push(ClauseSource {
+                    head: clause.head.clone(),
+                    body: goals_to_term(&clause.goals),
+                });
                 self.preds[idx].index.push(pos, index_key);
             }
         }
+        self.aux_counter = self.aux_counter.max(program.aux_counter());
         Ok(())
+    }
+
+    /// The aux-predicate counter to seed [`kl0::LoweredProgram::lower_from`]
+    /// with, so `$auxN` names stay unique across incremental batches
+    /// (consult, queries, asserted clauses).
+    pub fn aux_base(&self) -> u32 {
+        self.aux_counter
+    }
+
+    /// Compiles and appends (`front == false`) or prepends
+    /// (`front == true`) the clause `head :- body` to its predicate,
+    /// marking it dynamic. This is the database half of
+    /// `assert`/`asserta`; the machine charges for it and re-syncs
+    /// its decode/fused views afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsiError::Compile`] if the clause redefines a
+    /// built-in, is not callable, or exceeds encoding limits.
+    pub fn assert_clause(&mut self, head: &Term, body: &Term, front: bool) -> Result<()> {
+        let (name, arity) = head.functor().ok_or_else(|| PsiError::Compile {
+            detail: format!("asserted clause head is not callable: {head}"),
+        })?;
+        let key: PredicateKey = (name.to_owned(), arity);
+        let mut program = Program::new();
+        program.add_clause(kl0::Clause {
+            head: head.clone(),
+            body: (body.functor() != Some(("true", 0))).then(|| body.clone()),
+        })?;
+        let lowered = LoweredProgram::lower_from(&program, self.aux_counter)?;
+        self.add_program(&lowered)?;
+        let idx = self.lookup(&key).ok_or_else(|| PsiError::Compile {
+            detail: format!("asserted predicate {name}/{arity} missing after compilation"),
+        })? as usize;
+        if front && self.preds[idx].clauses.len() > 1 {
+            let index_key = self.first_arg_key(head);
+            let pred = &mut self.preds[idx];
+            let last = pred.clauses.len() - 1;
+            pred.index.remove(last as u32);
+            let code = pred.clauses.remove(last);
+            let source = pred.sources.remove(last);
+            pred.clauses.insert(0, code);
+            pred.sources.insert(0, source);
+            pred.index.insert_front(index_key);
+        }
+        self.preds[idx].dynamic = true;
+        Ok(())
+    }
+
+    /// Removes clause `pos` of predicate `idx` from the clause list,
+    /// its source record, and every index bucket it joined, marking
+    /// the predicate dynamic. The compiled words stay in the heap
+    /// (code addresses never move), so the predecoded and fused views
+    /// remain valid byte-for-byte.
+    pub fn retract_clause(&mut self, idx: u32, pos: usize) {
+        let pred = &mut self.preds[idx as usize];
+        pred.clauses.remove(pos);
+        pred.sources.remove(pos);
+        pred.index.remove(pos as u32);
+        pred.dynamic = true;
     }
 
     /// The index key of a clause head's first argument, interning
@@ -291,7 +437,7 @@ impl CodeImage {
             head,
             body: Some(goal.clone()),
         })?;
-        let lowered = LoweredProgram::lower(&program)?;
+        let lowered = LoweredProgram::lower_from(&program, self.aux_counter)?;
         self.add_program(&lowered)?;
         // The lookup follows a successful `add_program` for this very
         // predicate, so a miss means the image's predicate table is
@@ -358,7 +504,9 @@ impl CodeImage {
             name: key.0.clone(),
             arity: key.1 as u8,
             clauses: Vec::new(),
+            sources: Vec::new(),
             index: ClauseIndex::default(),
+            dynamic: false,
         });
         self.index.insert(key.clone(), idx);
         Ok(idx)
@@ -491,6 +639,25 @@ impl CodeImage {
 impl Default for CodeImage {
     fn default() -> CodeImage {
         CodeImage::new()
+    }
+}
+
+/// Rebuilds a body term from flattened goals: `!` for cuts, goals
+/// joined right-associatively with `,`, the atom `true` when empty.
+fn goals_to_term(goals: &[FlatGoal]) -> Term {
+    let mut parts: Vec<Term> = goals
+        .iter()
+        .map(|g| match g {
+            FlatGoal::Cut => Term::atom("!"),
+            FlatGoal::Call(t) => t.clone(),
+        })
+        .collect();
+    match parts.pop() {
+        None => Term::atom("true"),
+        Some(last) => parts
+            .into_iter()
+            .rev()
+            .fold(last, |acc, t| Term::Struct(",".to_owned(), vec![t, acc])),
     }
 }
 
@@ -831,6 +998,77 @@ mod tests {
         assert_eq!(pred.candidate_count(b), 2);
         assert_eq!(pred.candidate(b, 0), 0);
         assert_eq!(pred.candidate(b, 1), 1);
+    }
+
+    #[test]
+    fn retract_removes_var_headed_clause_from_every_bucket() {
+        // The var-headed clause (pos 1) joined the `a`, `b`, `[]`
+        // and int buckets plus var_only; removing it must purge all
+        // of them and renumber the later positions.
+        let mut img = image("p(a). p(X) :- q(X). p(b). p([]). p(7). q(_).");
+        let idx = img.lookup(&("p".into(), 1)).unwrap();
+        img.retract_clause(idx, 1);
+        let pred = img.predicate(idx);
+        assert!(pred.dynamic);
+        assert_eq!(pred.clauses.len(), 4);
+        assert_eq!(pred.sources.len(), 4);
+        let sym = |n: &str| img.symbols().lookup(n).unwrap();
+        let candidates = |key: IndexKey| {
+            let b = pred.bucket_for(key);
+            (0..pred.candidate_count(b))
+                .map(|i| pred.candidate(b, i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(candidates(IndexKey::Atom(sym("a"))), vec![0]);
+        assert_eq!(candidates(IndexKey::Atom(sym("b"))), vec![1]);
+        assert_eq!(candidates(IndexKey::Nil), vec![2]);
+        assert_eq!(candidates(IndexKey::Int(7)), vec![3]);
+        // Unmatched keys fell back to the var clause; now nothing.
+        assert_eq!(candidates(IndexKey::Int(99)), Vec::<usize>::new());
+        assert_eq!(pred.candidate_count(BUCKET_VAR_ONLY), 0);
+    }
+
+    #[test]
+    fn assert_clause_front_and_back_maintain_the_index() {
+        let mut img = image("p(a, 1).");
+        let a1 = kl0::parser::parse_term("p(a, 2)").unwrap();
+        let a2 = kl0::parser::parse_term("p(b, 3)").unwrap();
+        let a3 = kl0::parser::parse_term("p(a, 0)").unwrap();
+        let truth = Term::atom("true");
+        img.assert_clause(&a1, &truth, false).unwrap();
+        img.assert_clause(&a2, &truth, false).unwrap();
+        img.assert_clause(&a3, &truth, true).unwrap();
+        let idx = img.lookup(&("p".into(), 2)).unwrap();
+        let pred = img.predicate(idx);
+        assert!(pred.dynamic);
+        // Source order is now: p(a,0), p(a,1), p(a,2), p(b,3).
+        assert_eq!(pred.sources[0].head.to_string(), "p(a,0)");
+        assert_eq!(pred.sources[3].head.to_string(), "p(b,3)");
+        let sym = |n: &str| img.symbols().lookup(n).unwrap();
+        let candidates = |key: IndexKey| {
+            let b = pred.bucket_for(key);
+            (0..pred.candidate_count(b))
+                .map(|i| pred.candidate(b, i))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(candidates(IndexKey::Atom(sym("a"))), vec![0, 1, 2]);
+        assert_eq!(candidates(IndexKey::Atom(sym("b"))), vec![3]);
+    }
+
+    #[test]
+    fn assert_clause_with_control_body_gets_fresh_aux_names() {
+        // The asserted body's `;` lowers to an aux predicate whose
+        // name must not collide with the aux of the consulted source.
+        let mut img = image("p(X) :- (X = 1 ; X = 2).");
+        let head = kl0::parser::parse_term("p(X)").unwrap();
+        let body = kl0::parser::parse_term("(X = 3 ; X = 4)").unwrap();
+        img.assert_clause(&head, &body, false).unwrap();
+        let aux_count = img
+            .predicates()
+            .iter()
+            .filter(|p| p.name.starts_with("$aux"))
+            .count();
+        assert_eq!(aux_count, 2, "each batch gets its own aux predicate");
     }
 
     #[test]

@@ -754,6 +754,13 @@ impl Machine {
     ) -> Result<Flow> {
         let nclauses = self.image.predicate(pred).clauses.len();
         if nclauses == 0 {
+            if self.image.predicate(pred).dynamic {
+                // A dynamic predicate whose clauses were all
+                // retracted: the call fails cleanly, it is not an
+                // undefined-predicate error.
+                self.micro_cond(InterpModule::Control, false);
+                return Ok(Flow::Backtrack);
+            }
             return Err(PsiError::UndefinedPredicate {
                 name: self.image.predicate(pred).indicator(),
             });
@@ -1362,13 +1369,29 @@ impl Machine {
             // default profile creates) maps positions to clause
             // indices one-to-one, so this is pure host-side
             // arithmetic — no extra microsteps on either profile.
-            let (ncand, clause_idx) = {
-                let entry = self.image.predicate(cp.pred);
-                (
-                    entry.candidate_count(cp.bucket),
-                    entry.candidate(cp.bucket, cp.next_clause),
-                )
-            };
+            let ncand = self.image.predicate(cp.pred).candidate_count(cp.bucket);
+            if cp.next_clause >= ncand {
+                // The candidate list shrank underneath this choice
+                // point (`retract/1` on the predicate while it was
+                // live): no alternatives remain, discard the choice
+                // point and keep backtracking.
+                self.micro_cond(InterpModule::Control, false);
+                let p = &mut self.procs[self.cur];
+                p.cps.pop();
+                p.arg_arena.truncate(cp.args_start as usize);
+                if cp.ctl_addr + CONTROL_FRAME_WORDS == p.ctl_top {
+                    p.ctl_top = cp.ctl_addr;
+                    Self::drop_saved_frames_from(p, cp.ctl_addr);
+                }
+                let ct = p.ctl_top;
+                let pid = p.pid;
+                self.bus.memory_mut().truncate(pid, Area::ControlStack, ct);
+                continue;
+            }
+            let clause_idx = self
+                .image
+                .predicate(cp.pred)
+                .candidate(cp.bucket, cp.next_clause);
             if cp.next_clause + 1 >= ncand {
                 // Last alternative: the restore step, then pop the
                 // choice point (trust) and give its arena extent back.
@@ -1854,6 +1877,9 @@ impl Machine {
                 self.procs[self.cur].status = ProcStatus::Done;
                 return Ok(Flow::Solution);
             }
+            Builtin::Assert => self.builtin_assert(args, false)?,
+            Builtin::Asserta => self.builtin_assert(args, true)?,
+            Builtin::Retract => self.builtin_retract(args)?,
         };
         Ok(if ok { Flow::Continue } else { Flow::Backtrack })
     }
@@ -2007,6 +2033,229 @@ impl Machine {
         }
     }
 
+    // ------------------------------------------------- dynamic database
+
+    /// `assert/1`, `assertz/1` (`front == false`) and `asserta/1`
+    /// (`front == true`): decodes the argument (a charged term walk),
+    /// compiles it as a clause of its predicate, marks the predicate
+    /// dynamic, and re-syncs the simulated heap plus the predecode /
+    /// fused views over the appended words. Each loaded word charges
+    /// one sequential microstep — the clause-loading work the
+    /// firmware would do — through the lane-split primitives, so the
+    /// charge is identical in all three lanes.
+    fn builtin_assert(&mut self, args: &[Word], front: bool) -> Result<bool> {
+        let term = self.decode_counted(InterpModule::Builtin, args[0])?;
+        let (head, body) = match &term {
+            kl0::Term::Struct(f, hb) if f == ":-" && hb.len() == 2 => {
+                (hb[0].clone(), hb[1].clone())
+            }
+            t => (t.clone(), kl0::Term::atom("true")),
+        };
+        let before = self.image.heap().len();
+        std::sync::Arc::make_mut(&mut self.image).assert_clause(&head, &body, front)?;
+        self.sync_code()?;
+        let added = self.image.heap().len() - before;
+        for _ in 0..added {
+            self.micro_seq(InterpModule::Builtin, true);
+        }
+        Ok(true)
+    }
+
+    /// `retract/1`: removes the first clause whose head and body
+    /// unify with the argument (`Head` alone abbreviates
+    /// `Head :- true`). Semi-deterministic — it commits to the first
+    /// match and is not re-satisfiable on backtracking. Bindings made
+    /// by the successful trial unification are kept; failed trials
+    /// are undone through the trail exactly like `\=`.
+    fn builtin_retract(&mut self, args: &[Word]) -> Result<bool> {
+        let (t, unbound) = self.deref(InterpModule::Builtin, args[0])?;
+        self.micro(InterpModule::Builtin, BranchOp::CaseTag, true);
+        if unbound.is_some() {
+            return Err(PsiError::TypeError {
+                builtin: "retract/1".into(),
+                expected: "callable",
+            });
+        }
+        // Split an explicit `Head :- Body` template.
+        let neck = self.image.symbols().lookup(":-");
+        let (head_w, body_w) = match t.tag() {
+            Tag::Vect => {
+                let ptr = t.address_value().expect("Vect");
+                let f = self.mem_read_dispatch(InterpModule::Builtin, ptr)?;
+                let f = f.functor_value().ok_or_else(|| PsiError::EvalError {
+                    detail: "corrupt structure header".into(),
+                })?;
+                if Some(f.symbol) == neck && f.arity == 2 {
+                    let h = self.read_value(InterpModule::Builtin, ptr.offset_by(1))?;
+                    let b = self.read_value(InterpModule::Builtin, ptr.offset_by(2))?;
+                    (h, Some(b))
+                } else {
+                    (t, None)
+                }
+            }
+            _ => (t, None),
+        };
+        // Resolve the head to a predicate-table entry.
+        let (hd, h_unbound) = self.deref(InterpModule::Builtin, head_w)?;
+        self.micro(InterpModule::Builtin, BranchOp::CaseTag, true);
+        if h_unbound.is_some() {
+            return Err(PsiError::TypeError {
+                builtin: "retract/1".into(),
+                expected: "callable head",
+            });
+        }
+        let (name_sym, arity) = match hd.tag() {
+            Tag::Atom => (hd.atom_value().expect("Atom"), 0u8),
+            Tag::Vect => {
+                let ptr = hd.address_value().expect("Vect");
+                let f = self.mem_read(InterpModule::Builtin, ptr)?;
+                let f = f.functor_value().ok_or_else(|| PsiError::EvalError {
+                    detail: "corrupt structure header".into(),
+                })?;
+                (f.symbol, f.arity)
+            }
+            _ => {
+                return Err(PsiError::TypeError {
+                    builtin: "retract/1".into(),
+                    expected: "callable head",
+                })
+            }
+        };
+        let key = (
+            self.image.symbols().name(name_sym).to_owned(),
+            arity as usize,
+        );
+        if Builtin::lookup(&key.0, key.1).is_some() {
+            return Err(PsiError::TypeError {
+                builtin: "retract/1".into(),
+                expected: "non-builtin predicate",
+            });
+        }
+        let Some(pred) = self.image.lookup(&key) else {
+            // A predicate the database has never seen: nothing to
+            // retract, the call just fails.
+            self.micro_cond(InterpModule::Builtin, false);
+            return Ok(false);
+        };
+        // Trial-unify against each clause's retained source form, in
+        // clause order, committing to the first match. Trials bind
+        // cells no choice point guards, so `force_trail` makes every
+        // binding undoable; it is lowered again on every exit path.
+        self.force_trail = true;
+        let result = self.retract_trials(pred, head_w, body_w);
+        self.force_trail = false;
+        result
+    }
+
+    /// The trial loop of [`Machine::builtin_retract`], split out so
+    /// the caller can bracket it with `force_trail`.
+    fn retract_trials(&mut self, pred: u32, head_w: Word, body_w: Option<Word>) -> Result<bool> {
+        let mut pos = 0;
+        loop {
+            if pos >= self.image.predicate(pred).clauses.len() {
+                self.micro_cond(InterpModule::Builtin, false);
+                return Ok(false);
+            }
+            let source = self.image.predicate(pred).sources[pos].clone();
+            // `retract(Head)` only ever matches facts; skip bodied
+            // clauses without building the trial copy.
+            self.micro_cond(InterpModule::Builtin, true);
+            if body_w.is_none() && source.body != kl0::Term::atom("true") {
+                pos += 1;
+                continue;
+            }
+            let mark = self.procs[self.cur].trail_top;
+            let saved_global = self.procs[self.cur].global_top;
+            let mut vars = std::collections::HashMap::new();
+            let sh = self.push_source_term(&source.head, &mut vars)?;
+            let mut matched = self.unify(head_w, sh)?;
+            if matched {
+                if let Some(bw) = body_w {
+                    let sb = self.push_source_term(&source.body, &mut vars)?;
+                    matched = self.unify(bw, sb)?;
+                }
+            }
+            if matched {
+                std::sync::Arc::make_mut(&mut self.image).retract_clause(pred, pos);
+                // Code addresses never move on retract, so the
+                // predecode and fused views stay valid; sync_code
+                // keeps the extents in lockstep all the same.
+                self.sync_code()?;
+                return Ok(true);
+            }
+            self.undo_trail_to(mark)?;
+            self.procs[self.cur].global_top = saved_global;
+            pos += 1;
+        }
+    }
+
+    /// Builds a runtime copy of a retained clause-source term on the
+    /// global stack (the runtime analogue of `copy_skeleton` for
+    /// terms that only exist as AST). Fresh cells are created per
+    /// distinct variable name; every push goes through the lane-split
+    /// memory primitives, so the charge shape is lane-invariant.
+    fn push_source_term(
+        &mut self,
+        t: &kl0::Term,
+        vars: &mut std::collections::HashMap<String, Word>,
+    ) -> Result<Word> {
+        Ok(match t {
+            kl0::Term::Atom(a) if a == "[]" => Word::nil(),
+            kl0::Term::Atom(a) => Word::atom(self.runtime_symbol(a)),
+            kl0::Term::Int(i) => Word::int(*i),
+            kl0::Term::Var(v) => {
+                if let Some(&w) = vars.get(v) {
+                    w
+                } else {
+                    let cell = self.new_global_cell(InterpModule::Builtin)?;
+                    let w = Word::reference(cell);
+                    vars.insert(v.clone(), w);
+                    w
+                }
+            }
+            kl0::Term::Struct(f, args) if f == "." && args.len() == 2 => {
+                let car = self.push_source_term(&args[0], vars)?;
+                let cdr = self.push_source_term(&args[1], vars)?;
+                let base = self.procs[self.cur].global_top;
+                self.procs[self.cur].global_top = base + 2;
+                self.mem_push(InterpModule::Builtin, self.global_addr(base), car)?;
+                self.mem_push(InterpModule::Builtin, self.global_addr(base + 1), cdr)?;
+                Word::list(self.global_addr(base))
+            }
+            kl0::Term::Struct(f, args) => {
+                let mut arg_words = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_words.push(self.push_source_term(a, vars)?);
+                }
+                let sym = self.runtime_symbol(f);
+                let fw = Word::functor(psi_core::Functor::new(sym, args.len() as u8));
+                let base = self.procs[self.cur].global_top;
+                self.procs[self.cur].global_top = base + 1 + args.len() as u32;
+                self.mem_push(InterpModule::Builtin, self.global_addr(base), fw)?;
+                for (i, w) in arg_words.into_iter().enumerate() {
+                    self.mem_push(
+                        InterpModule::Builtin,
+                        self.global_addr(base + 1 + i as u32),
+                        w,
+                    )?;
+                }
+                Word::vect(self.global_addr(base))
+            }
+        })
+    }
+
+    /// Resolves `name` to an interned symbol, interning on demand
+    /// (deterministic: the id depends only on the sequence of interns,
+    /// which is identical across lanes running the same program).
+    fn runtime_symbol(&mut self, name: &str) -> psi_core::SymbolId {
+        match self.image.symbols().lookup(name) {
+            Some(id) => id,
+            None => std::sync::Arc::make_mut(&mut self.image)
+                .symbols_mut()
+                .intern(name),
+        }
+    }
+
     // ------------------------------------------------------- arithmetic
 
     /// Evaluates an arithmetic expression term (`is/2` and
@@ -2054,7 +2303,9 @@ impl Machine {
                     Ok(x.wrapping_sub(y))
                 } else if s == self.arith.star {
                     Ok(x.wrapping_mul(y))
-                } else if s == self.arith.int_div {
+                } else if s == self.arith.int_div || s == self.arith.slash {
+                    // KL0 has no floats: `/` is integer division,
+                    // synonymous with `//`.
                     if y == 0 {
                         Err(PsiError::EvalError {
                             detail: "division by zero".into(),
@@ -2070,6 +2321,26 @@ impl Machine {
                     } else {
                         Ok(x.rem_euclid(y))
                     }
+                } else if s == self.arith.rem {
+                    if y == 0 {
+                        Err(PsiError::EvalError {
+                            detail: "division by zero".into(),
+                        })
+                    } else {
+                        Ok(x.wrapping_rem(y))
+                    }
+                } else if s == self.arith.shl {
+                    // Shift counts are masked to the word width, like
+                    // the 32-bit ALU the tags leave room for.
+                    Ok(x.wrapping_shl(y as u32))
+                } else if s == self.arith.shr {
+                    Ok(x.wrapping_shr(y as u32))
+                } else if s == self.arith.band {
+                    Ok(x & y)
+                } else if s == self.arith.bor {
+                    Ok(x | y)
+                } else if s == self.arith.bxor {
+                    Ok(x ^ y)
                 } else if s == self.arith.min {
                     Ok(x.min(y))
                 } else if s == self.arith.max {

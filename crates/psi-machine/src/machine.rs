@@ -585,7 +585,14 @@ pub(crate) struct ArithSyms {
     pub minus: SymbolId,
     pub star: SymbolId,
     pub int_div: SymbolId,
+    pub slash: SymbolId,
     pub modulo: SymbolId,
+    pub rem: SymbolId,
+    pub shl: SymbolId,
+    pub shr: SymbolId,
+    pub band: SymbolId,
+    pub bor: SymbolId,
+    pub bxor: SymbolId,
     pub abs: SymbolId,
     pub min: SymbolId,
     pub max: SymbolId,
@@ -702,6 +709,12 @@ pub struct Machine {
     /// behind an [`Arc`], exactly like `decode`. Empty off the
     /// compiled lane.
     pub(crate) fused: Arc<FusedProgram>,
+    /// When set, [`Machine::bind`] trails every binding regardless of
+    /// choice-point age. `retract/1` raises it around its trial
+    /// unifications, which must be undoable even when no choice point
+    /// guards the bound cells. Always lowered again before the
+    /// builtin returns.
+    pub(crate) force_trail: bool,
 }
 
 /// Internal control-flow outcome of dispatching one goal.
@@ -727,7 +740,14 @@ impl Machine {
             minus: image.symbols_mut().intern("-"),
             star: image.symbols_mut().intern("*"),
             int_div: image.symbols_mut().intern("//"),
+            slash: image.symbols_mut().intern("/"),
             modulo: image.symbols_mut().intern("mod"),
+            rem: image.symbols_mut().intern("rem"),
+            shl: image.symbols_mut().intern("<<"),
+            shr: image.symbols_mut().intern(">>"),
+            band: image.symbols_mut().intern("/\\"),
+            bor: image.symbols_mut().intern("\\/"),
+            bxor: image.symbols_mut().intern("xor"),
             abs: image.symbols_mut().intern("abs"),
             min: image.symbols_mut().intern("min"),
             max: image.symbols_mut().intern("max"),
@@ -787,6 +807,7 @@ impl Machine {
             lane_fast,
             lane_compiled,
             fused: Arc::new(FusedProgram::default()),
+            force_trail: false,
         };
         machine.sync_code()?;
         Ok(machine)
@@ -879,6 +900,7 @@ impl Machine {
             lane_fast: self.lane_fast,
             lane_compiled: self.lane_compiled,
             fused: Arc::clone(&self.fused),
+            force_trail: false,
         })
     }
 
@@ -932,7 +954,7 @@ impl Machine {
     /// first-argument `ClauseIndex`), so existing decoded entries stay
     /// valid; the new words start at the undecoded sentinel and are
     /// decoded on first dispatch.
-    fn sync_code(&mut self) -> Result<()> {
+    pub(crate) fn sync_code(&mut self) -> Result<()> {
         let len = self.image.heap().len() as u32;
         for off in self.loaded_words..len {
             let w = self.image.heap()[off as usize];
@@ -1138,7 +1160,7 @@ impl Machine {
     /// ```
     pub fn consult(&mut self, src: &str) -> Result<()> {
         let program = Program::parse(src)?;
-        let lowered = LoweredProgram::lower(&program)?;
+        let lowered = LoweredProgram::lower_from(&program, self.image.aux_base())?;
         Arc::make_mut(&mut self.image).add_program(&lowered)?;
         self.sync_code()
     }

@@ -37,15 +37,19 @@ impl Machine {
     /// choice point could need it restored.
     pub(crate) fn bind(&mut self, addr: Address, value: Word) -> Result<()> {
         // Conditional trailing: only cells older than the newest
-        // choice point need a trail entry.
-        let needs_trail = match self.procs[self.cur].cps.last() {
-            Some(cp) => match addr.area() {
-                psi_core::Area::GlobalStack => addr.offset() < cp.saved_global_top,
-                psi_core::Area::Heap => false, // heap vectors are destructive
-                _ => addr.offset() < cp.saved_local_top,
-            },
-            None => false,
-        };
+        // choice point need a trail entry — unless a trial
+        // unification (`retract/1`) asked for every binding to be
+        // trailed so a failed trial can be undone even with no choice
+        // point below it.
+        let needs_trail = self.force_trail
+            || match self.procs[self.cur].cps.last() {
+                Some(cp) => match addr.area() {
+                    psi_core::Area::GlobalStack => addr.offset() < cp.saved_global_top,
+                    psi_core::Area::Heap => false, // heap vectors are destructive
+                    _ => addr.offset() < cp.saved_local_top,
+                },
+                None => false,
+            };
         if self.lane_compiled {
             // Compiled lane: one fused packet for the whole bind
             // (trail test + optional trail push + cell write), with

@@ -1,0 +1,75 @@
+//! The worked examples of docs/KL0.md, executed. If one of these
+//! fails, the language reference is lying — fix the document in the
+//! same commit.
+
+use kl0::Program;
+use psi_machine::{Machine, MachineConfig};
+
+fn machine(src: &str) -> Machine {
+    let program = Program::parse(src).expect("parse");
+    Machine::load(&program, MachineConfig::psi()).expect("load")
+}
+
+fn solutions(m: &mut Machine, goal: &str, max: usize) -> Vec<String> {
+    m.solve(goal, max)
+        .expect("solve")
+        .into_iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+#[test]
+fn append_example() {
+    let mut m = machine(
+        "append([], Ys, Ys).
+         append([X | Xs], Ys, [X | Zs]) :- append(Xs, Ys, Zs).",
+    );
+    assert_eq!(
+        solutions(&mut m, "append([1, 2], [3], Zs)", 5),
+        vec!["Zs = [1,2,3]"]
+    );
+    assert_eq!(solutions(&mut m, "append(As, Bs, [1, 2])", 10).len(), 3);
+}
+
+#[test]
+fn classify_and_negation_example() {
+    let mut m = machine(
+        "classify(X, neg)  :- X < 0, !.
+         classify(0, zero) :- !.
+         classify(_, pos).
+         safe_div(X, Y, Z) :- \\+ Y =:= 0, Z is X // Y.",
+    );
+    assert_eq!(solutions(&mut m, "classify(-3, C)", 5), vec!["C = neg"]);
+    assert_eq!(solutions(&mut m, "classify(0, C)", 5), vec!["C = zero"]);
+    assert_eq!(solutions(&mut m, "classify(7, C)", 5), vec!["C = pos"]);
+    assert_eq!(solutions(&mut m, "safe_div(7, 2, Z)", 5), vec!["Z = 3"]);
+    assert_eq!(
+        solutions(&mut m, "safe_div(7, 0, _Z)", 5),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn bump_counter_example() {
+    let mut m = machine(
+        "seen(0).
+         bump(N) :- retract(seen(M)), N is M + 1, assert(seen(N)).",
+    );
+    assert_eq!(
+        solutions(&mut m, "bump(A), bump(B), bump(C)", 5),
+        vec!["A = 1, B = 2, C = 3"]
+    );
+}
+
+#[test]
+fn extended_arithmetic_examples() {
+    let mut m = machine("seed(0).");
+    assert_eq!(
+        solutions(&mut m, "X is (1 << 10) + 7 // 2 - 5 xor 3", 1),
+        vec!["X = 1021"]
+    );
+    assert_eq!(solutions(&mut m, "X is -7 mod 2", 1), vec!["X = 1"]);
+    assert_eq!(solutions(&mut m, "X is -7 rem 2", 1), vec!["X = -1"]);
+    // The shift count is masked to 5 bits (barrel shifter).
+    assert_eq!(solutions(&mut m, "X is 1 << 33", 1), vec!["X = 2"]);
+}

@@ -1,0 +1,471 @@
+//! Seeded workload-corpus generator.
+//!
+//! The 19 Table 1 rows are a fixed scenario set; this module grows
+//! the suite to arbitrarily many *generated* scenarios. A small
+//! deterministic xorshift64* PRNG (the same discipline as
+//! `tests/properties.rs` — no external crates, every program
+//! replayable from its seed) drives a handful of parameterized
+//! program families:
+//!
+//! * [`fact_db`] — a database of K keyed facts plus a conjunctive
+//!   lookup/arithmetic query mix,
+//! * [`chain`] — a deep arithmetic recursion chain,
+//! * [`disjunction`] — one predicate whose body is a wide `;` chain
+//!   (lowered to aux predicates, enumerated exhaustively),
+//! * [`churn`] — an `assert`/`retract` churn loop that must leave the
+//!   dynamic database empty,
+//! * [`fill`] — an `assert`-or-`asserta` fill loop whose enumeration
+//!   order proves clause ordering,
+//! * [`negation`] — negation-as-failure over a generated fact set,
+//! * [`arith`] — random expression trees over the full evaluable
+//!   operator set.
+//!
+//! Each generated program carries an *expected-solution oracle*
+//! computed host-side, so a corpus run verifies behavior, not just
+//! liveness. Programs are plain [`Workload`]s and run under
+//! [`crate::runner::run_suite_governed`] with per-row fault
+//! isolation, or on a bare machine:
+//!
+//! ```
+//! use psi_workloads::corpus;
+//!
+//! let p = corpus::arith(7, 3);
+//! let program = kl0::Program::parse(&p.workload.source)?;
+//! let mut m = psi_machine::Machine::load(&program, psi_machine::MachineConfig::psi())?;
+//! let sols: Vec<String> = m
+//!     .solve(&p.workload.goal, p.workload.max_solutions)?
+//!     .iter()
+//!     .map(|s| s.to_string())
+//!     .collect();
+//! assert_eq!(sols, p.expected);
+//! # Ok::<(), psi_core::PsiError>(())
+//! ```
+
+use crate::Workload;
+
+/// xorshift64* — tiny, deterministic, good enough for program
+/// generation (same generator as `tests/properties.rs`).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(2685821657736338717).max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(2685821657736338717)
+    }
+
+    /// Uniform value in `lo..hi`.
+    fn range_i32(&mut self, lo: i32, hi: i32) -> i32 {
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as i32
+    }
+
+    fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// One generated corpus scenario: a runnable [`Workload`] plus the
+/// family it came from, the seed that replays it, and the exact
+/// solution strings the machine must produce.
+#[derive(Debug, Clone)]
+pub struct CorpusProgram {
+    /// The runnable program/goal pair.
+    pub workload: Workload,
+    /// Generator family name (`"fact_db"`, `"chain"`, ...).
+    pub family: &'static str,
+    /// The per-program seed (replay with the family constructor).
+    pub seed: u64,
+    /// Expected solutions, rendered exactly as
+    /// [`psi_machine::Solution`] renders them, in order.
+    pub expected: Vec<String>,
+}
+
+/// Parameters for [`generate`]: the master seed, how many programs,
+/// and the size caps that keep a quick run quick.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    /// Master seed; per-program seeds derive from it.
+    pub seed: u64,
+    /// Number of programs to generate (round-robin over families).
+    pub count: usize,
+    /// Cap on fact-database size K.
+    pub max_facts: usize,
+    /// Cap on recursion/churn depth.
+    pub max_depth: usize,
+}
+
+impl CorpusSpec {
+    /// A full-size spec: K ≤ 40, depth ≤ 120.
+    pub fn new(seed: u64, count: usize) -> CorpusSpec {
+        CorpusSpec {
+            seed,
+            count,
+            max_facts: 40,
+            max_depth: 120,
+        }
+    }
+
+    /// A CI-friendly spec with small caps (K ≤ 12, depth ≤ 30).
+    pub fn quick(seed: u64, count: usize) -> CorpusSpec {
+        CorpusSpec {
+            seed,
+            count,
+            max_facts: 12,
+            max_depth: 30,
+        }
+    }
+}
+
+/// Generates `spec.count` programs, round-robin over the families,
+/// each from a seed derived deterministically from `spec.seed`.
+///
+/// ```
+/// use psi_workloads::corpus::{generate, CorpusSpec};
+///
+/// let a = generate(&CorpusSpec::quick(42, 14));
+/// let b = generate(&CorpusSpec::quick(42, 14));
+/// assert_eq!(a.len(), 14);
+/// // Same spec, same corpus — bit-identical sources and oracles.
+/// for (x, y) in a.iter().zip(&b) {
+///     assert_eq!(x.workload.source, y.workload.source);
+///     assert_eq!(x.expected, y.expected);
+/// }
+/// ```
+pub fn generate(spec: &CorpusSpec) -> Vec<CorpusProgram> {
+    (0..spec.count)
+        .map(|i| {
+            let seed = spec
+                .seed
+                .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = Rng::new(seed);
+            match i % 7 {
+                0 => fact_db(seed, 2 + rng.range_usize(0, spec.max_facts.max(3) - 2)),
+                1 => chain(seed, 1 + rng.range_usize(0, spec.max_depth.max(2) - 1)),
+                2 => disjunction(seed, 2 + rng.range_usize(0, 30)),
+                3 => churn(seed, 1 + rng.range_usize(0, spec.max_depth.max(2) - 1)),
+                4 => fill(
+                    seed,
+                    1 + rng.range_usize(0, spec.max_facts.max(2) - 1),
+                    rng.next_u64().is_multiple_of(2),
+                ),
+                5 => negation(seed, 2 + rng.range_usize(0, spec.max_facts.max(3) - 2)),
+                _ => arith(seed, 1 + rng.range_usize(0, 4)),
+            }
+        })
+        .collect()
+}
+
+/// A database of `k` uniquely keyed facts `item(Key, Value)` plus a
+/// query mix: two lookups and an arithmetic combination of the
+/// looked-up values.
+///
+/// ```
+/// let p = psi_workloads::corpus::fact_db(3, 8);
+/// assert_eq!(p.family, "fact_db");
+/// assert_eq!(p.expected.len(), 1);
+/// ```
+pub fn fact_db(seed: u64, k: usize) -> CorpusProgram {
+    let mut rng = Rng::new(seed);
+    let k = k.max(2);
+    let values: Vec<i32> = (0..k).map(|_| rng.range_i32(-50, 50)).collect();
+    let mut source = String::new();
+    for (key, v) in values.iter().enumerate() {
+        source.push_str(&format!("item(k{key}, {v}).\n"));
+    }
+    let a = rng.range_usize(0, k);
+    let b = rng.range_usize(0, k);
+    let goal = format!("item(k{a}, V1), item(k{b}, V2), V3 is V1 + V2");
+    let expected = vec![format!(
+        "V1 = {}, V2 = {}, V3 = {}",
+        values[a],
+        values[b],
+        values[a].wrapping_add(values[b])
+    )];
+    CorpusProgram {
+        workload: Workload::new(&format!("corpus/fact_db/{seed:x}"), source, goal),
+        family: "fact_db",
+        seed,
+        expected,
+    }
+}
+
+/// A recursion chain `chain(N) :- N > 0, M is N - 1, chain(M).`
+/// driven to depth `depth`.
+///
+/// ```
+/// let p = psi_workloads::corpus::chain(5, 50);
+/// assert_eq!(p.expected, vec!["true".to_string()]);
+/// ```
+pub fn chain(seed: u64, depth: usize) -> CorpusProgram {
+    let source = "chain(0).\nchain(N) :- N > 0, M is N - 1, chain(M).\n".to_owned();
+    let goal = format!("chain({depth})");
+    CorpusProgram {
+        workload: Workload::new(&format!("corpus/chain/{seed:x}"), source, goal),
+        family: "chain",
+        seed,
+        expected: vec!["true".to_owned()],
+    }
+}
+
+/// One predicate whose body is a `width`-wide disjunction, enumerated
+/// exhaustively; the oracle is the disjunct values in source order
+/// (duplicates included — `;` does not deduplicate).
+///
+/// ```
+/// let p = psi_workloads::corpus::disjunction(11, 6);
+/// assert_eq!(p.expected.len(), 6);
+/// ```
+pub fn disjunction(seed: u64, width: usize) -> CorpusProgram {
+    let mut rng = Rng::new(seed);
+    let width = width.clamp(2, 48);
+    let values: Vec<i32> = (0..width).map(|_| rng.range_i32(0, 100)).collect();
+    let body = values
+        .iter()
+        .map(|v| format!("X = {v}"))
+        .collect::<Vec<_>>()
+        .join(" ; ");
+    let source = format!("pick(X) :- {body}.\n");
+    let expected = values.iter().map(|v| format!("X = {v}")).collect();
+    CorpusProgram {
+        workload: Workload::new(
+            &format!("corpus/disjunction/{seed:x}"),
+            source,
+            "pick(X)".into(),
+        )
+        .exhaustive(),
+        family: "disjunction",
+        seed,
+        expected,
+    }
+}
+
+/// An `assert`/`retract` churn loop of `n` rounds; afterwards the
+/// dynamic predicate must be empty (verified by negation-as-failure
+/// in the goal itself).
+///
+/// ```
+/// let p = psi_workloads::corpus::churn(9, 12);
+/// assert_eq!(p.expected, vec!["true".to_string()]);
+/// ```
+pub fn churn(seed: u64, n: usize) -> CorpusProgram {
+    let n = n.max(1);
+    let source = "churn(0).\nchurn(N) :- N > 0, assert(tmp(N)), retract(tmp(N)), \
+                  M is N - 1, churn(M).\n"
+        .to_owned();
+    let goal = format!("churn({n}), \\+ tmp(_)");
+    CorpusProgram {
+        workload: Workload::new(&format!("corpus/churn/{seed:x}"), source, goal),
+        family: "churn",
+        seed,
+        expected: vec!["true".to_owned()],
+    }
+}
+
+/// An `assert` (append, `front == false`) or `asserta` (prepend,
+/// `front == true`) fill loop of `n` facts, then an exhaustive
+/// enumeration whose order is the oracle: the loop asserts `n` down
+/// to `1`, so appending enumerates `n..1` and prepending `1..n`.
+///
+/// ```
+/// let append = psi_workloads::corpus::fill(1, 3, false);
+/// assert_eq!(append.expected, vec!["X = 3", "X = 2", "X = 1"]);
+/// let prepend = psi_workloads::corpus::fill(1, 3, true);
+/// assert_eq!(prepend.expected, vec!["X = 1", "X = 2", "X = 3"]);
+/// ```
+pub fn fill(seed: u64, n: usize, front: bool) -> CorpusProgram {
+    let n = n.max(1);
+    let op = if front { "asserta" } else { "assert" };
+    let source = format!("fill(0).\nfill(N) :- N > 0, {op}(slot(N)), M is N - 1, fill(M).\n");
+    let goal = format!("fill({n}), slot(X)");
+    let order: Vec<usize> = if front {
+        (1..=n).collect()
+    } else {
+        (1..=n).rev().collect()
+    };
+    let expected = order.iter().map(|i| format!("X = {i}")).collect();
+    CorpusProgram {
+        workload: Workload::new(&format!("corpus/fill/{seed:x}"), source, goal).exhaustive(),
+        family: "fill",
+        seed,
+        expected,
+    }
+}
+
+/// A fact set over `0..m` with roughly half the keys present; the
+/// goal checks one present key positively and one absent key through
+/// `\+`.
+///
+/// ```
+/// let p = psi_workloads::corpus::negation(13, 9);
+/// assert_eq!(p.expected, vec!["true".to_string()]);
+/// ```
+pub fn negation(seed: u64, m: usize) -> CorpusProgram {
+    let mut rng = Rng::new(seed);
+    let m = m.max(2);
+    // Alternate membership with a random phase so both a member and a
+    // non-member always exist.
+    let phase = rng.next_u64() % 2;
+    let members: Vec<usize> = (0..m).filter(|i| (*i as u64) % 2 == phase).collect();
+    let absent: Vec<usize> = (0..m).filter(|i| (*i as u64) % 2 != phase).collect();
+    let mut source = String::new();
+    for i in &members {
+        source.push_str(&format!("n({i}).\n"));
+    }
+    let hit = members[rng.range_usize(0, members.len())];
+    let miss = absent[rng.range_usize(0, absent.len())];
+    let goal = format!("n({hit}), \\+ n({miss})");
+    CorpusProgram {
+        workload: Workload::new(&format!("corpus/negation/{seed:x}"), source, goal),
+        family: "negation",
+        seed,
+        expected: vec!["true".to_owned()],
+    }
+}
+
+/// A random expression tree of the given depth over the evaluable
+/// operators, host-evaluated with the machine's exact wrapping
+/// semantics as the oracle.
+///
+/// ```
+/// let p = psi_workloads::corpus::arith(21, 3);
+/// assert!(p.expected[0].starts_with("X = "));
+/// ```
+pub fn arith(seed: u64, depth: usize) -> CorpusProgram {
+    let mut rng = Rng::new(seed);
+    let (text, value) = arith_expr(&mut rng, depth);
+    CorpusProgram {
+        workload: Workload::new(
+            &format!("corpus/arith/{seed:x}"),
+            "seed(0).\n".to_owned(),
+            format!("X is {text}"),
+        ),
+        family: "arith",
+        seed,
+        expected: vec![format!("X = {value}")],
+    }
+}
+
+/// Builds one random expression node, returning its KL0 text and its
+/// value under the machine's evaluation rules (`eval_arith`):
+/// wrapping add/sub/mul/neg, truncating `/` and `//`, euclidean
+/// `mod`, truncating `rem`, masked shifts.
+fn arith_expr(rng: &mut Rng, depth: usize) -> (String, i32) {
+    if depth == 0 {
+        let v = rng.range_i32(-99, 100);
+        // Parenthesize negatives so they can sit inside any operator.
+        return (
+            if v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            },
+            v,
+        );
+    }
+    let (lt, lv) = arith_expr(rng, depth - 1);
+    match rng.range_usize(0, 12) {
+        0 => (format!("(- {lt})"), lv.wrapping_neg()),
+        1 => (format!("abs({lt})"), lv.wrapping_abs()),
+        op => {
+            let (rt, rv) = arith_expr(rng, depth - 1);
+            match op {
+                2 => (format!("({lt} + {rt})"), lv.wrapping_add(rv)),
+                3 => (format!("({lt} - {rt})"), lv.wrapping_sub(rv)),
+                4 => (format!("({lt} * {rt})"), lv.wrapping_mul(rv)),
+                5 => {
+                    // Divisors are nonzero literals by construction.
+                    let d = nonzero_literal(rng);
+                    (format!("({lt} // {d})"), lv.wrapping_div(d))
+                }
+                6 => {
+                    let d = nonzero_literal(rng);
+                    (format!("({lt} mod {d})"), lv.rem_euclid(d))
+                }
+                7 => {
+                    let d = nonzero_literal(rng);
+                    (format!("({lt} rem {d})"), lv.wrapping_rem(d))
+                }
+                8 => {
+                    let s = rng.range_i32(0, 8);
+                    (format!("({lt} << {s})"), lv.wrapping_shl(s as u32))
+                }
+                9 => {
+                    let s = rng.range_i32(0, 8);
+                    (format!("({lt} >> {s})"), lv.wrapping_shr(s as u32))
+                }
+                10 => (format!("({lt} /\\ {rt})"), lv & rv),
+                11 => (format!("({lt} \\/ {rt})"), lv | rv),
+                _ => (format!("({lt} xor {rt})"), lv ^ rv),
+            }
+        }
+    }
+}
+
+fn nonzero_literal(rng: &mut Rng) -> i32 {
+    let d = rng.range_i32(1, 12);
+    if rng.next_u64().is_multiple_of(2) {
+        d
+    } else {
+        -d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&CorpusSpec::new(7, 21));
+        let b = generate(&CorpusSpec::new(7, 21));
+        assert_eq!(a.len(), 21);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.workload.source, y.workload.source);
+            assert_eq!(x.workload.goal, y.workload.goal);
+            assert_eq!(x.expected, y.expected);
+        }
+        // A different seed produces a different corpus.
+        let c = generate(&CorpusSpec::new(8, 21));
+        assert!(a
+            .iter()
+            .zip(&c)
+            .any(|(x, y)| x.workload.goal != y.workload.goal));
+    }
+
+    #[test]
+    fn every_family_appears() {
+        let corpus = generate(&CorpusSpec::quick(1, 14));
+        let mut families: Vec<&str> = corpus.iter().map(|p| p.family).collect();
+        families.sort_unstable();
+        families.dedup();
+        assert_eq!(
+            families,
+            vec![
+                "arith",
+                "chain",
+                "churn",
+                "disjunction",
+                "fact_db",
+                "fill",
+                "negation"
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_arith_literals_parse() {
+        // Regression guard for the parenthesized-negative encoding.
+        for seed in 0..50 {
+            let p = arith(seed, 4);
+            kl0::parser::parse_term(&p.workload.goal.replace("X is ", "")).expect("parse");
+        }
+    }
+}

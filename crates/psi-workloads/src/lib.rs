@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod contest;
+pub mod corpus;
 pub mod harmonizer;
 pub mod library;
 pub mod parsers;
