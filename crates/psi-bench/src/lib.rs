@@ -23,11 +23,12 @@
 
 pub mod drift;
 pub mod perf;
+pub mod sweep;
 
 use psi_machine::{InterpModule, MachineConfig, MachineStats};
 use psi_workloads::runner::{
-    default_parallelism, par_map_catch, run_on_dec, run_on_psi, run_on_psi_machine,
-    run_suite_governed, SuiteOptions, SuiteReport,
+    default_parallelism, par_map_catch, run_on_dec, run_on_psi, run_suite_governed, SuiteOptions,
+    SuiteReport,
 };
 use psi_workloads::suite::{self, paper};
 use psi_workloads::{parsers, window, Workload};
@@ -474,35 +475,62 @@ pub fn table7_report() -> String {
 /// Figure 1 plus the §4.2 in-text studies: improvement ratio vs cache
 /// capacity on the WINDOW trace, 1-set vs 2-set, store-in vs
 /// store-through.
+///
+/// A thin consumer of the [`sweep`] engine: the eleven Figure 1
+/// capacities plus the two §4.2 study geometries run as one
+/// 13-geometry replay grid over the WINDOW workload. The cap-8192
+/// cell doubles as the two-set and store-in study values
+/// ([`psi_cache::CacheConfig::psi_two_set_8k`] *is* the stock
+/// geometry), so nothing is replayed twice. Byte-identical to the
+/// pre-engine direct `capacity_sweep_parallel` output — the engine's
+/// replay cells go through the same [`psi_tools::pmms`] math.
 pub fn figure1_report() -> String {
+    use psi_cache::CacheConfig;
     let mut out = String::new();
-    let mut config = MachineConfig::psi();
-    config.trace_memory = true;
     let w = window::window(1);
     let _ = writeln!(
         out,
         "Figure 1: Performance improvement ratios against the cache memory size"
     );
-    let (run, mut machine) = match run_on_psi_machine(&w, config) {
-        Ok(pair) => pair,
-        Err(e) => {
-            unavailable_row(&mut out, &w.name, 12, &e.to_string());
-            return out;
-        }
+    let caps = psi_tools::pmms::figure1_capacities();
+    let mut geometries: Vec<CacheConfig> = caps
+        .iter()
+        .map(|&cap| CacheConfig::psi_with_capacity(cap))
+        .collect();
+    geometries.push(CacheConfig::psi_direct_mapped_4k());
+    geometries.push(CacheConfig::psi_store_through());
+    let spec = sweep::SweepSpec {
+        name: "figure1".into(),
+        workloads: vec![w.clone()],
+        configs: vec![sweep::ConfigPoint::fidelity("A-linear", false)],
+        geometries,
     };
-    let trace = machine.take_trace();
-    let steps = run.stats.steps;
+    let report = sweep::run_sweep(
+        &spec,
+        &sweep::SweepOptions {
+            mode: sweep::SweepMode::Replay,
+            ..sweep::SweepOptions::default()
+        },
+    );
+    if !report.all_ok() || report.planes.is_empty() {
+        let reason = report.cells.iter().find(|c| c.outcome != "ok").map_or_else(
+            || "sweep produced no cells".to_owned(),
+            |c| c.detail.clone(),
+        );
+        unavailable_row(&mut out, &w.name, 12, &reason);
+        return out;
+    }
+    let plane = &report.planes[0];
     let _ = writeln!(
         out,
         "(trace: {}, {} accesses, {} steps)",
-        w.name,
-        trace.len(),
-        steps
+        w.name, plane.trace_len, plane.steps
     );
     let _ = writeln!(out, "{:>10} {:>12}", "capacity", "improvement%");
-    let sweep = psi_tools::pmms::capacity_sweep_parallel(&trace, 200, steps, default_parallelism());
-    for (cap, ratio) in &sweep {
-        let bar = "#".repeat((*ratio / 2.0).max(0.0) as usize);
+    let ratio_of = |cell: &sweep::CellResult| cell.improvement_pct.unwrap_or(0.0);
+    for (cap, cell) in caps.iter().zip(&report.cells) {
+        let ratio = ratio_of(cell);
+        let bar = "#".repeat((ratio / 2.0).max(0.0) as usize);
         let _ = writeln!(out, "{:>10} {:>12.1}  {}", cap, ratio, bar);
     }
     let _ = writeln!(
@@ -510,14 +538,16 @@ pub fn figure1_report() -> String {
         "(paper: the improvement ratio saturates near 512 words)"
     );
 
-    let (two, one) = psi_tools::pmms::associativity_study(&trace, 200, steps);
+    // Cell 10 is cap 8192 = the stock two-set store-in geometry;
+    // cells 11 and 12 are the appended study geometries.
+    let (two, one) = (ratio_of(&report.cells[10]), ratio_of(&report.cells[11]));
     let _ = writeln!(
         out,
         "\nassociativity: two 4KW sets = {two:.1}%, one 4KW set = {one:.1}%, \
          delta = {:.1} points (paper: one set only ~3% lower)",
         two - one
     );
-    let (si, st) = psi_tools::pmms::policy_study(&trace, 200, steps);
+    let (si, st) = (ratio_of(&report.cells[10]), ratio_of(&report.cells[12]));
     let _ = writeln!(
         out,
         "write policy: store-in = {si:.1}%, store-through = {st:.1}%, \

@@ -13,7 +13,10 @@
 //! * [`pmms`] — PMMS: replay a collected trace through arbitrary
 //!   cache configurations to obtain hit ratios and performance
 //!   improvement ratios (Table 5, Figure 1, and the §4.2
-//!   associativity and write-policy studies).
+//!   associativity and write-policy studies);
+//! * [`quantile`] — the shared type-7 percentile estimator used by
+//!   the serving load driver and the sweep engine's per-cell
+//!   wall-time summaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,4 +26,5 @@ pub mod events;
 pub mod json;
 pub mod map;
 pub mod pmms;
+pub mod quantile;
 pub mod snapshot;

@@ -56,6 +56,83 @@ pub fn improvement_ratio_pct(
     (tnc as f64 / tc as f64 - 1.0) * 100.0
 }
 
+/// The Figure 1 capacity axis: 8 W – 8 KW by powers of two ("other
+/// specifications are same with the cache memory of the PSI").
+pub fn figure1_capacities() -> Vec<u32> {
+    (0..11).map(|i| 8u32 << i).collect() // 8 .. 8192
+}
+
+/// Runs one closure per item on up to `threads` scoped workers,
+/// handing items out through a shared atomic cursor (work stealing:
+/// long cells never serialize short ones behind them) and returning
+/// the results **in input order**. `threads <= 1` maps on the calling
+/// thread with no scaffolding. This is the one sweep loop — every
+/// capacity/geometry sweep in this module is a thin wrapper over it,
+/// where the three pre-consolidation variants each carried their own
+/// copy.
+///
+/// # Panics
+///
+/// Propagates a panicking cell from the calling thread. The batch
+/// engine in `psi-bench` layers per-cell panic containment on top;
+/// the in-process sweeps here are expected to be infallible.
+pub fn sweep_cells<T, U, F>(items: &[T], threads: usize, cell: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(cell).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else {
+                            return done;
+                        };
+                        done.push((i, cell(item)));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("sweep worker panicked") {
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every cell computed"))
+        .collect()
+}
+
+/// Replays one trace through every configuration in `configs` (each
+/// on its own independent [`Cache`]) and returns the improvement
+/// ratio per configuration, in input order. This is the generic
+/// geometry axis behind [`capacity_sweep_parallel`] and the batch
+/// sweep engine's replay planes.
+pub fn geometry_sweep(
+    trace: &[TraceEntry],
+    configs: &[CacheConfig],
+    cycle_ns: u64,
+    total_steps: u64,
+    threads: usize,
+) -> Vec<f64> {
+    sweep_cells(configs, threads, |config| {
+        improvement_ratio_pct(trace, *config, cycle_ns, total_steps)
+    })
+}
+
 /// Figure 1: improvement ratio at each capacity (8 W – 8 KW by powers
 /// of two, "other specifications are same with the cache memory of
 /// the PSI").
@@ -73,44 +150,39 @@ pub fn capacity_sweep_parallel(
     total_steps: u64,
     threads: usize,
 ) -> Vec<(u32, f64)> {
-    let caps: Vec<u32> = (0..11).map(|i| 8u32 << i).collect(); // 8 .. 8192
-    let ratio = |cap: u32| {
-        let config = CacheConfig::psi_with_capacity(cap);
-        (
-            cap,
-            improvement_ratio_pct(trace, config, cycle_ns, total_steps),
-        )
-    };
-    let threads = threads.clamp(1, caps.len());
-    if threads <= 1 {
-        return caps.into_iter().map(ratio).collect();
-    }
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<(u32, f64)>> = vec![None; caps.len()];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&cap) = caps.get(i) else { return done };
-                        done.push((i, ratio(cap)));
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("sweep worker panicked") {
-                slots[i] = Some(value);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every capacity replayed"))
+    let caps = figure1_capacities();
+    let configs: Vec<CacheConfig> = caps
+        .iter()
+        .map(|&cap| CacheConfig::psi_with_capacity(cap))
+        .collect();
+    caps.into_iter()
+        .zip(geometry_sweep(
+            trace,
+            &configs,
+            cycle_ns,
+            total_steps,
+            threads,
+        ))
         .collect()
+}
+
+/// The paper's Figure 1 metric computed from a *live* run instead of
+/// a replayed trace: `Tc` is the run's simulated time, `Tnc` prices
+/// every cache access at the miss premium on top of the stall-free
+/// step time. Shared by [`capacity_sweep_forked`] and the batch
+/// engine's fork cells so both derive the ratio identically.
+pub fn improvement_from_run(
+    steps: u64,
+    time_ns: u64,
+    cache_accesses: u64,
+    cycle_ns: u64,
+    config: CacheConfig,
+) -> f64 {
+    if time_ns == 0 {
+        return 0.0;
+    }
+    let tnc = steps * cycle_ns + cache_accesses * config.miss_extra_ns();
+    (tnc as f64 / time_ns as f64 - 1.0) * 100.0
 }
 
 /// [`capacity_sweep`] computed live instead of by trace replay: each
@@ -137,51 +209,23 @@ pub fn capacity_sweep_forked(
     max_solutions: usize,
     threads: usize,
 ) -> psi_core::Result<Vec<(u32, f64)>> {
-    let caps: Vec<u32> = (0..11).map(|i| 8u32 << i).collect(); // 8 .. 8192
+    let caps = figure1_capacities();
     let cycle_ns = template.config().cycle_ns;
-    let cell = |cap: u32| -> psi_core::Result<(u32, f64)> {
+    let cells = sweep_cells(&caps, threads, |&cap| -> psi_core::Result<(u32, f64)> {
         let config = CacheConfig::psi_with_capacity(cap);
         let mut m = template.fork_with_cache(Some(config))?;
         m.solve(goal, max_solutions)?;
         let stats = m.stats();
-        let tc = stats.time_ns;
-        if tc == 0 {
-            return Ok((cap, 0.0));
-        }
-        let tnc = stats.steps * cycle_ns + stats.cache.total().accesses() * config.miss_extra_ns();
-        Ok((cap, (tnc as f64 / tc as f64 - 1.0) * 100.0))
-    };
-    let threads = threads.clamp(1, caps.len());
-    if threads <= 1 {
-        return caps.into_iter().map(cell).collect();
-    }
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<psi_core::Result<(u32, f64)>>> =
-        (0..caps.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&cap) = caps.get(i) else { return done };
-                        done.push((i, cell(cap)));
-                    }
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("sweep worker panicked") {
-                slots[i] = Some(value);
-            }
-        }
+        let ratio = improvement_from_run(
+            stats.steps,
+            stats.time_ns,
+            stats.cache.total().accesses(),
+            cycle_ns,
+            config,
+        );
+        Ok((cap, ratio))
     });
-    slots
-        .into_iter()
-        .map(|s| s.expect("every capacity ran"))
-        .collect()
+    cells.into_iter().collect()
 }
 
 /// §4.2 associativity study: improvement ratios with two 4K-word sets

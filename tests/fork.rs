@@ -180,3 +180,84 @@ fn snapshot_version_mismatch_is_a_typed_error_not_a_panic() {
     assert_eq!(err.wire_code(), 11);
     assert!(err.to_string().contains("psi-snapshot-v2"), "{err}");
 }
+
+/// Satellite of the sweep engine: `fork_with_cache` must honor the
+/// *full* geometry grid, not just capacity. Every valid (ways × block
+/// × write policy × write-stack handling) combination round-trips
+/// through the fork — the forked machine reports exactly the
+/// requested configuration, its derived geometry (blocks, sets) is
+/// arithmetically consistent, and the run is step- and
+/// solution-identical to the stock fork (geometry changes stalls,
+/// never semantics or step counts).
+#[test]
+fn fork_with_cache_round_trips_every_geometry_combination() {
+    use psi::psi_cache::WritePolicy;
+    let entry = &table1_suite()[0];
+    let w = &entry.workload;
+    let program = Program::parse(&w.source).unwrap();
+    let template = Machine::load(&program, MachineConfig::psi()).unwrap();
+    let mut stock = template.fork().unwrap();
+    let (stock_solutions, stock_stats) = run_goal(&mut stock, w);
+    let stock_accesses = stock_stats.cache.total().accesses();
+
+    let mut combinations = 0;
+    for ways in [1u32, 2, 4] {
+        for block_words in [2u32, 4, 8] {
+            for policy in [WritePolicy::StoreIn, WritePolicy::StoreThrough] {
+                for write_stack_no_fetch in [false, true] {
+                    // Small enough to differ from stock, large enough
+                    // to be valid for every (ways, block) pair; sets
+                    // stay a power of two because everything else is.
+                    let geometry = CacheConfig {
+                        capacity_words: 256,
+                        block_words,
+                        ways,
+                        policy,
+                        write_stack_no_fetch,
+                        ..CacheConfig::psi()
+                    };
+                    let label = format!(
+                        "{}w{ways}b{block_words}p{policy:?}s{write_stack_no_fetch}",
+                        w.name
+                    );
+                    let mut forked = template.fork_with_cache(Some(geometry)).unwrap();
+
+                    // The fork reports exactly the requested geometry…
+                    let reported = forked.config().cache.unwrap_or_else(|| {
+                        panic!("{label}: fork_with_cache(Some) must report a cache")
+                    });
+                    assert_eq!(reported, geometry, "{label}");
+                    // …with consistent derived numbers.
+                    assert_eq!(reported.blocks(), 256 / block_words, "{label}");
+                    assert_eq!(reported.sets(), 256 / block_words / ways, "{label}");
+                    assert!(reported.sets().is_power_of_two(), "{label}");
+
+                    // And the run is semantics- and step-identical to
+                    // stock: geometry moves stalls only.
+                    let (solutions, stats) = run_goal(&mut forked, w);
+                    assert_eq!(solutions, stock_solutions, "{label}");
+                    assert_eq!(stats.steps, stock_stats.steps, "{label}");
+                    assert_eq!(
+                        stats.cache.total().accesses(),
+                        stock_accesses,
+                        "{label}: access count is a function of execution, not geometry"
+                    );
+                    combinations += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(combinations, 3 * 3 * 2 * 2);
+
+    // The cache-less fork is part of the same surface: no cache
+    // config, same answers and access count (the uncached bus still
+    // tallies every access — as a miss, since there is nothing to
+    // hit).
+    let mut uncached = template.fork_with_cache(None).unwrap();
+    assert!(uncached.config().cache.is_none());
+    let (solutions, stats) = run_goal(&mut uncached, w);
+    assert_eq!(solutions, stock_solutions);
+    assert_eq!(stats.steps, stock_stats.steps);
+    assert_eq!(stats.cache.total().accesses(), stock_accesses);
+    assert_eq!(stats.cache.total().hits(), 0);
+}
